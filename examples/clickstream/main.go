@@ -1,0 +1,103 @@
+// Clickstream: the §4.2 bulk-load / bulk-drop scenario. A clickthrough
+// warehouse (the thesis names Priceline, Yahoo, and Google) retains only
+// the most recent N days of click data: every "day" a fresh segment is
+// bulk-loaded atomically and the oldest segment is bulk-dropped, reclaiming
+// its space — with ad-hoc analytics running throughout.
+//
+//	go run ./examples/clickstream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"harbor"
+)
+
+const (
+	retainDays    = 5
+	clicksPerDay  = 2000
+	simulatedDays = 9
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "harbor-clickstream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cluster, err := harbor.Start(harbor.Options{Workers: 2, Dir: dir, SegPages: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	clicks := harbor.MustSchema("id",
+		harbor.Int64Field("id"),
+		harbor.Int64Field("user"),
+		harbor.Int32Field("page"),
+		harbor.Int32Field("dwell_ms"),
+	)
+	if err := cluster.CreateTable(1, clicks); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	nextID := int64(0)
+	day := 0
+	loadDay := func() {
+		day++
+		rows := make([]harbor.Tuple, clicksPerDay)
+		for i := range rows {
+			rows[i] = harbor.Row(clicks,
+				harbor.Int(nextID),
+				harbor.Int(int64(rng.Intn(500))),      // user
+				harbor.Int(int64(rng.Intn(40))),       // page
+				harbor.Int(int64(rng.Intn(60_000)+1)), // dwell
+			)
+			nextID++
+		}
+		ts, err := cluster.BulkLoad(1, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segs, _ := cluster.SegmentCount(0, 1)
+		fmt.Printf("day %2d: bulk-loaded %d clicks at time %d (%d segments resident)\n",
+			day, clicksPerDay, ts, segs)
+	}
+
+	analyze := func() {
+		rows, err := cluster.Query(1, harbor.Query{
+			Where: harbor.Where(clicks, "dwell_ms", harbor.GE, harbor.Int(50_000)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("         analytics: %d long-dwell clicks across the retained window\n", len(rows))
+	}
+
+	for d := 0; d < simulatedDays; d++ {
+		loadDay()
+		if day > retainDays {
+			if err := cluster.DropOldestSegment(1); err != nil {
+				log.Fatal(err)
+			}
+			segs, _ := cluster.SegmentCount(0, 1)
+			fmt.Printf("         bulk-dropped the expired day (%d segments resident)\n", segs)
+		}
+		analyze()
+	}
+
+	total, err := cluster.Query(1, harbor.Query{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nretained window holds %d clicks (%d days × %d)\n",
+		len(total), retainDays, clicksPerDay)
+	if len(total) != retainDays*clicksPerDay {
+		log.Fatalf("retention invariant violated: %d rows", len(total))
+	}
+}

@@ -1,0 +1,107 @@
+// Quickstart: a three-worker HARBOR cluster with 2-safe replication,
+// transactional inserts/updates/deletes, current reads, and time travel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"harbor"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "harbor-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One coordinator + three workers; every table is replicated on all
+	// three workers, so the cluster tolerates any two failures (2-safety).
+	cluster, err := harbor.Start(harbor.Options{Workers: 3, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	products := harbor.MustSchema("id",
+		harbor.Int64Field("id"),
+		harbor.CharField("name", 24),
+		harbor.Int32Field("price_cents"),
+	)
+	if err := cluster.CreateTable(1, products); err != nil {
+		log.Fatal(err)
+	}
+
+	// A transaction inserting the Figure 5-1 products.
+	tx := cluster.Begin()
+	for _, p := range []struct {
+		id    int64
+		name  string
+		price int64
+	}{
+		{1, "Colgate", 299},
+		{2, "Poland Spring", 159},
+		{3, "Dell Monitor", 24900},
+	} {
+		if err := tx.Insert(1, harbor.Row(products,
+			harbor.Int(p.id), harbor.Str(p.name), harbor.Int(p.price))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	t1, err := tx.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded 3 products at time %d\n", t1)
+
+	// A correction transaction: reprice the monitor, drop the water.
+	tx2 := cluster.Begin()
+	if err := tx2.UpdateKey(1, 3, harbor.Row(products,
+		harbor.Int(3), harbor.Str("Dell Monitor"), harbor.Int(19900))); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx2.DeleteKey(1, 2); err != nil {
+		log.Fatal(err)
+	}
+	t2, err := tx2.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied corrections at time %d\n", t2)
+
+	show := func(label string, rows []harbor.Tuple) {
+		fmt.Printf("%s:\n", label)
+		for _, r := range rows {
+			fmt.Printf("  #%d %-16s %6d cents\n",
+				r.Key(products),
+				r.Values[products.FieldIndex("name")].Str,
+				r.Values[products.FieldIndex("price_cents")].I64)
+		}
+	}
+
+	now, err := cluster.Query(1, harbor.Query{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("current catalog", now)
+
+	// Time travel: the catalog as it looked before the corrections.
+	then, err := cluster.Query(1, harbor.Query{AsOf: t1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(fmt.Sprintf("catalog as of time %d (before corrections)", t1), then)
+
+	// Predicate pushdown.
+	cheap, err := cluster.Query(1, harbor.Query{
+		Where: harbor.Where(products, "price_cents", harbor.LT, harbor.Int(1000)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("current items under $10", cheap)
+}

@@ -1,0 +1,3 @@
+module harbor
+
+go 1.22

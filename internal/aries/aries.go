@@ -1,0 +1,520 @@
+// Package aries implements the log-based recovery baseline of the thesis: a
+// faithful three-pass ARIES [Mohan et al. 1992] restart over the segmented
+// heap files — an analysis pass from the last checkpoint to rebuild the
+// transaction and dirty-page tables, a redo pass that repeats history from
+// the earliest recovery LSN, and an undo pass that rolls back loser
+// transactions in reverse LSN order writing compensation log records.
+//
+// Distributed in-doubt transactions (prepared under 2PC, or
+// prepared-to-commit under canonical 3PC) are resolved through a caller-
+// supplied Resolver that asks the coordinator for the outcome; a committed
+// outcome is completed by performing the commit-time timestamp stamping that
+// §6.1.7 describes (the insertion and deletion lists are reconstructed from
+// the transaction's RecInsert and RecDeleteIntent records).
+//
+// As in the thesis (§6.1.7) this is the canonical algorithm without the
+// later industrial optimizations (no Fast-Start-style incremental
+// checkpointing, no access during redo).
+package aries
+
+import (
+	"fmt"
+	"time"
+
+	"harbor/internal/buffer"
+	"harbor/internal/page"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/wal"
+)
+
+// Outcome is a resolver's verdict for an in-doubt transaction.
+type Outcome struct {
+	Commit   bool
+	CommitTS tuple.Timestamp
+}
+
+// Resolver determines the fate of an in-doubt (prepared) transaction,
+// typically by asking the coordinator. state distinguishes prepared from
+// prepared-to-commit.
+type Resolver func(txn int64, state wal.TxnState) (Outcome, error)
+
+// AbortAllResolver implements the conventional presumed-abort rule ("if no
+// information, then abort", §4.3.3): every in-doubt transaction aborts.
+var AbortAllResolver Resolver = func(int64, wal.TxnState) (Outcome, error) {
+	return Outcome{Commit: false}, nil
+}
+
+// Stats reports what a restart did.
+type Stats struct {
+	AnalysisRecords int
+	RedoRecords     int
+	RedoApplied     int
+	UndoApplied     int
+	Losers          int
+	InDoubt         int
+	Committed       int
+
+	AnalysisTime time.Duration
+	RedoTime     time.Duration
+	UndoTime     time.Duration
+	Total        time.Duration
+}
+
+// txnInfo is the analysis-pass transaction table entry.
+type txnInfo struct {
+	state wal.TxnState
+	// preparedToCommit distinguishes canonical-3PC's prepared-to-commit
+	// state from plain prepared; resolvers receive it so a consensus
+	// protocol can decide commit without the coordinator.
+	preparedToCommit bool
+	lastLSN          page.LSN
+	commitTS         tuple.Timestamp
+	inserts          []listEntry
+	deletes          []listEntry
+}
+
+type listEntry struct {
+	rid page.RecordID
+	seg int32
+}
+
+// Recover runs the full ARIES restart sequence against a reopened site:
+// storage manager, a fresh buffer pool, and the reopened log. It returns
+// restart statistics. On success the buffer pool is flushed, a fresh
+// checkpoint is recorded, and the key indexes — maintained incrementally
+// during redo/undo — are consistent with the restored pages.
+func Recover(mgr *storage.Manager, pool *buffer.Pool, log *wal.Manager, resolve Resolver) (*Stats, error) {
+	start := time.Now()
+	st := &Stats{}
+
+	// ---- Analysis ----
+	t0 := time.Now()
+	master, err := wal.ReadMaster(mgr.Dir())
+	if err != nil {
+		return nil, err
+	}
+	tt := map[int64]*txnInfo{}
+	dpt := map[page.ID]page.LSN{}
+	startLSN := master
+	if startLSN == 0 {
+		startLSN = 1
+	}
+	// If a checkpoint exists, seed the tables from it first.
+	if master > 0 {
+		rec, err := log.ReadAt(master)
+		if err != nil {
+			return nil, fmt.Errorf("aries: reading checkpoint at %d: %w", master, err)
+		}
+		if rec.Type != wal.RecCheckpoint {
+			return nil, fmt.Errorf("aries: master LSN %d is a %v, not a checkpoint", master, rec.Type)
+		}
+		for _, dp := range rec.DirtyPages {
+			dpt[dp.Page] = dp.RecLSN
+		}
+		for _, tx := range rec.ActiveTxns {
+			tt[tx.Txn] = &txnInfo{state: tx.State, lastLSN: tx.LastLSN}
+		}
+	}
+	err = log.Iter(startLSN, func(r *wal.Record) (bool, error) {
+		st.AnalysisRecords++
+		if r.Type == wal.RecCheckpoint || r.Type == wal.RecAlloc {
+			return true, nil
+		}
+		ti := tt[r.Txn]
+		if ti == nil {
+			ti = &txnInfo{state: wal.TxnActive}
+			tt[r.Txn] = ti
+		}
+		ti.lastLSN = r.LSN
+		switch r.Type {
+		case wal.RecInsert, wal.RecDelete, wal.RecSetField, wal.RecCLR:
+			if _, ok := dpt[r.Page]; !ok {
+				dpt[r.Page] = r.LSN
+			}
+			if r.Type == wal.RecInsert {
+				ti.inserts = append(ti.inserts, listEntry{rid: page.RecordID{Page: r.Page, Slot: int(r.Slot)}, seg: r.SegIdx})
+			}
+		case wal.RecDeleteIntent:
+			ti.deletes = append(ti.deletes, listEntry{rid: page.RecordID{Page: r.Page, Slot: int(r.Slot)}, seg: r.SegIdx})
+		case wal.RecPrepare:
+			ti.state = wal.TxnPrepared
+		case wal.RecPrepareToCommit:
+			ti.state = wal.TxnPrepared
+			ti.preparedToCommit = true
+			ti.commitTS = r.CommitTS
+		case wal.RecCommit:
+			ti.state = wal.TxnCommitted
+			ti.commitTS = r.CommitTS
+		case wal.RecAbort:
+			ti.state = wal.TxnAborted
+		case wal.RecEnd:
+			delete(tt, r.Txn)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.AnalysisTime = time.Since(t0)
+
+	// ---- Redo: repeat history from the earliest recLSN ----
+	t0 = time.Now()
+	redoLSN := page.LSN(0)
+	for _, rec := range dpt {
+		if redoLSN == 0 || rec < redoLSN {
+			redoLSN = rec
+		}
+	}
+	if redoLSN > 0 {
+		err = log.Iter(redoLSN, func(r *wal.Record) (bool, error) {
+			st.RedoRecords++
+			return true, applyRedo(mgr, pool, dpt, r, st)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.RedoTime = time.Since(t0)
+
+	// ---- Undo losers; resolve in-doubt transactions ----
+	t0 = time.Now()
+	for txn, ti := range tt {
+		switch ti.state {
+		case wal.TxnCommitted:
+			// COMMIT logged but END missing: nothing to undo.
+			st.Committed++
+			log.Append(&wal.Record{Type: wal.RecEnd, Txn: txn, PrevLSN: ti.lastLSN})
+		case wal.TxnPrepared:
+			st.InDoubt++
+			resolveState := ti.state
+			if ti.preparedToCommit {
+				resolveState = wal.TxnState(ptcState)
+			}
+			out, err := resolve(txn, resolveState)
+			if err != nil {
+				return nil, fmt.Errorf("aries: resolving in-doubt txn %d: %w", txn, err)
+			}
+			if out.Commit {
+				if err := completeCommit(mgr, pool, log, txn, ti, out.CommitTS); err != nil {
+					return nil, err
+				}
+				st.Committed++
+			} else {
+				if err := undoTxn(mgr, pool, log, txn, ti, st); err != nil {
+					return nil, err
+				}
+				st.Losers++
+			}
+		default: // active or aborted-with-unfinished-undo
+			if err := undoTxn(mgr, pool, log, txn, ti, st); err != nil {
+				return nil, err
+			}
+			st.Losers++
+		}
+	}
+	st.UndoTime = time.Since(t0)
+
+	// ---- Finish: make the recovered state durable and re-checkpoint ----
+	for _, id := range mgr.IDs() {
+		tb, err := mgr.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		tb.Heap.ClearUncommittedBound()
+	}
+	if err := pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	for _, id := range mgr.IDs() {
+		tb, err := mgr.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := tb.Heap.SyncData(); err != nil {
+			return nil, err
+		}
+		if err := tb.Heap.FlushMeta(); err != nil {
+			return nil, err
+		}
+	}
+	if err := Checkpoint(mgr.Dir(), log, pool, nil); err != nil {
+		return nil, err
+	}
+	st.Total = time.Since(start)
+	return st, nil
+}
+
+// ptcState is the wal.TxnState value handed to resolvers for transactions
+// that reached canonical-3PC's prepared-to-commit state.
+const ptcState = 100
+
+// PreparedToCommit reports whether a resolver's state argument denotes the
+// prepared-to-commit state.
+func PreparedToCommit(state wal.TxnState) bool { return state == ptcState }
+
+// keyOf extracts the tuple-identifier field from a raw slot image.
+func keyOf(tb *storage.Table, raw []byte) (int64, error) {
+	desc := tb.Heap.Desc()
+	t, err := tuple.Decode(desc, raw)
+	if err != nil {
+		return 0, err
+	}
+	return t.Key(desc), nil
+}
+
+// applyRedo repeats history for one record if its page needs it.
+func applyRedo(mgr *storage.Manager, pool *buffer.Pool, dpt map[page.ID]page.LSN, r *wal.Record, st *Stats) error {
+	switch r.Type {
+	case wal.RecAlloc:
+		tb, err := mgr.Get(r.Page.Table)
+		if err != nil {
+			return err
+		}
+		tb.Heap.EnsureAllocated(r.Page.PageNo, r.SegIdx)
+		return nil
+	case wal.RecInsert, wal.RecDelete, wal.RecSetField, wal.RecCLR:
+	default:
+		return nil
+	}
+	recLSN, ok := dpt[r.Page]
+	if !ok || r.LSN < recLSN {
+		return nil
+	}
+	tb, err := mgr.Get(r.Page.Table)
+	if err != nil {
+		return err
+	}
+	// The page may never have been allocated in the durable meta.
+	if tb.Heap.SegmentFor(r.Page.PageNo) < 0 {
+		tb.Heap.EnsureAllocated(r.Page.PageNo, r.SegIdx)
+	}
+	f, err := pool.GetPageNoLock(r.Page)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(f, true, r.LSN)
+	f.Latch.Lock()
+	defer f.Latch.Unlock()
+	if f.Page.LSN() >= r.LSN {
+		return nil // already reflects this record
+	}
+	// The key index is maintained incrementally alongside physical redo
+	// (it was rebuilt from the on-disk state when the site reopened, so
+	// only the re-applied changes need folding in).
+	rid := page.RecordID{Page: r.Page, Slot: int(r.Slot)}
+	removeIndexed := func() error {
+		if !f.Page.Used(int(r.Slot)) {
+			return nil
+		}
+		raw, err := f.Page.Slot(int(r.Slot))
+		if err != nil {
+			return err
+		}
+		key, err := keyOf(tb, raw)
+		if err != nil {
+			return err
+		}
+		tb.Index.Remove(key, rid)
+		return nil
+	}
+	switch r.Type {
+	case wal.RecInsert:
+		if err := f.Page.InsertAt(int(r.Slot), r.Image); err != nil {
+			return err
+		}
+		key, err := keyOf(tb, r.Image)
+		if err != nil {
+			return err
+		}
+		tb.Index.Remove(key, rid) // in case the open-scan already saw it
+		tb.Index.Add(key, rid)
+	case wal.RecDelete:
+		if f.Page.Used(int(r.Slot)) {
+			if err := removeIndexed(); err != nil {
+				return err
+			}
+			if err := f.Page.Delete(int(r.Slot)); err != nil {
+				return err
+			}
+		}
+	case wal.RecSetField:
+		if err := f.Page.WriteInt64At(int(r.Slot), int(r.FieldOff), r.After); err != nil {
+			return err
+		}
+		stampStats(tb.Heap, r.Page.PageNo, int(r.FieldOff), r.After)
+	case wal.RecCLR:
+		if r.FieldOff < 0 {
+			if f.Page.Used(int(r.Slot)) {
+				if err := removeIndexed(); err != nil {
+					return err
+				}
+				if err := f.Page.Delete(int(r.Slot)); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := f.Page.WriteInt64At(int(r.Slot), int(r.FieldOff), r.After); err != nil {
+				return err
+			}
+		}
+	}
+	f.Page.SetLSN(r.LSN)
+	st.RedoApplied++
+	return nil
+}
+
+// stampStats folds a redone timestamp stamping into segment bounds.
+func stampStats(h *storage.HeapFile, pageNo int32, fieldOff int, value int64) {
+	if value <= 0 || value == tuple.Uncommitted {
+		return
+	}
+	seg := h.SegmentFor(pageNo)
+	if seg < 0 {
+		return
+	}
+	// Field offsets 0 and 8 are the insertion and deletion timestamps of
+	// every schema (reserved fields).
+	switch fieldOff {
+	case 0:
+		h.OnCommitStamp(seg, value, 0)
+	case 8:
+		h.OnCommitStamp(seg, 0, value)
+	}
+}
+
+// undoTxn rolls back one loser transaction with CLRs, then logs ABORT+END.
+func undoTxn(mgr *storage.Manager, pool *buffer.Pool, log *wal.Manager, txn int64, ti *txnInfo, st *Stats) error {
+	lsn := ti.lastLSN
+	last := ti.lastLSN
+	for lsn != 0 {
+		rec, err := log.ReadAt(lsn)
+		if err != nil {
+			return err
+		}
+		switch rec.Type {
+		case wal.RecInsert:
+			clr := log.Append(&wal.Record{
+				Type: wal.RecCLR, Txn: txn, PrevLSN: last,
+				Page: rec.Page, Slot: rec.Slot, FieldOff: -1, UndoNext: rec.PrevLSN,
+			})
+			last = clr
+			tb, err := mgr.Get(rec.Page.Table)
+			if err != nil {
+				return err
+			}
+			if err := applyPage(pool, rec.Page, clr, func(p *page.Page) error {
+				if p.Used(int(rec.Slot)) {
+					raw, err := p.Slot(int(rec.Slot))
+					if err == nil {
+						if key, kerr := keyOf(tb, raw); kerr == nil {
+							tb.Index.Remove(key, page.RecordID{Page: rec.Page, Slot: int(rec.Slot)})
+						}
+					}
+					return p.Delete(int(rec.Slot))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			st.UndoApplied++
+			lsn = rec.PrevLSN
+		case wal.RecSetField:
+			clr := log.Append(&wal.Record{
+				Type: wal.RecCLR, Txn: txn, PrevLSN: last,
+				Page: rec.Page, Slot: rec.Slot, FieldOff: rec.FieldOff,
+				After: rec.Before, UndoNext: rec.PrevLSN,
+			})
+			last = clr
+			if err := applyPage(pool, rec.Page, clr, func(p *page.Page) error {
+				return p.WriteInt64At(int(rec.Slot), int(rec.FieldOff), rec.Before)
+			}); err != nil {
+				return err
+			}
+			st.UndoApplied++
+			lsn = rec.PrevLSN
+		case wal.RecCLR:
+			lsn = rec.UndoNext
+		default:
+			lsn = rec.PrevLSN
+		}
+	}
+	log.Append(&wal.Record{Type: wal.RecAbort, Txn: txn, PrevLSN: last})
+	log.Append(&wal.Record{Type: wal.RecEnd, Txn: txn})
+	return nil
+}
+
+// completeCommit finishes an in-doubt transaction whose outcome is commit:
+// the commit-time stamping is performed now (logged), then COMMIT and END.
+func completeCommit(mgr *storage.Manager, pool *buffer.Pool, log *wal.Manager, txn int64, ti *txnInfo, ts tuple.Timestamp) error {
+	last := ti.lastLSN
+	stamp := func(e listEntry, fieldOff int, before int64) error {
+		lsn := log.Append(&wal.Record{
+			Type: wal.RecSetField, Txn: txn, PrevLSN: last,
+			Page: e.rid.Page, Slot: int32(e.rid.Slot), FieldOff: int32(fieldOff),
+			Before: before, After: int64(ts),
+		})
+		last = lsn
+		tb, err := mgr.Get(e.rid.Page.Table)
+		if err != nil {
+			return err
+		}
+		if err := applyPage(pool, e.rid.Page, lsn, func(p *page.Page) error {
+			return p.WriteInt64At(e.rid.Slot, fieldOff, int64(ts))
+		}); err != nil {
+			return err
+		}
+		stampStats(tb.Heap, e.rid.Page.PageNo, fieldOff, int64(ts))
+		return nil
+	}
+	for _, e := range ti.inserts {
+		if err := stamp(e, 0, int64(tuple.Uncommitted)); err != nil {
+			return err
+		}
+	}
+	for _, e := range ti.deletes {
+		if err := stamp(e, 8, int64(tuple.NotDeleted)); err != nil {
+			return err
+		}
+	}
+	lsn := log.Append(&wal.Record{Type: wal.RecCommit, Txn: txn, PrevLSN: last, CommitTS: ts})
+	if err := log.Force(lsn, true); err != nil {
+		return err
+	}
+	log.Append(&wal.Record{Type: wal.RecEnd, Txn: txn})
+	return nil
+}
+
+// applyPage runs a mutation on a pooled page under its latch, stamping the
+// pageLSN and marking it dirty.
+func applyPage(pool *buffer.Pool, pid page.ID, lsn page.LSN, fn func(*page.Page) error) error {
+	f, err := pool.GetPageNoLock(pid)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	err = fn(f.Page)
+	if err == nil {
+		f.Page.SetLSN(lsn)
+	}
+	f.Latch.Unlock()
+	pool.Unpin(f, true, lsn)
+	return err
+}
+
+// Checkpoint writes a fuzzy ARIES checkpoint: one RecCheckpoint record
+// carrying the dirty-page table and the transaction table, forced to disk,
+// with the master record updated to point at it. activeTxns may be nil
+// (restart-time checkpoint with no live transactions).
+func Checkpoint(dir string, log *wal.Manager, pool *buffer.Pool, activeTxns []wal.TxnStatus) error {
+	rec := &wal.Record{
+		Type:       wal.RecCheckpoint,
+		DirtyPages: pool.DirtyPages(),
+		ActiveTxns: activeTxns,
+	}
+	lsn := log.Append(rec)
+	if err := log.Force(lsn, false); err != nil {
+		return err
+	}
+	return wal.WriteMaster(dir, lsn)
+}

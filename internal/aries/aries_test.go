@@ -1,0 +1,381 @@
+package aries
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"harbor/internal/buffer"
+	"harbor/internal/exec"
+	"harbor/internal/lockmgr"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/version"
+	"harbor/internal/wal"
+)
+
+func testDesc() *tuple.Desc {
+	return tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int32},
+	)
+}
+
+// site bundles one ARIES-mode site.
+type site struct {
+	dir   string
+	mgr   *storage.Manager
+	log   *wal.Manager
+	locks *lockmgr.Manager
+	pool  *buffer.Pool
+	store *version.Store
+}
+
+func openSite(t *testing.T, dir string, create bool) *site {
+	t.Helper()
+	mgr, err := storage.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks := lockmgr.New(300 * time.Millisecond)
+	pool := buffer.New(&version.PageStore{Mgr: mgr, Log: log}, locks, 256, buffer.StealNoForce)
+	store := version.NewStore(mgr, pool, locks, log)
+	if create {
+		if _, err := mgr.Create(1, testDesc(), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &site{dir: dir, mgr: mgr, log: log, locks: locks, pool: pool, store: store}
+	t.Cleanup(func() { s.close() })
+	return s
+}
+
+func (s *site) close() {
+	s.mgr.Close()
+	s.log.Close()
+}
+
+// crash simulates fail-stop: drop all volatile state without flushing.
+// The log file's durable prefix survives (Force already synced what
+// matters); buffered-but-unforced log records are dropped by reopening,
+// which mimics losing the in-memory log tail.
+func (s *site) crash(t *testing.T) *site {
+	t.Helper()
+	s.pool.DiscardAll()
+	s.close()
+	return openSite(t, s.dir, false)
+}
+
+func mk(id, v int64) tuple.Tuple {
+	return tuple.MustMake(testDesc(), tuple.VInt(id), tuple.VInt(v))
+}
+
+// currentIDs scans the table at current visibility.
+func currentIDs(t *testing.T, s *site) []int64 {
+	t.Helper()
+	rows, err := exec.Drain(exec.NewSeqScan(s.store, exec.ScanSpec{Table: 1, Vis: exec.Current}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Key(testDesc())
+	}
+	return out
+}
+
+func TestRestartRedoesCommittedWork(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	// Commit two transactions; their COMMIT records are forced but no data
+	// page ever reaches disk.
+	for i := int64(1); i <= 2; i++ {
+		if _, err := s.store.InsertTuple(version.TxnID(i), 1, mk(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.store.Prepare(version.TxnID(i), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.store.Commit(version.TxnID(i), tuple.Timestamp(i), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := s.crash(t)
+	if got := currentIDs(t, s2); len(got) != 0 {
+		t.Fatalf("pre-recovery disk state should be empty, got %v", got)
+	}
+	st, err := Recover(s2.mgr, s2.pool, s2.log, AbortAllResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RedoApplied == 0 {
+		t.Fatal("redo applied nothing")
+	}
+	if got := currentIDs(t, s2); len(got) != 2 {
+		t.Fatalf("after recovery: %v", got)
+	}
+	// Timestamps restored exactly.
+	rows, err := exec.Drain(exec.NewSeqScan(s2.store, exec.ScanSpec{Table: 1, Vis: exec.SeeDeleted}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InsTS() != r.Key(testDesc()) {
+			t.Fatalf("timestamp not redone: %s", r)
+		}
+	}
+	// Index rebuilt.
+	tb, _ := s2.mgr.Get(1)
+	if tb.Index.Len() != 2 {
+		t.Fatalf("index len %d", tb.Index.Len())
+	}
+}
+
+func TestRestartUndoesLoser(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	// Committed baseline.
+	if _, err := s.store.InsertTuple(1, 1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Commit(1, 5, true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Loser: inserts, is never prepared, and its records reach the durable
+	// log (forced via an unrelated commit-path flush), then crash.
+	if _, err := s.store.InsertTuple(2, 1, mk(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// STEAL: push the loser's dirty page to disk to prove undo handles it.
+	if err := s.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.crash(t)
+	st, err := Recover(s2.mgr, s2.pool, s2.log, AbortAllResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Losers != 1 || st.UndoApplied == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := currentIDs(t, s2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after recovery: %v", got)
+	}
+	// No uncommitted garbage visible even to SEE DELETED.
+	rows, err := exec.Drain(exec.NewSeqScan(s2.store, exec.ScanSpec{Table: 1, Vis: exec.SeeDeleted}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("loser tuple physically present: %v", rows)
+	}
+}
+
+func TestRestartResolvesInDoubtCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	// Baseline committed tuple that the in-doubt txn deletes.
+	if _, err := s.store.InsertTuple(1, 1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Commit(1, 5, true, true); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.mgr.Get(1)
+	rid := tb.Index.Lookup(1)[0]
+	// In-doubt txn: insert + delete, prepared (forced), no commit record.
+	if _, err := s.store.InsertTuple(2, 1, mk(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.DeleteTuple(2, 1, rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Prepare(2, true); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.crash(t)
+	resolver := func(txn int64, state wal.TxnState) (Outcome, error) {
+		if txn != 2 {
+			return Outcome{}, errors.New("unexpected txn")
+		}
+		return Outcome{Commit: true, CommitTS: 9}, nil
+	}
+	st, err := Recover(s2.mgr, s2.pool, s2.log, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InDoubt != 1 || st.Committed == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The in-doubt commit completed: key 2 visible with ins=9, key 1
+	// deleted at 9.
+	rows, err := exec.Drain(exec.NewSeqScan(s2.store, exec.ScanSpec{Table: 1, Vis: exec.SeeDeleted}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+	for _, r := range rows {
+		switch r.Key(testDesc()) {
+		case 1:
+			if r.DelTS() != 9 {
+				t.Fatalf("deletion intent not completed: %s", r)
+			}
+		case 2:
+			if r.InsTS() != 9 {
+				t.Fatalf("insert not stamped: %s", r)
+			}
+		}
+	}
+	// Historical query sees the pre-commit world.
+	old, err := exec.Drain(exec.NewSeqScan(s2.store, exec.ScanSpec{Table: 1, Vis: exec.Historical, AsOf: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 1 || old[0].Key(testDesc()) != 1 {
+		t.Fatalf("time travel after in-doubt commit: %v", old)
+	}
+}
+
+func TestRestartResolvesInDoubtAbort(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	if _, err := s.store.InsertTuple(2, 1, mk(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Prepare(2, true); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.crash(t)
+	st, err := Recover(s2.mgr, s2.pool, s2.log, AbortAllResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InDoubt != 1 || st.Losers != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := currentIDs(t, s2); len(got) != 0 {
+		t.Fatalf("aborted in-doubt txn visible: %v", got)
+	}
+}
+
+func TestRestartPreparedToCommitState(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	if _, err := s.store.InsertTuple(3, 1, mk(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Prepare(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.PrepareToCommit(3, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.crash(t)
+	var sawPTC bool
+	resolver := func(txn int64, state wal.TxnState) (Outcome, error) {
+		if PreparedToCommit(state) {
+			sawPTC = true
+			// Canonical 3PC consensus: prepared-to-commit resolves to
+			// commit with the carried time.
+			return Outcome{Commit: true, CommitTS: 7}, nil
+		}
+		return Outcome{}, nil
+	}
+	if _, err := Recover(s2.mgr, s2.pool, s2.log, resolver); err != nil {
+		t.Fatal(err)
+	}
+	if !sawPTC {
+		t.Fatal("resolver never saw the prepared-to-commit state")
+	}
+	if got := currentIDs(t, s2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after PTC commit: %v", got)
+	}
+}
+
+func TestCheckpointBoundsRedoWork(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	// 40 committed transactions; checkpoint (with page flush) after 20.
+	for i := int64(1); i <= 40; i++ {
+		if _, err := s.store.InsertTuple(version.TxnID(i), 1, mk(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.store.Commit(version.TxnID(i), tuple.Timestamp(i), true, true); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 {
+			if err := s.pool.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			tb, _ := s.mgr.Get(1)
+			if err := tb.Heap.SyncData(); err != nil {
+				t.Fatal(err)
+			}
+			if err := Checkpoint(dir, s.log, s.pool, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s2 := s.crash(t)
+	st, err := Recover(s2.mgr, s2.pool, s2.log, AbortAllResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := currentIDs(t, s2); len(got) != 40 {
+		t.Fatalf("after recovery: %d rows", len(got))
+	}
+	// Analysis starts at the checkpoint: it must see far fewer records than
+	// 40 transactions' full history.
+	if st.AnalysisRecords > 90 {
+		t.Fatalf("analysis scanned %d records; checkpoint not honoured", st.AnalysisRecords)
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	for i := int64(1); i <= 5; i++ {
+		if _, err := s.store.InsertTuple(version.TxnID(i), 1, mk(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.store.Commit(version.TxnID(i), tuple.Timestamp(i), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := s.crash(t)
+	if _, err := Recover(s2.mgr, s2.pool, s2.log, AbortAllResolver); err != nil {
+		t.Fatal(err)
+	}
+	first := currentIDs(t, s2)
+	// Crash again immediately and re-recover: repeating history must be
+	// idempotent.
+	s3 := s2.crash(t)
+	if _, err := Recover(s3.mgr, s3.pool, s3.log, AbortAllResolver); err != nil {
+		t.Fatal(err)
+	}
+	second := currentIDs(t, s3)
+	if len(first) != 5 || len(second) != 5 {
+		t.Fatalf("idempotence broken: %v vs %v", first, second)
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openSite(t, dir, true)
+	st, err := Recover(s.mgr, s.pool, s.log, AbortAllResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RedoApplied != 0 || st.Losers != 0 {
+		t.Fatalf("empty-log recovery did work: %+v", st)
+	}
+}

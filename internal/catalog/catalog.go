@@ -1,0 +1,304 @@
+// Package catalog describes the cluster: sites, tables, and the replica
+// placement that provides K-safety (§3.2). It also performs the computation
+// that §5.1 assumes the catalog supports: given a failed site's database
+// object, derive the recovery objects, recovery predicates, and recovery
+// buddies — a set of live replicas with mutually exclusive key-range
+// predicates that together cover the object.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+)
+
+// SiteID identifies a site in the cluster. Site 0 is conventionally the
+// coordinator (which may also be a worker, §4.1).
+type SiteID int32
+
+// TableSpec describes one logical table.
+type TableSpec struct {
+	ID       int32
+	Name     string
+	Desc     *tuple.Desc
+	SegPages int32 // default segment size in pages for new replicas
+}
+
+// Replica is one physical copy of (part of) a table on a site. Range is the
+// horizontal-partition predicate over the key field (FullKeyRange for a
+// complete copy). SegPages may differ between replicas — replicated data
+// need not be stored identically (§3.1).
+type Replica struct {
+	Site     SiteID
+	Table    int32
+	Range    expr.KeyRange
+	SegPages int32
+}
+
+// RecoverySource is one element of a recovery plan: a buddy site, the
+// recovery object (table) there, and the recovery predicate to apply.
+type RecoverySource struct {
+	Buddy SiteID
+	Table int32
+	Pred  expr.KeyRange
+}
+
+// Catalog is the cluster layout. It is immutable after construction except
+// for table registration (CreateTable flows) and is safe for concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	sites    map[SiteID]string // address
+	tables   map[int32]*TableSpec
+	replicas map[int32][]Replica
+	coord    SiteID
+}
+
+// New creates an empty catalog with the given coordinator site.
+func New(coord SiteID) *Catalog {
+	return &Catalog{
+		sites:    map[SiteID]string{},
+		tables:   map[int32]*TableSpec{},
+		replicas: map[int32][]Replica{},
+		coord:    coord,
+	}
+}
+
+// Coordinator returns the coordinator site id.
+func (c *Catalog) Coordinator() SiteID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.coord
+}
+
+// AddSite registers a site's address.
+func (c *Catalog) AddSite(id SiteID, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sites[id] = addr
+}
+
+// SiteAddr returns a site's address.
+func (c *Catalog) SiteAddr(id SiteID) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.sites[id]
+	return a, ok
+}
+
+// Sites lists all site ids in ascending order.
+func (c *Catalog) Sites() []SiteID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]SiteID, 0, len(c.sites))
+	for id := range c.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddTable registers a table spec and its replicas.
+func (c *Catalog) AddTable(spec *TableSpec, replicas ...Replica) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[spec.ID]; ok {
+		return fmt.Errorf("catalog: table %d already registered", spec.ID)
+	}
+	for _, r := range replicas {
+		if _, ok := c.sites[r.Site]; !ok {
+			return fmt.Errorf("catalog: replica on unknown site %d", r.Site)
+		}
+		if r.Table != spec.ID {
+			return fmt.Errorf("catalog: replica table %d != spec %d", r.Table, spec.ID)
+		}
+	}
+	c.tables[spec.ID] = spec
+	c.replicas[spec.ID] = append([]Replica(nil), replicas...)
+	return nil
+}
+
+// Table returns a table spec.
+func (c *Catalog) Table(id int32) (*TableSpec, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[id]
+	return t, ok
+}
+
+// Tables lists table ids in ascending order.
+func (c *Catalog) Tables() []int32 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int32, 0, len(c.tables))
+	for id := range c.tables {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Replicas returns the replicas of a table.
+func (c *Catalog) Replicas(table int32) []Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Replica(nil), c.replicas[table]...)
+}
+
+// ReplicasOn returns the replicas stored on a given site.
+func (c *Catalog) ReplicasOn(site SiteID) []Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Replica
+	for _, rs := range c.replicas {
+		for _, r := range rs {
+			if r.Site == site {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// UpdateSites returns the sites whose replicas of table intersect the key
+// range of an update: update queries "must be distributed to all live sites
+// that contain a copy of the relevant data" (§4.1). The live filter may be
+// nil (all sites considered live).
+func (c *Catalog) UpdateSites(table int32, key int64, live func(SiteID) bool) []SiteID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := map[SiteID]bool{}
+	var out []SiteID
+	for _, r := range c.replicas[table] {
+		if !r.Range.Contains(key) || seen[r.Site] {
+			continue
+		}
+		if live != nil && !live(r.Site) {
+			continue
+		}
+		seen[r.Site] = true
+		out = append(out, r.Site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadSite picks one live site able to answer a full-range read of table
+// (preferring the lowest id, excluding `avoid`), or an error if coverage is
+// impossible. Full coverage across multiple partitions is supported.
+func (c *Catalog) ReadSites(table int32, live func(SiteID) bool) ([]RecoverySource, error) {
+	return c.coverage(table, expr.FullKeyRange(), live, -1)
+}
+
+// KSafety returns the K value actually provided for a table: the minimum,
+// over all keys, of (number of replicas covering that key) - 1. For the
+// common whole-table replica layout this is simply #replicas-1.
+func (c *Catalog) KSafety(table int32) int {
+	c.mu.RLock()
+	reps := append([]Replica(nil), c.replicas[table]...)
+	c.mu.RUnlock()
+	if len(reps) == 0 {
+		return -1
+	}
+	// Sweep over range boundaries.
+	var cuts []int64
+	for _, r := range reps {
+		cuts = append(cuts, r.Range.Lo, r.Range.Hi)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	k := 1 << 30
+	for i := 0; i < len(cuts); i++ {
+		point := cuts[i]
+		if i > 0 && point == cuts[i-1] {
+			continue
+		}
+		n := 0
+		for _, r := range reps {
+			if r.Range.Contains(point) {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if n-1 < k {
+			k = n - 1
+		}
+	}
+	if k == 1<<30 {
+		return -1
+	}
+	return k
+}
+
+// RecoveryPlan computes the recovery sources for a failed replica: a set of
+// live replicas with mutually exclusive predicates whose union covers the
+// failed replica's range (§5.1). failed is excluded from candidates.
+func (c *Catalog) RecoveryPlan(table int32, rec expr.KeyRange, failed SiteID, live func(SiteID) bool) ([]RecoverySource, error) {
+	return c.coverage(table, rec, live, failed)
+}
+
+// coverage greedily covers `target` with live replicas (excluding site
+// `exclude` if >= 0), preferring replicas that extend furthest.
+func (c *Catalog) coverage(table int32, target expr.KeyRange, live func(SiteID) bool, exclude SiteID) ([]RecoverySource, error) {
+	c.mu.RLock()
+	var cands []Replica
+	for _, r := range c.replicas[table] {
+		if exclude >= 0 && r.Site == exclude {
+			continue
+		}
+		if live != nil && !live(r.Site) {
+			continue
+		}
+		if r.Range.Intersect(target).Empty() && !(r.Range == expr.FullKeyRange()) {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	c.mu.RUnlock()
+	if target.Empty() {
+		return nil, nil
+	}
+	var plan []RecoverySource
+	cursor := target.Lo
+	full := expr.FullKeyRange()
+	for {
+		// Find the candidate covering `cursor` that extends furthest.
+		best := -1
+		var bestHi int64
+		for i, r := range cands {
+			if !r.Range.Contains(cursor) {
+				continue
+			}
+			hi := r.Range.Hi
+			if best == -1 || hi > bestHi {
+				best = i
+				bestHi = hi
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("catalog: table %d range %v not coverable at key %d (K-safety exceeded)",
+				table, target, cursor)
+		}
+		r := cands[best]
+		pred := expr.KeyRange{Lo: cursor, Hi: minI64(bestHi, target.Hi)}
+		if target.Hi == full.Hi {
+			pred.Hi = minI64(bestHi, full.Hi)
+		}
+		plan = append(plan, RecoverySource{Buddy: r.Site, Table: r.Table, Pred: pred})
+		if pred.Hi >= target.Hi {
+			return plan, nil
+		}
+		cursor = pred.Hi
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

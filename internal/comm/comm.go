@@ -1,0 +1,287 @@
+// Package comm is the TCP communication layer of §6.1.6: workers run
+// multi-threaded servers listening for transaction requests; coordinators
+// (and recovering sites) open client connections, one transaction per
+// connection at a time, with connections recycled across transactions.
+// Failure detection is the §5.5 mechanism actually used by the thesis
+// implementation: "the detection of an abruptly closed TCP socket
+// connection as a signal for failure".
+package comm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"harbor/internal/wire"
+)
+
+// Conn wraps one TCP connection with buffered framed-message IO.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	wmu sync.Mutex // serialises writes (server pushes + responses)
+}
+
+// NewConn wraps an established net.Conn.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReaderSize(nc, 64<<10), w: bufio.NewWriterSize(nc, 64<<10)}
+}
+
+// Send writes and flushes one message.
+func (c *Conn) Send(m *wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteMsg(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// SendNoFlush queues a message without flushing (tuple streaming).
+func (c *Conn) SendNoFlush(m *wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteMsg(c.w, m)
+}
+
+// Flush flushes buffered writes.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Flush()
+}
+
+// Recv reads one message (blocking).
+func (c *Conn) Recv() (*wire.Msg, error) {
+	return wire.ReadMsg(c.r)
+}
+
+// RecvTimeout reads one message with a deadline; a timeout returns
+// ErrTimeout and leaves the connection usable.
+func (c *Conn) RecvTimeout(d time.Duration) (*wire.Msg, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	defer c.nc.SetReadDeadline(time.Time{})
+	m, err := wire.ReadMsg(c.r)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// ErrTimeout is returned by RecvTimeout when the deadline passes.
+var ErrTimeout = errors.New("comm: receive timed out")
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// Call sends a request and waits for a single response, converting a
+// MsgErr response into a Go error. Callers that must distinguish logical
+// errors from transport failures use CallRaw instead.
+func (c *Conn) Call(m *wire.Msg) (*wire.Msg, error) {
+	resp, err := c.CallRaw(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// CallRaw sends a request and waits for a single response. An error return
+// always means the connection itself failed (the fail-stop signal); MsgErr
+// responses are returned as messages.
+func (c *Conn) CallRaw(m *wire.Msg) (*wire.Msg, error) {
+	if err := c.Send(m); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Dial connects to a site address.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return NewConn(nc), nil
+}
+
+// Handler processes the messages of one server connection. The handler owns
+// the connection until it returns; returning an error (or io.EOF from the
+// peer) ends the connection.
+type Handler interface {
+	ServeConn(c *Conn)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(c *Conn)
+
+// ServeConn calls the function.
+func (f HandlerFunc) ServeConn(c *Conn) { f(c) }
+
+// Server is a site's listening endpoint.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Listen(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: map[*Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		c := NewConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				c.Close()
+			}()
+			s.handler.ServeConn(c)
+		}()
+	}
+}
+
+// Close stops accepting and abruptly closes every live connection — the
+// fail-stop crash signal peers detect (§5.5). It waits for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Pool is a small client-connection pool per remote address; coordinators
+// recycle connections for subsequent transactions (§6.1.6).
+type Pool struct {
+	addr string
+
+	mu   sync.Mutex
+	idle []*Conn
+}
+
+// NewPool creates a pool for one address.
+func NewPool(addr string) *Pool { return &Pool{addr: addr} }
+
+// Addr returns the pool's target address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Get returns an idle connection or dials a new one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return Dial(p.addr)
+}
+
+// Put returns a healthy connection for reuse.
+func (p *Pool) Put(c *Conn) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Discard closes a broken connection.
+func (p *Pool) Discard(c *Conn) { c.Close() }
+
+// CloseAll drops every idle connection.
+func (p *Pool) CloseAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// Ping checks liveness of a site.
+func Ping(addr string, timeout time.Duration) bool {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return false
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	if err := c.Send(&wire.Msg{Type: wire.MsgPing}); err != nil {
+		return false
+	}
+	resp, err := c.RecvTimeout(timeout)
+	return err == nil && resp.Type == wire.MsgOK
+}
+
+// ErrCrashed is a sentinel used by servers simulating fail-stop.
+var ErrCrashed = fmt.Errorf("comm: site crashed")

@@ -1,0 +1,209 @@
+package comm
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"harbor/internal/wire"
+)
+
+// echoHandler responds OK to pings and echoes text otherwise.
+func echoHandler(c *Conn) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case wire.MsgPing:
+			if err := c.Send(&wire.Msg{Type: wire.MsgOK}); err != nil {
+				return
+			}
+		default:
+			if err := c.Send(&wire.Msg{Type: wire.MsgOK, Text: m.Text}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func startEcho(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", HandlerFunc(echoHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "hello" {
+		t.Fatalf("echo returned %q", resp.Text)
+	}
+}
+
+func TestPing(t *testing.T) {
+	s := startEcho(t)
+	if !Ping(s.Addr(), time.Second) {
+		t.Fatal("ping failed against live server")
+	}
+	s.Close()
+	if Ping(s.Addr(), 200*time.Millisecond) {
+		t.Fatal("ping succeeded against closed server")
+	}
+}
+
+func TestServerCloseDropsConnections(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// The abrupt close is the crash signal: the next read must error.
+	if err := c.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+		if _, err := c.Recv(); err == nil {
+			t.Fatal("connection survived server crash")
+		}
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RecvTimeout(50 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+	// The connection remains usable after a timeout.
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgPing})
+	if err != nil || resp.Type != wire.MsgOK {
+		t.Fatalf("connection unusable after timeout: %v", err)
+	}
+}
+
+func TestPoolRecyclesConnections(t *testing.T) {
+	s := startEcho(t)
+	p := NewPool(s.Addr())
+	defer p.CloseAll()
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("pool did not recycle the idle connection")
+	}
+	p.Put(c2)
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startEcho(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "x"})
+				if err != nil || resp.Text != "x" {
+					t.Errorf("goroutine %d call %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTupleStreaming(t *testing.T) {
+	// Server streams N tuples then a scan end.
+	const n = 1000
+	srv, err := Listen("127.0.0.1:0", HandlerFunc(func(c *Conn) {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if m.Type != wire.MsgScan {
+				return
+			}
+			for i := 0; i < n; i++ {
+				if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgTuple, Key: int64(i)}); err != nil {
+					return
+				}
+			}
+			if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: n}); err != nil {
+				return
+			}
+			if err := c.Flush(); err != nil {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan}); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		m, err := c.Recv()
+		if err == io.EOF {
+			t.Fatal("stream ended prematurely")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == wire.MsgScanEnd {
+			if m.Count != n {
+				t.Fatalf("scan end count %d", m.Count)
+			}
+			break
+		}
+		if m.Key != int64(count) {
+			t.Fatalf("out of order: got %d want %d", m.Key, count)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("received %d tuples", count)
+	}
+}

@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"sync"
+
+	"harbor/internal/tuple"
+)
+
+// Authority is the timestamp authority of §4.1: it issues monotonically
+// increasing commit times at the commit point of each transaction and
+// tracks the high water mark — the largest time T such that every
+// transaction with commit time ≤ T has finished commit processing. The HWM
+// is the latest safe time for historical queries ("the recent past, before
+// which the system can guarantee that no uncommitted transactions remain",
+// §3.1) and is what recovery Phase 2 uses (§5.3).
+//
+// Timestamps are logical and need not correspond to real time; coarser
+// epochs would also work (§4.1). A multi-coordinator deployment would need
+// a consensus protocol here; this implementation supports the thesis's
+// single-coordinator configuration.
+type Authority struct {
+	mu          sync.Mutex
+	next        tuple.Timestamp
+	outstanding map[tuple.Timestamp]bool
+}
+
+// NewAuthority starts the clock at 1.
+func NewAuthority() *Authority {
+	return &Authority{next: 0, outstanding: map[tuple.Timestamp]bool{}}
+}
+
+// Issue allocates the next commit time and marks it outstanding.
+func (a *Authority) Issue() tuple.Timestamp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next++
+	a.outstanding[a.next] = true
+	return a.next
+}
+
+// Complete marks a commit time's transaction as fully processed (committed
+// everywhere or abandoned), allowing the HWM to advance past it.
+func (a *Authority) Complete(ts tuple.Timestamp) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.outstanding, ts)
+}
+
+// HWM returns the high water mark.
+func (a *Authority) HWM() tuple.Timestamp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hwm := a.next
+	for ts := range a.outstanding {
+		if ts-1 < hwm {
+			hwm = ts - 1
+		}
+	}
+	return hwm
+}
+
+// Now returns the most recently issued time (the "current time").
+func (a *Authority) Now() tuple.Timestamp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// Advance fast-forwards the clock to at least ts (used when seeding
+// clusters from bulk loads that carry pre-assigned timestamps).
+func (a *Authority) Advance(ts tuple.Timestamp) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts > a.next {
+		a.next = ts
+	}
+}

@@ -1,0 +1,434 @@
+// Package coord implements the coordinator site of §4.1: it originates
+// transactions, distributes update requests to every live replica, keeps
+// the in-memory queue of logical update requests per transaction (required
+// by recovery's join-pending protocol, §5.4.2), assigns commit timestamps
+// through its timestamp authority, and drives all four commit protocols of
+// §4.3. It also runs the recovery server of §6.1.7 on its listen port:
+// recovering workers announce objects coming online, join pending
+// transactions, and query transaction outcomes there.
+package coord
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/wal"
+	"harbor/internal/wire"
+)
+
+// Config configures a coordinator.
+type Config struct {
+	Site     catalog.SiteID
+	Dir      string // coordinator log directory (2PC protocols)
+	Addr     string // recovery-server listen address
+	Protocol txn.Protocol
+	Catalog  *catalog.Catalog
+	// GroupCommit enables group commit on the coordinator log.
+	GroupCommit bool
+	GroupDelay  time.Duration
+	// SyncDelay simulates per-fsync disk latency (benchmarks).
+	SyncDelay time.Duration
+}
+
+// outcomeRec is the coordinator's memory of a finished transaction.
+type outcomeRec struct {
+	committed bool
+	ts        tuple.Timestamp
+}
+
+// queuedUpdate is one entry of the coordinator's in-memory update-request
+// queue (§4.1): the logical request plus the sites it was sent to, so that
+// the §5.4.2 join replay never double-applies an update that already
+// reached the recovering site.
+type queuedUpdate struct {
+	msg    *wire.Msg
+	sentTo map[catalog.SiteID]bool
+}
+
+// ctxn is the coordinator-side transaction record. The mutex guards the
+// queue and worker set; it is never held across a network call on the
+// update path, so the join-pending replay can proceed while an update is
+// blocked behind a recovering site's Phase 3 table locks.
+type ctxn struct {
+	mu      sync.Mutex
+	id      txn.ID
+	workers map[catalog.SiteID]*comm.Conn
+	queue   []*queuedUpdate
+	done    bool
+}
+
+// Coordinator is one coordinator site.
+type Coordinator struct {
+	cfg       Config
+	Authority *Authority
+	ids       *txn.IDSource
+	log       *wal.Manager // nil unless the protocol logs at the coordinator
+
+	server *comm.Server
+
+	mu       sync.Mutex
+	pools    map[catalog.SiteID]*comm.Pool
+	txns     map[txn.ID]*ctxn
+	outcomes map[txn.ID]outcomeRec
+	// objectOnline[table][site]: whether the replica participates in new
+	// updates. Cleared when a site is detected down; restored by the
+	// §5.4.2 join protocol.
+	objectOnline map[int32]map[catalog.SiteID]bool
+	siteDown     map[catalog.SiteID]bool
+
+	// counters for the evaluation
+	msgsSent atomic.Int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+}
+
+// New starts a coordinator (and its recovery server).
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	co := &Coordinator{
+		cfg:          cfg,
+		Authority:    NewAuthority(),
+		ids:          txn.NewIDSource(int32(cfg.Site)),
+		pools:        map[catalog.SiteID]*comm.Pool{},
+		txns:         map[txn.ID]*ctxn{},
+		outcomes:     map[txn.ID]outcomeRec{},
+		objectOnline: map[int32]map[catalog.SiteID]bool{},
+		siteDown:     map[catalog.SiteID]bool{},
+	}
+	if cfg.Protocol.CoordinatorLogs() {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(cfg.Dir, cfg.GroupDelay)
+		if err != nil {
+			return nil, err
+		}
+		log.SetNoGroup(!cfg.GroupCommit)
+		log.SetSyncDelay(cfg.SyncDelay)
+		co.log = log
+	}
+	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(co.serveConn))
+	if err != nil {
+		if co.log != nil {
+			co.log.Close()
+		}
+		return nil, err
+	}
+	co.server = srv
+	return co, nil
+}
+
+// Addr returns the recovery server's address.
+func (co *Coordinator) Addr() string { return co.server.Addr() }
+
+// Close shuts the coordinator down.
+func (co *Coordinator) Close() error {
+	err := co.server.Close()
+	co.mu.Lock()
+	pools := co.pools
+	co.pools = map[catalog.SiteID]*comm.Pool{}
+	co.mu.Unlock()
+	for _, p := range pools {
+		p.CloseAll()
+	}
+	if co.log != nil {
+		co.log.Close()
+	}
+	return err
+}
+
+// Protocol returns the configured commit protocol.
+func (co *Coordinator) Protocol() txn.Protocol { return co.cfg.Protocol }
+
+// Counters returns (messages sent to workers, commits, aborts).
+func (co *Coordinator) Counters() (int64, int64, int64) {
+	return co.msgsSent.Load(), co.commits.Load(), co.aborts.Load()
+}
+
+// ForcedWrites returns coordinator-log forced writes (0 when logless).
+func (co *Coordinator) ForcedWrites() int64 {
+	if co.log == nil {
+		return 0
+	}
+	fc, _, _ := co.log.Counters()
+	return fc
+}
+
+// ResetCounters zeroes evaluation counters.
+func (co *Coordinator) ResetCounters() {
+	co.msgsSent.Store(0)
+	co.commits.Store(0)
+	co.aborts.Store(0)
+	if co.log != nil {
+		co.log.ResetCounters()
+	}
+}
+
+// pool returns (creating) the connection pool for a site. A site that
+// rebooted on a new address gets a fresh pool; stale idle connections to
+// the old incarnation are discarded.
+func (co *Coordinator) pool(site catalog.SiteID) (*comm.Pool, error) {
+	addr, ok := co.cfg.Catalog.SiteAddr(site)
+	if !ok {
+		return nil, fmt.Errorf("coord: unknown site %d", site)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if p, ok := co.pools[site]; ok && p.Addr() == addr {
+		return p, nil
+	} else if ok {
+		go p.CloseAll()
+	}
+	p := comm.NewPool(addr)
+	co.pools[site] = p
+	return p, nil
+}
+
+// MarkDown records a site failure (connection-drop detection, §5.5). All
+// its replicas leave the update set until they rejoin.
+func (co *Coordinator) MarkDown(site catalog.SiteID) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.siteDown[site] {
+		return
+	}
+	co.siteDown[site] = true
+	for _, r := range co.cfg.Catalog.ReplicasOn(site) {
+		m := co.objectOnline[r.Table]
+		if m == nil {
+			m = map[catalog.SiteID]bool{}
+			co.objectOnline[r.Table] = m
+		}
+		m[site] = false
+	}
+	// Idle connections to the dead incarnation are useless.
+	if p, ok := co.pools[site]; ok {
+		delete(co.pools, site)
+		go p.CloseAll()
+	}
+}
+
+// EvictWorker deliberately fail-stops a worker that is bottlenecking
+// pending transactions (§4.3.5's corollary: "a coordinator can also 'crash'
+// a worker site that is bottlenecking a particular pending transaction due
+// to network lag, deadlock, or some other reason and proceed to commit the
+// transaction with K-1-safety"). The evicted worker must run recovery to
+// come back. The caller is responsible for not evicting below 1 live
+// replica per table (the coordinator refuses if any table would lose its
+// last online replica).
+func (co *Coordinator) EvictWorker(site catalog.SiteID) error {
+	// Refuse to destroy the last copy of anything.
+	for _, r := range co.cfg.Catalog.ReplicasOn(site) {
+		others := 0
+		for _, o := range co.cfg.Catalog.Replicas(r.Table) {
+			if o.Site != site && co.objectIsOnline(r.Table, o.Site) {
+				others++
+			}
+		}
+		if others == 0 {
+			return fmt.Errorf("coord: evicting site %d would take table %d fully offline", site, r.Table)
+		}
+	}
+	addr, ok := co.cfg.Catalog.SiteAddr(site)
+	if ok {
+		if c, err := comm.Dial(addr); err == nil {
+			_, _ = c.Call(&wire.Msg{Type: wire.MsgCrash})
+			c.Close()
+		}
+	}
+	co.MarkDown(site)
+	return nil
+}
+
+// SiteDown reports the failure-detector state for a site.
+func (co *Coordinator) SiteDown(site catalog.SiteID) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.siteDown[site]
+}
+
+// objectIsOnline reports whether a replica participates in updates.
+func (co *Coordinator) objectIsOnline(table int32, site catalog.SiteID) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if m, ok := co.objectOnline[table]; ok {
+		if v, ok := m[site]; ok {
+			return v
+		}
+	}
+	return !co.siteDown[site]
+}
+
+// markObjectOnline restores a replica to the update set.
+func (co *Coordinator) markObjectOnline(table int32, site catalog.SiteID) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	m := co.objectOnline[table]
+	if m == nil {
+		m = map[catalog.SiteID]bool{}
+		co.objectOnline[table] = m
+	}
+	m[site] = true
+	// The site itself is reachable again once any object announces.
+	co.siteDown[site] = false
+}
+
+// Outcome returns the recorded outcome of a transaction. ok=false means the
+// coordinator has no information (the caller applies presumed abort, §4.3).
+func (co *Coordinator) Outcome(id txn.ID) (committed bool, ts tuple.Timestamp, ok bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	o, found := co.outcomes[id]
+	if !found {
+		return false, 0, false
+	}
+	return o.committed, o.ts, true
+}
+
+// RecordOutcomeForTest injects a transaction outcome, letting tests stage
+// "the coordinator reached its commit point and then died" scenarios.
+func (co *Coordinator) RecordOutcomeForTest(id txn.ID, committed bool, ts tuple.Timestamp) {
+	co.recordOutcome(id, committed, ts)
+}
+
+func (co *Coordinator) recordOutcome(id txn.ID, committed bool, ts tuple.Timestamp) {
+	co.mu.Lock()
+	co.outcomes[id] = outcomeRec{committed: committed, ts: ts}
+	co.mu.Unlock()
+}
+
+// serveConn handles the coordinator's server: recovery announcements,
+// outcome queries, and time queries.
+func (co *Coordinator) serveConn(c *comm.Conn) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		var resp *wire.Msg
+		switch m.Type {
+		case wire.MsgPing:
+			resp = &wire.Msg{Type: wire.MsgOK}
+		case wire.MsgCurrentTime:
+			resp = &wire.Msg{Type: wire.MsgOK, TS: co.Authority.HWM()}
+		case wire.MsgTxnOutcome:
+			committed, ts, ok := co.Outcome(m.Txn)
+			resp = &wire.Msg{Type: wire.MsgTxnState, TS: ts}
+			if ok && committed {
+				resp.Flags = wire.FlagYes
+			}
+		case wire.MsgObjectOnline:
+			if err := co.handleObjectOnline(catalog.SiteID(m.Site), m.Table); err != nil {
+				resp = &wire.Msg{Type: wire.MsgErr, Text: err.Error()}
+			} else {
+				resp = &wire.Msg{Type: wire.MsgAllDone}
+			}
+		default:
+			resp = &wire.Msg{Type: wire.MsgErr, Text: fmt.Sprintf("coord: unexpected %v", m.Type)}
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleObjectOnline implements the coordinator side of Figure 5-4's
+// join-pending protocol: mark the replica online so all subsequent updates
+// include it, replay each pending transaction's queued updates that touch
+// the object, and answer "all done".
+func (co *Coordinator) handleObjectOnline(site catalog.SiteID, table int32) error {
+	// Flag first under the lock (so no new update can miss the site), then
+	// snapshot pending transactions.
+	co.markObjectOnline(table, site)
+	co.mu.Lock()
+	pending := make([]*ctxn, 0, len(co.txns))
+	for _, t := range co.txns {
+		pending = append(pending, t)
+	}
+	co.mu.Unlock()
+
+	for _, t := range pending {
+		t.mu.Lock()
+		if t.done {
+			t.mu.Unlock()
+			continue
+		}
+		// Relevant if any queued update touches the recovering table and
+		// did not already reach the recovering site (§5.4.2). Holding t.mu
+		// for the replay keeps the per-site request order intact: later
+		// distributes to this transaction wait here and therefore send to
+		// the new site only after the queue replay finished.
+		var replay []*queuedUpdate
+		for _, q := range t.queue {
+			if q.msg.Table == table && !q.sentTo[site] {
+				replay = append(replay, q)
+			}
+		}
+		if len(replay) == 0 {
+			t.mu.Unlock()
+			continue
+		}
+		if _, ok := t.workers[site]; !ok {
+			if _, err := co.dialWorkerForTxn(t, site); err != nil {
+				t.mu.Unlock()
+				continue // site died again; it will re-run recovery (§5.5.1)
+			}
+		}
+		conn := t.workers[site]
+		replayErr := func() error {
+			for _, q := range replay {
+				resp, err := conn.Call(q.msg)
+				co.msgsSent.Add(1)
+				if err != nil {
+					return err
+				}
+				if err := resp.Err(); err != nil {
+					return err
+				}
+				q.sentTo[site] = true
+			}
+			return nil
+		}()
+		if replayErr != nil {
+			delete(t.workers, site)
+			conn.Close()
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// dialWorkerForTxn opens a dedicated connection to a worker for one
+// transaction and sends BEGIN. Caller holds t.mu.
+func (co *Coordinator) dialWorkerForTxn(t *ctxn, site catalog.SiteID) (*comm.Conn, error) {
+	p, err := co.pool(site)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := p.Get()
+	if err != nil {
+		co.MarkDown(site)
+		return nil, err
+	}
+	resp, err := conn.Call(&wire.Msg{Type: wire.MsgBegin, Txn: t.id})
+	co.msgsSent.Add(1)
+	if err != nil || resp.Type != wire.MsgOK {
+		conn.Close()
+		if err != nil {
+			co.MarkDown(site)
+			return nil, err
+		}
+		return nil, fmt.Errorf("coord: begin rejected: %v", resp.Text)
+	}
+	t.workers[site] = conn
+	return conn, nil
+}

@@ -1,0 +1,412 @@
+package coord_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"harbor/internal/coord"
+	"harbor/internal/exec"
+	"harbor/internal/expr"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+var benchDescFields = []tuple.FieldDef{
+	{Name: "id", Type: tuple.Int64},
+	{Name: "v", Type: tuple.Int32},
+}
+
+func testDesc() *tuple.Desc { return tuple.MustDesc("id", benchDescFields...) }
+
+func newCluster(t *testing.T, protocol txn.Protocol, mode worker.RecoveryMode, workers int) *testutil.Cluster {
+	t.Helper()
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     workers,
+		Protocol:    protocol,
+		Mode:        mode,
+		GroupCommit: true,
+		LockTimeout: time.Second,
+		BaseDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.CreateReplicatedTable(1, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func mk(id, v int64) tuple.Tuple {
+	return tuple.MustMake(testDesc(), tuple.VInt(id), tuple.VInt(v))
+}
+
+func ids(rows []tuple.Tuple) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Key(testDesc())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// allProtocolModes pairs each protocol with its natural recovery mode.
+var allProtocolModes = []struct {
+	name     string
+	protocol txn.Protocol
+	mode     worker.RecoveryMode
+}{
+	{"traditional-2PC", txn.TwoPC, worker.ARIES},
+	{"optimized-2PC", txn.OptTwoPC, worker.HARBOR},
+	{"canonical-3PC", txn.ThreePC, worker.ARIES},
+	{"optimized-3PC", txn.OptThreePC, worker.HARBOR},
+}
+
+func TestCommitReplicatesToAllWorkers(t *testing.T) {
+	for _, pm := range allProtocolModes {
+		t.Run(pm.name, func(t *testing.T) {
+			cl := newCluster(t, pm.protocol, pm.mode, 2)
+			tx := cl.Coord.Begin()
+			for i := int64(1); i <= 5; i++ {
+				if err := tx.Insert(1, mk(i, i*10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ts, err := tx.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts == 0 {
+				t.Fatal("commit returned zero timestamp")
+			}
+			// Both replicas hold the data with the same commit timestamp.
+			for i, w := range cl.Workers {
+				rows, err := exec.Drain(exec.NewSeqScan(w.Store, exec.ScanSpec{Table: 1, Vis: exec.Current}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != 5 {
+					t.Fatalf("worker %d has %d rows", i, len(rows))
+				}
+				for _, r := range rows {
+					if r.InsTS() != ts {
+						t.Fatalf("worker %d: ins ts %d, want %d", i, r.InsTS(), ts)
+					}
+				}
+			}
+			// The HWM advanced to the commit time.
+			if got := cl.Coord.Authority.HWM(); got != ts {
+				t.Fatalf("HWM = %d, want %d", got, ts)
+			}
+		})
+	}
+}
+
+func TestVoteNoAbortsEverywhere(t *testing.T) {
+	for _, pm := range allProtocolModes {
+		t.Run(pm.name, func(t *testing.T) {
+			cl := newCluster(t, pm.protocol, pm.mode, 2)
+			// Baseline row so the table is non-empty.
+			tx0 := cl.Coord.Begin()
+			if err := tx0.Insert(1, mk(100, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx0.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			cl.Workers[1].FailNextPrepare()
+			tx := cl.Coord.Begin()
+			if err := tx.Insert(1, mk(101, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Commit(); err == nil {
+				t.Fatal("commit should fail on NO vote")
+			}
+			for i, w := range cl.Workers {
+				rows, err := exec.Drain(exec.NewSeqScan(w.Store, exec.ScanSpec{Table: 1, Vis: exec.SeeDeleted}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != 1 {
+					t.Fatalf("worker %d kept aborted tuple (%d rows)", i, len(rows))
+				}
+			}
+		})
+	}
+}
+
+func TestExplicitAbortRollsBack(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("aborted rows visible: %v", rows)
+	}
+	// Outcome recorded as aborted.
+	committed, _, ok := cl.Coord.Outcome(tx.ID())
+	if !ok || committed {
+		t.Fatal("outcome not recorded as aborted")
+	}
+}
+
+func TestDistributedScanCurrentAndHistorical(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	var ts1 tuple.Timestamp
+	for i := int64(1); i <= 3; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, mk(i, i)); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			ts1 = ts
+		}
+	}
+	// Delete key 2.
+	tx := cl.Coord.Begin()
+	if err := tx.DeleteKey(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(rows); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("current scan: %v", got)
+	}
+	// Time travel to just after the first insert.
+	rows, err = cl.Coord.Scan(1, coord.QueryOptions{Historical: true, AsOf: ts1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(rows); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("historical scan: %v", got)
+	}
+	// Predicate pushdown.
+	desc := testDesc()
+	rows, err = cl.Coord.Scan(1, coord.QueryOptions{
+		Pred: expr.True.And(expr.Term{Field: desc.FieldIndex("v"), Op: expr.GE, Value: tuple.VInt(3)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(rows); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("filtered scan: %v", got)
+	}
+}
+
+func TestUpdateKeyAcrossReplicas(t *testing.T) {
+	cl := newCluster(t, txn.OptTwoPC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := cl.Coord.Begin()
+	if err := tx2.UpdateKey(1, 7, mk(7, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Values[3].I64 != 99 {
+		t.Fatalf("update not applied: %v", rows)
+	}
+	// Both workers agree (logical equivalence of replicas).
+	for i, w := range cl.Workers {
+		local, err := exec.Drain(exec.NewSeqScan(w.Store, exec.ScanSpec{Table: 1, Vis: exec.Current}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(local) != 1 || local[0].Values[3].I64 != 99 {
+			t.Fatalf("worker %d: %v", i, local)
+		}
+	}
+}
+
+func TestWorkerCrashMidTransactionContinuesWithK1(t *testing.T) {
+	// §4.3.5: if a worker crashes before commit processing, the coordinator
+	// may commit with K-1 safety instead of aborting.
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	cl.Workers[1].Crash()
+	if err := tx.Insert(1, mk(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows after K-1 commit: %v", rows)
+	}
+	if !cl.Coord.SiteDown(testutil.WorkerSiteID(1)) {
+		t.Fatal("failure detector did not mark the site down")
+	}
+}
+
+func TestTxnOutcomeService(t *testing.T) {
+	cl := newCluster(t, txn.TwoPC, worker.ARIES, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, gotTS, ok := cl.Coord.Outcome(tx.ID())
+	if !ok || !committed || gotTS != ts {
+		t.Fatalf("outcome: %v %d %v", committed, gotTS, ok)
+	}
+	// Unknown transaction → no information (presumed abort).
+	if _, _, ok := cl.Coord.Outcome(999999); ok {
+		t.Fatal("unknown txn has an outcome")
+	}
+}
+
+func TestReadOnlyTxnReleasesLocks(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Coord.Scan(1, coord.QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// After EndRead no locks remain on any worker.
+	for i, w := range cl.Workers {
+		if w.Locks.NumLocked() != 0 {
+			t.Fatalf("worker %d leaks %d locks after read", i, w.Locks.NumLocked())
+		}
+	}
+}
+
+func TestEmptyCommit(t *testing.T) {
+	cl := newCluster(t, txn.OptTwoPC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestConcurrentTransactionsDisjointTables(t *testing.T) {
+	// The Figure 6-2 experiment shape: concurrent streams insert into
+	// different tables to avoid conflicts.
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	const streams = 4
+	for s := 1; s < streams; s++ {
+		if err := cl.CreateReplicatedTable(int32(s+1), testDesc(), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		go func(s int) {
+			for i := 0; i < 20; i++ {
+				tx := cl.Coord.Begin()
+				if err := tx.Insert(int32(s+1), mk(int64(i), 0)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	for s := 0; s < streams; s++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < streams; s++ {
+		rows, err := cl.Coord.Scan(int32(s+1), coord.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 20 {
+			t.Fatalf("table %d has %d rows", s+1, len(rows))
+		}
+	}
+	// Commit times are unique and the authority is quiescent.
+	if got, want := cl.Coord.Authority.HWM(), cl.Coord.Authority.Now(); got != want {
+		t.Fatalf("HWM %d lags Now %d at quiescence", got, want)
+	}
+}
+
+func TestEvictWorkerCommitsWithK1(t *testing.T) {
+	// §4.3.5's corollary: the coordinator deliberately fail-stops a
+	// bottlenecking worker and proceeds with K-1 safety; the evicted worker
+	// later recovers the committed changes.
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Coord.EvictWorker(testutil.WorkerSiteID(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The evicted worker actually fail-stopped.
+	deadline := time.Now().Add(2 * time.Second)
+	for !cl.Workers[1].Crashed() {
+		if time.Now().After(deadline) {
+			t.Fatal("evicted worker still alive")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows after K-1 commit = %d", len(rows))
+	}
+	// Evicting the last replica is refused.
+	if err := cl.Coord.EvictWorker(testutil.WorkerSiteID(0)); err == nil {
+		t.Fatal("evicting the last replica must be refused")
+	}
+}

@@ -1,0 +1,534 @@
+package coord
+
+import (
+	"fmt"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/exec"
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/wal"
+	"harbor/internal/wire"
+)
+
+// Txn is a client-visible distributed transaction handle.
+type Txn struct {
+	co *Coordinator
+	t  *ctxn
+}
+
+// Begin starts a distributed update transaction.
+func (co *Coordinator) Begin() *Txn {
+	id := co.ids.Next()
+	t := &ctxn{id: id, workers: map[catalog.SiteID]*comm.Conn{}}
+	co.mu.Lock()
+	co.txns[id] = t
+	co.mu.Unlock()
+	return &Txn{co: co, t: t}
+}
+
+// ID returns the transaction id.
+func (tx *Txn) ID() txn.ID { return tx.t.id }
+
+// distribute sends one logical update request to every live replica of its
+// key and queues it for possible replay to recovering sites (§4.1). Each
+// Txn belongs to one client goroutine; the txn mutex is held only while
+// mutating the queue/worker set, never across the network calls, so the
+// §5.4.2 join replay can run while an update waits behind Phase 3 locks.
+func (tx *Txn) distribute(m *wire.Msg, key int64) error {
+	co := tx.co
+	t := tx.t
+	m.Txn = t.id
+
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return fmt.Errorf("coord: transaction %d already finished", t.id)
+	}
+	sites := co.cfg.Catalog.UpdateSites(m.Table, key, func(s catalog.SiteID) bool {
+		return co.objectIsOnline(m.Table, s)
+	})
+	if len(sites) == 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("coord: no live replicas for table %d key %d", m.Table, key)
+	}
+	entry := &queuedUpdate{msg: m, sentTo: map[catalog.SiteID]bool{}}
+	t.queue = append(t.queue, entry)
+	type pair struct {
+		site catalog.SiteID
+		conn *comm.Conn
+	}
+	var targets []pair
+	for _, site := range sites {
+		conn, ok := t.workers[site]
+		if !ok {
+			var err error
+			conn, err = co.dialWorkerForTxn(t, site)
+			if err != nil {
+				// §4.3.5: a worker crashing mid-transaction need not abort
+				// it; continue with K-1 safety.
+				continue
+			}
+		}
+		entry.sentTo[site] = true // claimed before the call so the join
+		// replay never double-sends this entry to the same site
+		targets = append(targets, pair{site, conn})
+	}
+	t.mu.Unlock()
+
+	sent := 0
+	for _, w := range targets {
+		resp, err := w.conn.CallRaw(m)
+		co.msgsSent.Add(1)
+		if err != nil {
+			// Connection drop: fail-stop signal. Drop the worker.
+			co.MarkDown(w.site)
+			t.mu.Lock()
+			delete(t.workers, w.site)
+			t.mu.Unlock()
+			w.conn.Close()
+			continue
+		}
+		if err := resp.Err(); err != nil {
+			return err // logical error (e.g. deadlock timeout): abort path
+		}
+		sent++
+	}
+	if sent == 0 {
+		return fmt.Errorf("coord: update reached no replica of table %d", m.Table)
+	}
+	return nil
+}
+
+// Insert distributes an insert of the tuple to all replicas covering its key.
+func (tx *Txn) Insert(table int32, t tuple.Tuple) error {
+	spec, ok := tx.co.cfg.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("coord: unknown table %d", table)
+	}
+	return tx.distribute(&wire.Msg{
+		Type: wire.MsgInsert, Table: table, Tuple: wire.TupleValues(t),
+	}, t.Key(spec.Desc))
+}
+
+// DeleteKey distributes a versioned delete by key.
+func (tx *Txn) DeleteKey(table int32, key int64) error {
+	return tx.distribute(&wire.Msg{Type: wire.MsgDeleteKey, Table: table, Key: key}, key)
+}
+
+// UpdateKey distributes a full-row update by key (user fields replaced).
+func (tx *Txn) UpdateKey(table int32, key int64, replacement tuple.Tuple) error {
+	return tx.distribute(&wire.Msg{
+		Type: wire.MsgUpdateKey, Table: table, Key: key, Tuple: wire.TupleValues(replacement),
+	}, key)
+}
+
+// SimWork asks every worker already participating to burn CPU cycles
+// (the §6.3.2 workload). If no worker has joined yet it targets every
+// replica site of the given table.
+func (tx *Txn) SimWork(table int32, cycles int64) error {
+	co := tx.co
+	t := tx.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sites := co.cfg.Catalog.UpdateSites(table, 0, func(s catalog.SiteID) bool {
+		return co.objectIsOnline(table, s)
+	})
+	for _, site := range sites {
+		conn, ok := t.workers[site]
+		if !ok {
+			var err error
+			conn, err = co.dialWorkerForTxn(t, site)
+			if err != nil {
+				continue
+			}
+		}
+		resp, err := conn.CallRaw(&wire.Msg{Type: wire.MsgSimWork, Txn: t.id, Cycles: cycles})
+		co.msgsSent.Add(1)
+		if err != nil {
+			co.MarkDown(site)
+			delete(t.workers, site)
+			conn.Close()
+			continue
+		}
+		if err := resp.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish releases the transaction record and recycles worker connections.
+func (tx *Txn) finish() {
+	co := tx.co
+	t := tx.t
+	t.mu.Lock()
+	t.done = true
+	conns := t.workers
+	t.workers = map[catalog.SiteID]*comm.Conn{}
+	t.queue = nil
+	t.mu.Unlock()
+	for site, conn := range conns {
+		if p, err := co.pool(site); err == nil {
+			p.Put(conn)
+		} else {
+			conn.Close()
+		}
+	}
+	co.mu.Lock()
+	delete(co.txns, t.id)
+	co.mu.Unlock()
+}
+
+// Commit runs the configured commit protocol (§4.3) and returns the commit
+// time on success. A vote of NO or a protocol failure aborts the
+// transaction and returns an error.
+func (tx *Txn) Commit() (tuple.Timestamp, error) {
+	co := tx.co
+	t := tx.t
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("coord: transaction %d already finished", t.id)
+	}
+	type pair struct {
+		site catalog.SiteID
+		conn *comm.Conn
+	}
+	var workers []pair
+	dropped := map[catalog.SiteID]bool{}
+	for s, c := range t.workers {
+		// §4.3.5: a worker that crashed before commit processing began is
+		// dropped and the transaction commits with K-1 safety; the crashed
+		// worker recovers the committed data when it comes back.
+		if co.SiteDown(s) {
+			dropped[s] = true
+			delete(t.workers, s)
+			c.Close()
+			continue
+		}
+		workers = append(workers, pair{s, c})
+	}
+	// Safety check for the K-1 path: every queued update must still have a
+	// live recipient, or its effects would be lost by committing.
+	if len(dropped) > 0 {
+		for _, q := range t.queue {
+			covered := false
+			for s := range q.sentTo {
+				if !dropped[s] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.mu.Unlock()
+				tx.abortAll()
+				return 0, fmt.Errorf("coord: transaction %d aborted: an update survives only on crashed site(s)", t.id)
+			}
+		}
+	}
+	t.mu.Unlock()
+
+	if len(workers) == 0 {
+		// Nothing written anywhere (or everything written was covered only
+		// by read-only work): trivially committed if no updates are queued.
+		t.mu.Lock()
+		hasUpdates := len(t.queue) > 0
+		t.mu.Unlock()
+		if hasUpdates {
+			tx.abortAll()
+			return 0, fmt.Errorf("coord: transaction %d aborted: no live workers", t.id)
+		}
+		tx.finish()
+		return 0, nil
+	}
+
+	var participants []int32
+	if co.cfg.Protocol.ThreePhase() {
+		for _, w := range workers {
+			participants = append(participants, int32(w.site))
+		}
+	}
+
+	// --- Phase 1: PREPARE / votes ---
+	allYes := true
+	prepared := make([]pair, 0, len(workers))
+	for _, w := range workers {
+		resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgPrepare, Txn: t.id, Sites: participants})
+		co.msgsSent.Add(1)
+		if err != nil {
+			// No response ⇒ assume NO vote (§4.3.2 failure rule).
+			co.MarkDown(w.site)
+			allYes = false
+			continue
+		}
+		if resp.Type == wire.MsgVote && resp.Yes() {
+			prepared = append(prepared, w)
+		} else {
+			allYes = false
+		}
+	}
+
+	if !allYes {
+		tx.abortAll()
+		return 0, fmt.Errorf("coord: transaction %d aborted by vote", t.id)
+	}
+
+	ts := co.Authority.Issue()
+	defer co.Authority.Complete(ts)
+
+	if co.cfg.Protocol.ThreePhase() {
+		// --- 3PC Phase 2: PREPARE-TO-COMMIT carries the commit time ---
+		acked := true
+		for _, w := range prepared {
+			resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgPrepareToCommit, Txn: t.id, TS: ts})
+			co.msgsSent.Add(1)
+			if err != nil || resp.Type != wire.MsgOK {
+				if err != nil {
+					co.MarkDown(w.site)
+				}
+				// A dead worker will learn the outcome through recovery or
+				// consensus; the commit point is all *live* acks.
+				_ = acked
+			}
+		}
+		// Commit point reached (§4.3.3).
+		co.recordOutcome(t.id, true, ts)
+	} else {
+		// --- 2PC commit point: force-write COMMIT at the coordinator ---
+		if co.log != nil {
+			lsn := co.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id, CommitTS: ts})
+			if err := co.log.Force(lsn, true); err != nil {
+				tx.abortAll()
+				return 0, err
+			}
+		}
+		co.recordOutcome(t.id, true, ts)
+	}
+
+	// --- final phase: COMMIT ---
+	for _, w := range prepared {
+		resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgCommit, Txn: t.id, TS: ts})
+		co.msgsSent.Add(1)
+		if err != nil {
+			co.MarkDown(w.site)
+			continue
+		}
+		_ = resp
+	}
+	if co.log != nil {
+		// W(END): a normal, unforced log write.
+		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
+	}
+	co.commits.Add(1)
+	tx.finish()
+	return ts, nil
+}
+
+// Abort aborts the transaction everywhere.
+func (tx *Txn) Abort() error {
+	tx.abortAll()
+	return nil
+}
+
+// abortAll drives the abort path: force ABORT at the coordinator log (2PC
+// protocols; 3PC coordinators never log, §4.3.3), send ABORT to every live
+// worker connection of the transaction, then write the unforced END.
+func (tx *Txn) abortAll() {
+	co := tx.co
+	t := tx.t
+	if co.log != nil {
+		lsn := co.log.Append(&wal.Record{Type: wal.RecAbort, Txn: t.id})
+		_ = co.log.Force(lsn, true)
+	}
+	co.recordOutcome(t.id, false, 0)
+	t.mu.Lock()
+	conns := make(map[catalog.SiteID]*comm.Conn, len(t.workers))
+	for s, c := range t.workers {
+		conns[s] = c
+	}
+	t.mu.Unlock()
+	for site, conn := range conns {
+		resp, err := conn.CallRaw(&wire.Msg{Type: wire.MsgAbort, Txn: t.id})
+		co.msgsSent.Add(1)
+		if err != nil {
+			co.MarkDown(site)
+			continue
+		}
+		_ = resp
+	}
+	if co.log != nil {
+		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
+	}
+	co.aborts.Add(1)
+	tx.finish()
+}
+
+// --- read-only queries ---------------------------------------------------
+
+// QueryOptions configure a read-only distributed query.
+type QueryOptions struct {
+	// Historical runs the query as of AsOf without locks (§3.3). When
+	// false the query reads current data with page read locks.
+	Historical bool
+	AsOf       tuple.Timestamp
+	Pred       expr.Pred
+	// PreferSite pins the read to one site when it holds the data
+	// (load-balancing hook); 0 lets the planner choose.
+	PreferSite catalog.SiteID
+}
+
+// Scan runs a read-only query over one logical table, merging results from
+// however many sites the read plan needs (§4.1: read queries go to any
+// sites with the relevant data).
+func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error) {
+	live := func(s catalog.SiteID) bool { return co.objectIsOnline(table, s) }
+	srcs, err := co.cfg.Catalog.ReadSites(table, live)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PreferSite != 0 {
+		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
+			return s == opt.PreferSite && live(s)
+		})
+		if err == nil {
+			srcs = single
+		}
+	}
+	id := co.ids.Next()
+	vis := exec.Current
+	asOf := tuple.Timestamp(0)
+	locked := true
+	if opt.Historical {
+		vis = exec.Historical
+		asOf = opt.AsOf
+		locked = false
+		if asOf == 0 {
+			asOf = co.Authority.HWM()
+		}
+	}
+	// Failover: a replica that dies mid-read is marked down and the read
+	// plan is recomputed against the survivors (§2.2's failover, in its
+	// simplest retry form).
+	for attempt := 0; ; attempt++ {
+		var out []tuple.Tuple
+		ok := true
+		for _, src := range srcs {
+			pred := opt.Pred
+			rangePred := src.Pred
+			spec, _ := co.cfg.Catalog.Table(table)
+			if spec != nil && rangePred != expr.FullKeyRange() {
+				pred = pred.And(rangePred.Pred(spec.Desc).Terms...)
+			}
+			rows, err := co.scanSite(src.Buddy, id, table, vis, asOf, locked, pred)
+			if err != nil {
+				if attempt < 2 {
+					ok = false
+					break
+				}
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+		if ok {
+			return out, nil
+		}
+		srcs, err = co.cfg.Catalog.ReadSites(table, live)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
+	vis exec.Visibility, asOf tuple.Timestamp, locked bool, pred expr.Pred) ([]tuple.Tuple, error) {
+	p, err := co.pool(site)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := p.Get()
+	if err != nil {
+		co.MarkDown(site)
+		return nil, err
+	}
+	m := &wire.Msg{
+		Type: wire.MsgScan, Txn: id, Table: table,
+		Vis: uint8(vis), TS: asOf, Pred: pred.Terms,
+	}
+	if locked {
+		m.Flags |= wire.FlagYes
+	}
+	if err := conn.Send(m); err != nil {
+		co.MarkDown(site)
+		conn.Close()
+		return nil, err
+	}
+	co.msgsSent.Add(1)
+	var rows []tuple.Tuple
+	for {
+		resp, err := conn.Recv()
+		if err != nil {
+			co.MarkDown(site)
+			conn.Close()
+			return nil, err
+		}
+		if resp.Type == wire.MsgErr {
+			p.Put(conn)
+			return nil, resp.Err()
+		}
+		if resp.Type == wire.MsgScanEnd {
+			break
+		}
+		rows = append(rows, wire.ToTuple(resp.Tuple))
+	}
+	if locked {
+		// Release the read transaction's locks (§4.3: "for read
+		// transactions, the coordinator merely needs to notify the workers
+		// to release any system resources and locks").
+		if _, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id}); err != nil {
+			co.MarkDown(site)
+			conn.Close()
+			return rows, nil
+		}
+		co.msgsSent.Add(1)
+	}
+	p.Put(conn)
+	return rows, nil
+}
+
+// CreateTable creates the table's replicas on their sites per the catalog.
+func (co *Coordinator) CreateTable(spec *catalog.TableSpec, replicas ...catalog.Replica) error {
+	if err := co.cfg.Catalog.AddTable(spec, replicas...); err != nil {
+		return err
+	}
+	for _, r := range replicas {
+		p, err := co.pool(r.Site)
+		if err != nil {
+			return err
+		}
+		conn, err := p.Get()
+		if err != nil {
+			return err
+		}
+		segPages := r.SegPages
+		if segPages == 0 {
+			segPages = spec.SegPages
+		}
+		resp, err := conn.Call(&wire.Msg{
+			Type: wire.MsgCreateTable, Table: spec.ID, Desc: spec.Desc, SegPages: segPages,
+		})
+		co.msgsSent.Add(1)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if resp.Type != wire.MsgOK {
+			p.Put(conn)
+			return fmt.Errorf("coord: create table on site %d: %s", r.Site, resp.Text)
+		}
+		p.Put(conn)
+	}
+	return nil
+}

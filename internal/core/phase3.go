@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/wire"
+)
+
+// phase3 runs §5.4: acquire table-granularity read locks on every recovery
+// object at once, copy the remaining committed changes with ordinary
+// (non-historical) SEE DELETED queries, announce "rec coming online" to the
+// coordinator so pending transactions are joined (Figure 5-4), then release
+// the remote locks. It returns the object's final consistent time.
+func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Timestamp, st *ObjectStats) (tuple.Timestamp, error) {
+	recTxn := r.ids.Next()
+
+	// Recompute the plan against currently-live buddies.
+	plan, err := r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLive)
+	if err != nil {
+		return 0, err
+	}
+
+	// ACQUIRE REMOTELY READ LOCK ON recovery_object — all of them, retrying
+	// on deadlock timeouts until every lock is granted (§5.4.1).
+	conns := make([]*comm.Conn, 0, len(plan))
+	release := func() {
+		for i, c := range conns {
+			if c == nil {
+				continue
+			}
+			_, _ = c.Call(&wire.Msg{Type: wire.MsgUnlockTable, Txn: recTxn, Table: plan[i].Table})
+			_, _ = c.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: recTxn})
+			c.Close()
+		}
+		conns = nil
+	}
+	for attempt := 0; ; attempt++ {
+		ok := true
+		for _, src := range plan {
+			addr, found := r.Cat.SiteAddr(src.Buddy)
+			if !found {
+				release()
+				return 0, fmt.Errorf("core: no address for buddy %d", src.Buddy)
+			}
+			c, err := comm.Dial(addr)
+			if err != nil {
+				release()
+				return 0, fmt.Errorf("%w: %v", errBuddyFailed, err)
+			}
+			if err := c.Send(&wire.Msg{Type: wire.MsgLockTable, Txn: recTxn, Table: src.Table}); err != nil {
+				c.Close()
+				release()
+				return 0, fmt.Errorf("%w: %v", errBuddyFailed, err)
+			}
+			resp, err := c.Recv()
+			if err != nil {
+				c.Close()
+				release()
+				return 0, fmt.Errorf("%w: %v", errBuddyFailed, err)
+			}
+			if resp.Type != wire.MsgOK {
+				// Lock timeout (possible deadlock, §5.4.1): drop every lock
+				// acquired so far, back off, and retry the whole set. "Site
+				// S retries until it succeeds in acquiring all of the
+				// locks."
+				c.Close()
+				ok = false
+				break
+			}
+			conns = append(conns, c)
+		}
+		if ok {
+			break
+		}
+		release()
+		if attempt > 50 {
+			return 0, fmt.Errorf("core: could not acquire recovery locks for table %d", rep.Table)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer release()
+
+	// Copy deletions after the HWM, then insertions after the HWM, with
+	// plain (locked-world) SEE DELETED scans. The uncommitted-insertion
+	// exclusion of §5.4.1 is enforced by the scan's visibility mode.
+	for _, src := range plan {
+		du, di, nDel, nIns, err := r.copyWindow(tb, src, hwm, 0, false, recTxn)
+		_ = du
+		_ = di
+		st.Phase3Deletes += nDel
+		st.Phase3Inserts += nIns
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// The object now reflects every committed change; fix its final time
+	// while the locks still exclude new rec-affecting commits.
+	finalT, err := r.coordinatorHWM()
+	if err != nil {
+		return 0, err
+	}
+	if err := r.flushObject(tb); err != nil {
+		return 0, err
+	}
+	if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), finalT); err != nil {
+		return 0, err
+	}
+
+	// Figure 5-4: announce to the coordinator; it replays the queued
+	// update requests of every relevant pending transaction into this
+	// worker's server, then answers "all done".
+	coordAddr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
+	if !ok {
+		return 0, fmt.Errorf("core: coordinator address unknown")
+	}
+	cc, err := comm.Dial(coordAddr)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cc.Call(&wire.Msg{
+		Type: wire.MsgObjectOnline, Site: int32(r.Site.Cfg.Site), Table: rep.Table,
+	})
+	cc.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != wire.MsgAllDone {
+		return 0, fmt.Errorf("core: coordinator answered %v to object-online", resp.Type)
+	}
+
+	// RELEASE REMOTELY LOCK ... — the deferred release() does it; rec on S
+	// is then fully online (§5.4.2).
+	return finalT, nil
+}
+
+func osRemove(path string) error      { return os.Remove(path) }
+func errorsIsNotExist(err error) bool { return os.IsNotExist(err) }

@@ -1,0 +1,610 @@
+// Package core implements HARBOR's recovery algorithm (Chapter 5 of the
+// thesis) — the primary contribution of the paper. A crashed worker site
+// revives each of its database objects in three phases:
+//
+//	Phase 1  restore local state to the last checkpoint: physically delete
+//	         every tuple inserted after the checkpoint or left uncommitted,
+//	         and undelete every tuple deleted after the checkpoint (§5.2);
+//	Phase 2  catch up to a recent high water mark by running lock-free
+//	         SEE DELETED HISTORICAL queries against remote recovery buddies,
+//	         copying missing deletion timestamps and missing tuples (§5.3);
+//	Phase 3  catch up to the current time under table-granularity read
+//	         locks on the recovery objects, then join pending transactions
+//	         through the coordinator and come online (§5.4).
+//
+// Objects (and whole sites) recover in parallel, each at its own pace, with
+// per-object checkpoints so that failures during recovery resume instead of
+// restarting (§5.3, §5.5). Buddy failures trigger a replan against the
+// remaining replicas (§5.5.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/page"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+	"harbor/internal/worker"
+)
+
+// ObjectStats decomposes one object's recovery (Figure 6-6).
+type ObjectStats struct {
+	Table int32
+
+	Phase1Deleted   int // tuples physically removed in Phase 1
+	Phase1Undeleted int // deletion stamps reverted in Phase 1
+	Phase2Deletes   int // deletion timestamps copied in Phase 2
+	Phase2Inserts   int // tuples copied in Phase 2
+	Phase3Deletes   int
+	Phase3Inserts   int
+	Rounds          int // Phase 2 repetitions
+
+	Phase1       time.Duration
+	Phase2Update time.Duration // Phase 2's SELECT + UPDATE (deletions)
+	Phase2Insert time.Duration // Phase 2's SELECT + INSERT (insertions)
+	Phase3       time.Duration
+	Total        time.Duration
+}
+
+// SiteStats aggregates a site's recovery.
+type SiteStats struct {
+	Objects []ObjectStats
+	Total   time.Duration
+}
+
+// Options tune the recovery run.
+type Options struct {
+	// Parallel recovers all objects concurrently (§5.1); serial otherwise.
+	Parallel bool
+	// RepeatThreshold re-runs Phase 2 while the coordinator's HWM has
+	// advanced by more than this many timestamps since the last round
+	// (§5.3). Zero uses a sensible default.
+	RepeatThreshold int64
+	// MaxRounds bounds Phase 2 repetitions.
+	MaxRounds int
+	// Retries bounds whole-object restarts after buddy failures (§5.5.2).
+	Retries int
+	// DisablePruning turns off the §4.2 segment-timestamp pruning on every
+	// recovery scan, local and remote — the ablation that quantifies what
+	// the segment architecture buys (compare Figure 6-5's linear-in-
+	// segments cost against scanning the whole table every time).
+	DisablePruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RepeatThreshold == 0 {
+		o.RepeatThreshold = 64
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 4
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	return o
+}
+
+// Recoverer drives HARBOR recovery for one rebooted worker site.
+type Recoverer struct {
+	Site *worker.Site
+	Cat  *catalog.Catalog
+
+	ids *txn.IDSource
+	// noPrune mirrors Options.DisablePruning for the remote scans.
+	noPrune bool
+}
+
+// New builds a Recoverer.
+func New(site *worker.Site, cat *catalog.Catalog) *Recoverer {
+	// Recovery transactions need ids that cannot collide with coordinator
+	// ids; offset the site id into a reserved band.
+	return &Recoverer{Site: site, Cat: cat, ids: txn.NewIDSource(int32(site.Cfg.Site) + 1<<20)}
+}
+
+// RecoverSite revives every database object on the site, then brings the
+// site's global checkpoint forward and re-enables normal checkpointing.
+func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
+	opt = opt.withDefaults()
+	r.noPrune = opt.DisablePruning
+	start := time.Now()
+	r.Site.PauseCheckpoints() // §5.2: disable scheduled checkpoints
+	defer r.Site.ResumeCheckpoints()
+
+	// The objects to recover are this site's replicas per the catalog;
+	// local tables missing entirely (disk wiped) are created empty.
+	reps := r.Cat.ReplicasOn(r.Site.Cfg.Site)
+	if len(reps) == 0 {
+		return &SiteStats{Total: time.Since(start)}, nil
+	}
+	for _, rep := range reps {
+		if !r.Site.Mgr.Has(rep.Table) {
+			spec, ok := r.Cat.Table(rep.Table)
+			if !ok {
+				return nil, fmt.Errorf("core: replica of unknown table %d", rep.Table)
+			}
+			segPages := rep.SegPages
+			if segPages == 0 {
+				segPages = spec.SegPages
+			}
+			if err := r.Site.CreateTable(rep.Table, spec.Desc, segPages); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	stats := &SiteStats{Objects: make([]ObjectStats, len(reps))}
+	finalTs := make([]tuple.Timestamp, len(reps))
+	runOne := func(i int) error {
+		var err error
+		var os ObjectStats
+		var ft tuple.Timestamp
+		for attempt := 0; attempt <= opt.Retries; attempt++ {
+			os, ft, err = r.recoverObject(reps[i], opt)
+			if err == nil || !errors.Is(err, errBuddyFailed) {
+				break
+			}
+			// §5.5.2: buddy died; replan against the remaining replicas.
+		}
+		stats.Objects[i] = os
+		finalTs[i] = ft
+		return err
+	}
+
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(reps))
+		for i := range reps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runOne(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range reps {
+			if err := runOne(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// All objects online: resume the single global checkpoint (§5.3) at
+	// the minimum of the per-object checkpoints, then drop the per-object
+	// files.
+	minT := finalTs[0]
+	for _, t := range finalTs[1:] {
+		if t < minT {
+			minT = t
+		}
+	}
+	r.Site.SeedAppliedTS(minT)
+	if err := storage.WriteCheckpointFile(storage.CheckpointPath(r.Site.Cfg.Dir), minT); err != nil {
+		return nil, err
+	}
+	for _, rep := range reps {
+		_ = removeIfExists(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table))
+	}
+	stats.Total = time.Since(start)
+	return stats, nil
+}
+
+// errBuddyFailed marks a recovery-buddy connection failure (§5.5.2).
+var errBuddyFailed = errors.New("core: recovery buddy failed")
+
+// recoverObject runs the three phases for one replica.
+func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats, tuple.Timestamp, error) {
+	st := ObjectStats{Table: rep.Table}
+	t0 := time.Now()
+	tb, err := r.Site.Mgr.Get(rep.Table)
+	if err != nil {
+		return st, 0, err
+	}
+
+	// The starting checkpoint: the newer of the global site checkpoint and
+	// this object's recovery checkpoint (§5.3's finer-granularity rule).
+	ckpt, err := storage.ReadCheckpointFile(storage.CheckpointPath(r.Site.Cfg.Dir))
+	if err != nil {
+		return st, 0, err
+	}
+	if objCkpt, err := storage.ReadCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table)); err == nil && objCkpt > ckpt {
+		ckpt = objCkpt
+	}
+
+	// ---- Phase 1: restore local state to the checkpoint (§5.2) ----
+	p1 := time.Now()
+	del, undel, err := r.phase1(tb, ckpt, opt.DisablePruning)
+	if err != nil {
+		return st, 0, err
+	}
+	st.Phase1Deleted, st.Phase1Undeleted = del, undel
+	st.Phase1 = time.Since(p1)
+
+	// ---- Phase 2: lock-free historical catch-up (§5.3) ----
+	cur := ckpt
+	for round := 0; round < opt.MaxRounds; round++ {
+		hwm, err := r.coordinatorHWM()
+		if err != nil {
+			return st, 0, err
+		}
+		if hwm <= cur || (round > 0 && hwm-cur <= opt.RepeatThreshold) {
+			break
+		}
+		st.Rounds++
+		plan, err := r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLive)
+		if err != nil {
+			return st, 0, err
+		}
+		for _, src := range plan {
+			du, di, nDel, nIns, err := r.copyWindow(tb, src, cur, hwm, true, 0)
+			st.Phase2Update += du
+			st.Phase2Insert += di
+			st.Phase2Deletes += nDel
+			st.Phase2Inserts += nIns
+			if err != nil {
+				return st, 0, err
+			}
+		}
+		// Record the finer-granularity per-object checkpoint (§5.3): make
+		// the copied state durable first.
+		if err := r.flushObject(tb); err != nil {
+			return st, 0, err
+		}
+		if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), hwm); err != nil {
+			return st, 0, err
+		}
+		cur = hwm
+	}
+
+	// ---- Phase 3: locked catch-up + join pending transactions (§5.4) ----
+	p3 := time.Now()
+	finalT, err := r.phase3(tb, rep, cur, &st)
+	if err != nil {
+		return st, 0, err
+	}
+	st.Phase3 = time.Since(p3)
+	st.Total = time.Since(t0)
+	return st, finalT, nil
+}
+
+// phase1 runs the two local queries of §5.2.
+func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune bool) (deleted, undeleted int, err error) {
+	heap := tb.Heap
+	desc := heap.Desc()
+	insOff := desc.Offset(tuple.FieldInsTS)
+	delOff := desc.Offset(tuple.FieldDelTS)
+	_ = insOff
+
+	// DELETE LOCALLY FROM rec SEE DELETED
+	//   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+	plan := heap.SegmentPlan(nil, &ckpt, nil, true)
+	if noPrune {
+		plan = heap.AllSegments()
+	}
+	for _, si := range plan {
+		for _, pno := range heap.SegmentPages(si) {
+			pid := page.ID{Table: heap.TableID(), PageNo: pno}
+			f, err := r.Site.Pool.GetPageNoLock(pid)
+			if err != nil {
+				return deleted, undeleted, err
+			}
+			f.Latch.Lock()
+			dirty := false
+			for slot := 0; slot < f.Page.NumSlots(); slot++ {
+				if !f.Page.Used(slot) {
+					continue
+				}
+				ins, err2 := f.Page.ReadInt64At(slot, insOff)
+				if err2 != nil {
+					err = err2
+					break
+				}
+				if ins > ckpt || ins == tuple.Uncommitted {
+					key, err2 := f.Page.ReadInt64At(slot, desc.Offset(desc.Key))
+					if err2 != nil {
+						err = err2
+						break
+					}
+					if err2 := f.Page.Delete(slot); err2 != nil {
+						err = err2
+						break
+					}
+					tb.Index.Remove(key, page.RecordID{Page: pid, Slot: slot})
+					r.Site.Store.MarkFreeSlot(pid.Table, pid.PageNo)
+					deleted++
+					dirty = true
+				}
+			}
+			f.Latch.Unlock()
+			r.Site.Pool.Unpin(f, dirty, 0)
+			if err != nil {
+				return deleted, undeleted, err
+			}
+		}
+	}
+	heap.ClearUncommittedBound()
+
+	// UPDATE LOCALLY rec SET deletion_time = 0 SEE DELETED
+	//   WHERE deletion_time > T_checkpoint
+	plan = heap.SegmentPlan(nil, nil, &ckpt, false)
+	if noPrune {
+		plan = heap.AllSegments()
+	}
+	for _, si := range plan {
+		for _, pno := range heap.SegmentPages(si) {
+			pid := page.ID{Table: heap.TableID(), PageNo: pno}
+			f, err := r.Site.Pool.GetPageNoLock(pid)
+			if err != nil {
+				return deleted, undeleted, err
+			}
+			f.Latch.Lock()
+			dirty := false
+			for slot := 0; slot < f.Page.NumSlots(); slot++ {
+				if !f.Page.Used(slot) {
+					continue
+				}
+				del, err2 := f.Page.ReadInt64At(slot, delOff)
+				if err2 != nil {
+					err = err2
+					break
+				}
+				if del > ckpt {
+					if err2 := f.Page.WriteInt64At(slot, delOff, tuple.NotDeleted); err2 != nil {
+						err = err2
+						break
+					}
+					undeleted++
+					dirty = true
+				}
+			}
+			f.Latch.Unlock()
+			r.Site.Pool.Unpin(f, dirty, 0)
+			if err != nil {
+				return deleted, undeleted, err
+			}
+		}
+	}
+	return deleted, undeleted, nil
+}
+
+// copyWindow copies the changes in (lo, hi] for one recovery source: first
+// the deletion timestamps of tuples inserted at or before lo, then the
+// tuples inserted inside the window. With historical=true the remote scans
+// run as of hi without locks (Phase 2); Phase 3 passes historical=false and
+// hi = 0 semantics via unbounded scans (see phase3).
+func (r *Recoverer) copyWindow(tb *storage.Table, src catalog.RecoverySource,
+	lo, hi tuple.Timestamp, historical bool, lockTxn txn.ID) (durUpd, durIns time.Duration, nDel, nIns int, err error) {
+	addr, ok := r.Cat.SiteAddr(src.Buddy)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("core: no address for buddy %d", src.Buddy)
+	}
+	asOf := tuple.Timestamp(0)
+	if historical {
+		asOf = hi
+	}
+
+	// --- deletions: SELECT REMOTELY tuple_id, deletion_time ... ---
+	t0 := time.Now()
+	delMsg := &wire.Msg{
+		Type: wire.MsgRecoveryScan, Table: src.Table, TS: asOf,
+		KeyLo: src.Pred.Lo, KeyHi: src.Pred.Hi,
+		Flags: wire.FlagYes | wire.FlagHasInsLE | wire.FlagHasDelGT,
+		InsLE: lo, DelGT: lo,
+	}
+	if r.noPrune {
+		delMsg.Flags |= wire.FlagNoPrune
+	}
+	if historical {
+		// (implicit under historical semantics, stated explicitly in §5.3)
+		_ = hi
+	}
+	err = r.streamFrom(addr, delMsg, func(m *wire.Msg) error {
+		nDel++
+		return r.localSetDeletion(tb, m.Key, m.TS)
+	})
+	durUpd = time.Since(t0)
+	if err != nil {
+		return durUpd, 0, nDel, nIns, err
+	}
+
+	// --- insertions: SELECT REMOTELY * WHERE ins > lo (AND ins <= hi) ---
+	t1 := time.Now()
+	insMsg := &wire.Msg{
+		Type: wire.MsgRecoveryScan, Table: src.Table, TS: asOf,
+		KeyLo: src.Pred.Lo, KeyHi: src.Pred.Hi,
+		Flags: wire.FlagHasInsGT, InsGT: lo,
+	}
+	if r.noPrune {
+		insMsg.Flags |= wire.FlagNoPrune
+	}
+	err = r.streamFrom(addr, insMsg, func(m *wire.Msg) error {
+		nIns++
+		return r.localInsert(tb, wire.ToTuple(m.Tuple))
+	})
+	durIns = time.Since(t1)
+	return durUpd, durIns, nDel, nIns, err
+}
+
+// streamFrom runs one remote recovery scan, invoking fn per tuple message.
+func (r *Recoverer) streamFrom(addr string, req *wire.Msg, fn func(*wire.Msg) error) error {
+	c, err := comm.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errBuddyFailed, err)
+	}
+	defer c.Close()
+	if err := c.Send(req); err != nil {
+		return fmt.Errorf("%w: %v", errBuddyFailed, err)
+	}
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return fmt.Errorf("%w: %v", errBuddyFailed, err)
+		}
+		switch m.Type {
+		case wire.MsgScanEnd:
+			return nil
+		case wire.MsgErr:
+			return m.Err()
+		case wire.MsgTuple:
+			if err := fn(m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: unexpected %v in recovery stream", m.Type)
+		}
+	}
+}
+
+// localSetDeletion applies a copied deletion timestamp:
+// UPDATE LOCALLY rec SET deletion_time = del WHERE tuple_id = key AND deletion_time = 0.
+func (r *Recoverer) localSetDeletion(tb *storage.Table, key int64, del tuple.Timestamp) error {
+	desc := tb.Heap.Desc()
+	delOff := desc.Offset(tuple.FieldDelTS)
+	for _, rid := range tb.Index.Lookup(key) {
+		f, err := r.Site.Pool.GetPageNoLock(rid.Page)
+		if err != nil {
+			return err
+		}
+		f.Latch.Lock()
+		applied := false
+		if f.Page.Used(rid.Slot) {
+			cur, err2 := f.Page.ReadInt64At(rid.Slot, delOff)
+			if err2 != nil {
+				f.Latch.Unlock()
+				r.Site.Pool.Unpin(f, false, 0)
+				return err2
+			}
+			if cur == tuple.NotDeleted {
+				if err2 := f.Page.WriteInt64At(rid.Slot, delOff, del); err2 != nil {
+					f.Latch.Unlock()
+					r.Site.Pool.Unpin(f, false, 0)
+					return err2
+				}
+				applied = true
+			}
+		}
+		f.Latch.Unlock()
+		r.Site.Pool.Unpin(f, applied, 0)
+		if applied {
+			tb.Heap.OnCommitStamp(tb.Heap.SegmentFor(rid.Page.PageNo), 0, del)
+			return nil
+		}
+	}
+	// No live version found: the tuple may arrive later in the insertion
+	// copy already carrying its deletion timestamp; nothing to do.
+	return nil
+}
+
+// localInsert copies a remote tuple into the local replica preserving its
+// timestamps (INSERT LOCALLY, §5.3: "without the reassignment of insertion
+// times").
+func (r *Recoverer) localInsert(tb *storage.Table, t tuple.Tuple) error {
+	heap := tb.Heap
+	desc := heap.Desc()
+	if len(t.Values) != len(desc.Fields) {
+		return fmt.Errorf("core: copied tuple has %d fields, schema %d", len(t.Values), len(desc.Fields))
+	}
+	enc := t.Encode(desc)
+	for attempt := 0; attempt < 4; attempt++ {
+		pno := heap.InsertHint()
+		var seg int32
+		if pno < 0 {
+			var err error
+			pno, seg, err = heap.AllocPage()
+			if err != nil {
+				return err
+			}
+		} else {
+			seg = heap.SegmentFor(pno)
+		}
+		pid := page.ID{Table: heap.TableID(), PageNo: pno}
+		f, err := r.Site.Pool.GetPageNoLock(pid)
+		if err != nil {
+			return err
+		}
+		f.Latch.Lock()
+		slot, insErr := f.Page.Insert(enc)
+		if insErr == nil && f.Page.FirstFree() >= 0 {
+			heap.SetInsertHint(pno)
+		} else if insErr == nil {
+			heap.SetInsertHint(-1)
+		}
+		f.Latch.Unlock()
+		if insErr == page.ErrPageFull {
+			r.Site.Pool.Unpin(f, false, 0)
+			heap.SetInsertHint(-1)
+			continue
+		}
+		if insErr != nil {
+			r.Site.Pool.Unpin(f, false, 0)
+			return insErr
+		}
+		r.Site.Pool.Unpin(f, true, 0)
+		tb.Index.Add(t.Key(desc), page.RecordID{Page: pid, Slot: slot})
+		heap.OnCommitStamp(seg, t.InsTS(), t.DelTS())
+		return nil
+	}
+	return fmt.Errorf("core: no insertable page for copied tuple")
+}
+
+// flushObject makes an object's recovered state durable.
+func (r *Recoverer) flushObject(tb *storage.Table) error {
+	if err := r.Site.Pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := tb.Heap.SyncData(); err != nil {
+		return err
+	}
+	return tb.Heap.FlushMeta()
+}
+
+// coordinatorHWM asks the timestamp authority for the high water mark.
+func (r *Recoverer) coordinatorHWM() (tuple.Timestamp, error) {
+	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
+	if !ok {
+		return 0, fmt.Errorf("core: coordinator address unknown")
+	}
+	c, err := comm.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgCurrentTime})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TS, nil
+}
+
+// buddyLive is the recovery-time failure detector: a site is usable as a
+// buddy if its server accepts connections.
+func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
+	if s == r.Site.Cfg.Site {
+		return false
+	}
+	addr, ok := r.Cat.SiteAddr(s)
+	if !ok {
+		return false
+	}
+	return comm.Ping(addr, time.Second)
+}
+
+func removeIfExists(path string) error {
+	err := osRemove(path)
+	if err != nil && !errorsIsNotExist(err) {
+		return err
+	}
+	return nil
+}

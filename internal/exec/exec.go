@@ -1,0 +1,337 @@
+// Package exec implements the database operators of §6.1.5 behind the
+// standard row-iterator interface: sequential scans (with the timestamp-
+// aware visibility modes that HARBOR's historical and recovery queries
+// need), index lookups on tuple identifiers, predicate filters, projections,
+// hash aggregation, nested-loops joins, and the insert/delete/update
+// mutation helpers built on the versioning layer.
+//
+// Query plans are constructed programmatically, exactly as in the thesis
+// ("the database implementation does not yet have a SQL parser frontend;
+// query plans must be manually constructed", §6.1.5).
+package exec
+
+import (
+	"fmt"
+
+	"harbor/internal/buffer"
+	"harbor/internal/expr"
+	"harbor/internal/page"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/version"
+)
+
+// Operator is the §6.1.5 iterator interface. Next returns ok=false at end
+// of stream.
+type Operator interface {
+	Open() error
+	Next() (t tuple.Tuple, ok bool, err error)
+	Rewind() error
+	Close() error
+	Desc() *tuple.Desc
+}
+
+// Visibility selects which tuples a scan surfaces and how their timestamps
+// are presented.
+type Visibility uint8
+
+const (
+	// Current sees committed, not-deleted tuples; used with page read locks
+	// (strict 2PL) for up-to-date reads and recovery Phase 3.
+	Current Visibility = iota + 1
+	// Historical sees the database as of a past time AsOf without locks
+	// (§3.3): tuples inserted after AsOf are invisible and deletions after
+	// AsOf are hidden.
+	Historical
+	// SeeDeleted disables delete filtering entirely: both timestamps become
+	// visible as normal fields (the recovery mode of §3.4). Combined with
+	// AsOf > 0 it becomes the SEE DELETED HISTORICAL mode of §5.3: tuples
+	// inserted after AsOf are invisible, and deletion times after AsOf read
+	// as 0.
+	SeeDeleted
+)
+
+// ScanSpec describes a sequential scan.
+type ScanSpec struct {
+	Table int32
+	Vis   Visibility
+	// AsOf is the historical time (Historical always; SeeDeleted optionally;
+	// ignored for Current).
+	AsOf tuple.Timestamp
+	// Locked makes the scan take page read locks as transaction Txn.
+	Locked bool
+	Txn    version.TxnID
+	// Segments restricts the scan (nil = all segments). Recovery queries
+	// pass HeapFile.SegmentPlan output here.
+	Segments []int32
+	// Pred filters tuples (applied after visibility rewriting).
+	Pred expr.Pred
+}
+
+// SeqScan is the sequential scan operator.
+type SeqScan struct {
+	store *version.Store
+	spec  ScanSpec
+
+	heap  *storage.HeapFile
+	desc  *tuple.Desc
+	segs  []int32
+	segI  int
+	pages []int32
+	pageI int
+	frame *buffer.Frame
+	slot  int
+	open  bool
+}
+
+// NewSeqScan builds a sequential scan over the versioned store.
+func NewSeqScan(store *version.Store, spec ScanSpec) *SeqScan {
+	return &SeqScan{store: store, spec: spec}
+}
+
+// Desc returns the scan's output schema (the table schema, timestamps
+// included).
+func (s *SeqScan) Desc() *tuple.Desc { return s.desc }
+
+// Open prepares the scan.
+func (s *SeqScan) Open() error {
+	tb, err := s.store.Mgr.Get(s.spec.Table)
+	if err != nil {
+		return err
+	}
+	s.heap = tb.Heap
+	s.desc = tb.Heap.Desc()
+	if s.spec.Segments != nil {
+		s.segs = s.spec.Segments
+	} else {
+		s.segs = s.heap.AllSegments()
+	}
+	s.segI, s.pageI, s.slot = 0, 0, 0
+	s.pages = nil
+	if len(s.segs) > 0 {
+		s.pages = s.heap.SegmentPages(s.segs[0])
+	}
+	s.open = true
+	return nil
+}
+
+// Rewind restarts the scan.
+func (s *SeqScan) Rewind() error {
+	s.releaseFrame()
+	return s.Open()
+}
+
+// Close releases resources. Page locks (if any) are released at end of
+// transaction by the lock manager, per strict 2PL.
+func (s *SeqScan) Close() error {
+	s.releaseFrame()
+	s.open = false
+	return nil
+}
+
+func (s *SeqScan) releaseFrame() {
+	if s.frame != nil {
+		s.frame.Latch.RUnlock()
+		s.store.Pool.Unpin(s.frame, false, 0)
+		s.frame = nil
+	}
+}
+
+// Next returns the next visible tuple.
+func (s *SeqScan) Next() (tuple.Tuple, bool, error) {
+	if !s.open {
+		return tuple.Tuple{}, false, fmt.Errorf("exec: scan not open")
+	}
+	for {
+		if s.frame == nil {
+			// Advance to the next page.
+			for s.pageI >= len(s.pages) {
+				s.segI++
+				if s.segI >= len(s.segs) {
+					return tuple.Tuple{}, false, nil
+				}
+				s.pages = s.heap.SegmentPages(s.segs[s.segI])
+				s.pageI = 0
+			}
+			pid := page.ID{Table: s.spec.Table, PageNo: s.pages[s.pageI]}
+			var f *buffer.Frame
+			var err error
+			if s.spec.Locked {
+				f, err = s.store.Pool.GetPage(s.spec.Txn, pid, buffer.ReadPerm)
+			} else {
+				f, err = s.store.Pool.GetPageNoLock(pid)
+			}
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			f.Latch.RLock()
+			s.frame = f
+			s.slot = 0
+		}
+		pg := s.frame.Page
+		for ; s.slot < pg.NumSlots(); s.slot++ {
+			if !pg.Used(s.slot) {
+				continue
+			}
+			raw, err := pg.Slot(s.slot)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			t, err := tuple.Decode(s.desc, raw)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			vis, out := s.present(t)
+			if !vis {
+				continue
+			}
+			if !s.spec.Pred.Eval(s.desc, out) {
+				continue
+			}
+			s.slot++
+			return out, true, nil
+		}
+		s.releaseFrame()
+		s.pageI++
+	}
+}
+
+// present applies the visibility mode, returning whether the tuple is
+// surfaced and the (possibly timestamp-rewritten) tuple.
+func (s *SeqScan) present(t tuple.Tuple) (bool, tuple.Tuple) {
+	switch s.spec.Vis {
+	case Current:
+		if t.InsTS() == tuple.Uncommitted || t.DelTS() != tuple.NotDeleted {
+			return false, t
+		}
+		return true, t
+	case Historical:
+		if !t.VisibleAt(s.spec.AsOf) {
+			return false, t
+		}
+		if t.DelTS() > s.spec.AsOf {
+			t.SetDelTS(tuple.NotDeleted)
+		}
+		return true, t
+	case SeeDeleted:
+		if s.spec.AsOf > 0 {
+			// SEE DELETED HISTORICAL (§5.3): hide later insertions, mask
+			// later deletions.
+			ins := t.InsTS()
+			if ins == tuple.Uncommitted || ins > s.spec.AsOf {
+				return false, t
+			}
+			if t.DelTS() > s.spec.AsOf {
+				t.SetDelTS(tuple.NotDeleted)
+			}
+		}
+		return true, t
+	default:
+		return false, t
+	}
+}
+
+// RIDScan is like SeqScan but also reports each tuple's record id through a
+// callback; recovery's local queries need the physical position.
+type RIDScan struct {
+	Store *version.Store
+	Spec  ScanSpec
+}
+
+// ForEach runs the scan, invoking fn per visible tuple. Returning false
+// stops early.
+func (r *RIDScan) ForEach(fn func(rid page.RecordID, t tuple.Tuple) (bool, error)) error {
+	tb, err := r.Store.Mgr.Get(r.Spec.Table)
+	if err != nil {
+		return err
+	}
+	heap := tb.Heap
+	desc := heap.Desc()
+	segs := r.Spec.Segments
+	if segs == nil {
+		segs = heap.AllSegments()
+	}
+	inner := &SeqScan{store: r.Store, spec: r.Spec, desc: desc}
+	for _, si := range segs {
+		for _, pno := range heap.SegmentPages(si) {
+			pid := page.ID{Table: r.Spec.Table, PageNo: pno}
+			var f *buffer.Frame
+			if r.Spec.Locked {
+				f, err = r.Store.Pool.GetPage(r.Spec.Txn, pid, buffer.ReadPerm)
+			} else {
+				f, err = r.Store.Pool.GetPageNoLock(pid)
+			}
+			if err != nil {
+				return err
+			}
+			f.Latch.RLock()
+			stop := false
+			for slot := 0; slot < f.Page.NumSlots() && !stop; slot++ {
+				if !f.Page.Used(slot) {
+					continue
+				}
+				raw, slotErr := f.Page.Slot(slot)
+				if slotErr != nil {
+					err = slotErr
+					break
+				}
+				t, decErr := tuple.Decode(desc, raw)
+				if decErr != nil {
+					err = decErr
+					break
+				}
+				vis, out := inner.present(t)
+				if !vis || !r.Spec.Pred.Eval(desc, out) {
+					continue
+				}
+				cont, fnErr := fn(page.RecordID{Page: pid, Slot: slot}, out)
+				if fnErr != nil {
+					err = fnErr
+					break
+				}
+				if !cont {
+					stop = true
+				}
+			}
+			f.Latch.RUnlock()
+			r.Store.Pool.Unpin(f, false, 0)
+			if err != nil || stop {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// IndexLookup returns the visible versions of a key via the primary index.
+func IndexLookup(store *version.Store, table int32, key int64, vis Visibility, asOf tuple.Timestamp) ([]tuple.Tuple, []page.RecordID, error) {
+	tb, err := store.Mgr.Get(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	desc := tb.Heap.Desc()
+	helper := &SeqScan{store: store, spec: ScanSpec{Vis: vis, AsOf: asOf}, desc: desc}
+	var ts []tuple.Tuple
+	var rids []page.RecordID
+	for _, rid := range tb.Index.Lookup(key) {
+		f, err := store.Pool.GetPageNoLock(rid.Page)
+		if err != nil {
+			return nil, nil, err
+		}
+		f.Latch.RLock()
+		if f.Page.Used(rid.Slot) {
+			raw, slotErr := f.Page.Slot(rid.Slot)
+			if slotErr == nil {
+				if t, decErr := tuple.Decode(desc, raw); decErr == nil {
+					if vis2, out := helper.present(t); vis2 {
+						ts = append(ts, out)
+						rids = append(rids, rid)
+					}
+				}
+			}
+		}
+		f.Latch.RUnlock()
+		store.Pool.Unpin(f, false, 0)
+	}
+	return ts, rids, nil
+}

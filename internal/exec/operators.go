@@ -1,0 +1,471 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+)
+
+// Filter passes through child tuples matching a predicate.
+type Filter struct {
+	Child Operator
+	Pred  expr.Pred
+}
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Rewind rewinds the child.
+func (f *Filter) Rewind() error { return f.Child.Rewind() }
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Desc returns the child's schema.
+func (f *Filter) Desc() *tuple.Desc { return f.Child.Desc() }
+
+// Next returns the next matching tuple.
+func (f *Filter) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return t, ok, err
+		}
+		if f.Pred.Eval(f.Child.Desc(), t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Project narrows tuples to the selected physical field indexes.
+type Project struct {
+	Child  Operator
+	Fields []int
+
+	desc *tuple.Desc
+}
+
+// Open opens the child and derives the output schema.
+func (p *Project) Open() error {
+	if err := p.Child.Open(); err != nil {
+		return err
+	}
+	in := p.Child.Desc()
+	fields := make([]tuple.FieldDef, len(p.Fields))
+	for i, fi := range p.Fields {
+		if fi < 0 || fi >= len(in.Fields) {
+			return fmt.Errorf("exec: project field %d out of range", fi)
+		}
+		fields[i] = in.Fields[fi]
+	}
+	p.desc = &tuple.Desc{Fields: fields}
+	return nil
+}
+
+// Rewind rewinds the child.
+func (p *Project) Rewind() error { return p.Child.Rewind() }
+
+// Close closes the child.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Desc returns the projected schema.
+func (p *Project) Desc() *tuple.Desc { return p.desc }
+
+// Next projects the next child tuple.
+func (p *Project) Next() (tuple.Tuple, bool, error) {
+	t, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return tuple.Tuple{}, ok, err
+	}
+	out := tuple.Tuple{Values: make([]tuple.Value, len(p.Fields))}
+	for i, fi := range p.Fields {
+		out.Values[i] = t.Values[fi]
+	}
+	return out, true, nil
+}
+
+// NestedLoopJoin is the thesis's nested-loops equi-join: for every left
+// tuple it rewinds and re-scans the right child.
+type NestedLoopJoin struct {
+	Left, Right           Operator
+	LeftField, RightField int
+
+	desc    *tuple.Desc
+	cur     tuple.Tuple
+	haveCur bool
+}
+
+// Open opens both children and builds the concatenated schema.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	ld, rd := j.Left.Desc(), j.Right.Desc()
+	fields := make([]tuple.FieldDef, 0, len(ld.Fields)+len(rd.Fields))
+	fields = append(fields, ld.Fields...)
+	for _, f := range rd.Fields {
+		f.Name = "r_" + f.Name
+		fields = append(fields, f)
+	}
+	j.desc = &tuple.Desc{Fields: fields}
+	j.haveCur = false
+	return nil
+}
+
+// Rewind restarts the join.
+func (j *NestedLoopJoin) Rewind() error {
+	if err := j.Left.Rewind(); err != nil {
+		return err
+	}
+	if err := j.Right.Rewind(); err != nil {
+		return err
+	}
+	j.haveCur = false
+	return nil
+}
+
+// Close closes both children.
+func (j *NestedLoopJoin) Close() error {
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Desc returns the joined schema.
+func (j *NestedLoopJoin) Desc() *tuple.Desc { return j.desc }
+
+// Next returns the next joined tuple.
+func (j *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		if !j.haveCur {
+			lt, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return tuple.Tuple{}, false, err
+			}
+			j.cur = lt
+			j.haveCur = true
+			if err := j.Right.Rewind(); err != nil {
+				return tuple.Tuple{}, false, err
+			}
+		}
+		rt, ok, err := j.Right.Next()
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		if !ok {
+			j.haveCur = false
+			continue
+		}
+		if j.cur.Values[j.LeftField].I64 != rt.Values[j.RightField].I64 {
+			continue
+		}
+		out := tuple.Tuple{Values: make([]tuple.Value, 0, len(j.cur.Values)+len(rt.Values))}
+		out.Values = append(out.Values, j.cur.Values...)
+		out.Values = append(out.Values, rt.Values...)
+		return out, true, nil
+	}
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+const (
+	// Count counts tuples per group.
+	Count AggFunc = iota + 1
+	// Sum sums an integer field.
+	Sum
+	// Min takes the minimum of an integer field.
+	Min
+	// Max takes the maximum of an integer field.
+	Max
+	// Avg averages an integer field (integer division).
+	Avg
+)
+
+// AggSpec is one aggregate column.
+type AggSpec struct {
+	Fn    AggFunc
+	Field int // input field (ignored for Count)
+}
+
+// HashAgg is the in-memory hash-grouping aggregation of §6.1.5. GroupField
+// of -1 aggregates everything into a single group.
+type HashAgg struct {
+	Child      Operator
+	GroupField int
+	Aggs       []AggSpec
+
+	desc    *tuple.Desc
+	results []tuple.Tuple
+	pos     int
+}
+
+type aggState struct {
+	count     int64
+	sum       []int64
+	min, max  []int64
+	populated bool
+}
+
+// Open drains the child and materialises grouped results.
+func (h *HashAgg) Open() error {
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	in := h.Child.Desc()
+	var fields []tuple.FieldDef
+	if h.GroupField >= 0 {
+		fields = append(fields, in.Fields[h.GroupField])
+	}
+	for i, a := range h.Aggs {
+		name := fmt.Sprintf("agg%d", i)
+		fields = append(fields, tuple.FieldDef{Name: name, Type: tuple.Int64})
+		_ = a
+	}
+	h.desc = &tuple.Desc{Fields: fields}
+
+	groups := map[int64]*aggState{}
+	var keys []int64
+	for {
+		t, ok, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := int64(0)
+		if h.GroupField >= 0 {
+			key = t.Values[h.GroupField].I64
+		}
+		st := groups[key]
+		if st == nil {
+			st = &aggState{
+				sum: make([]int64, len(h.Aggs)),
+				min: make([]int64, len(h.Aggs)),
+				max: make([]int64, len(h.Aggs)),
+			}
+			groups[key] = st
+			keys = append(keys, key)
+		}
+		st.count++
+		for i, a := range h.Aggs {
+			if a.Fn == Count {
+				continue
+			}
+			v := t.Values[a.Field].I64
+			st.sum[i] += v
+			if !st.populated || v < st.min[i] {
+				st.min[i] = v
+			}
+			if !st.populated || v > st.max[i] {
+				st.max[i] = v
+			}
+		}
+		st.populated = true
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h.results = h.results[:0]
+	for _, key := range keys {
+		st := groups[key]
+		out := tuple.Tuple{Values: make([]tuple.Value, 0, len(h.desc.Fields))}
+		if h.GroupField >= 0 {
+			out.Values = append(out.Values, tuple.VInt(key))
+		}
+		for i, a := range h.Aggs {
+			var v int64
+			switch a.Fn {
+			case Count:
+				v = st.count
+			case Sum:
+				v = st.sum[i]
+			case Min:
+				v = st.min[i]
+			case Max:
+				v = st.max[i]
+			case Avg:
+				if st.count > 0 {
+					v = st.sum[i] / st.count
+				}
+			}
+			out.Values = append(out.Values, tuple.VInt(v))
+		}
+		h.results = append(h.results, out)
+	}
+	h.pos = 0
+	return nil
+}
+
+// Rewind restarts result iteration without re-running the child.
+func (h *HashAgg) Rewind() error {
+	h.pos = 0
+	return nil
+}
+
+// Close closes the child.
+func (h *HashAgg) Close() error { return h.Child.Close() }
+
+// Desc returns the aggregate output schema.
+func (h *HashAgg) Desc() *tuple.Desc { return h.desc }
+
+// Next returns the next group row (groups ordered by key for determinism).
+func (h *HashAgg) Next() (tuple.Tuple, bool, error) {
+	if h.pos >= len(h.results) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := h.results[h.pos]
+	h.pos++
+	return t, true, nil
+}
+
+// Limit caps the number of tuples produced.
+type Limit struct {
+	Child Operator
+	N     int
+	seen  int
+}
+
+// Open opens the child and resets the counter.
+func (l *Limit) Open() error { l.seen = 0; return l.Child.Open() }
+
+// Rewind rewinds the child and resets the counter.
+func (l *Limit) Rewind() error { l.seen = 0; return l.Child.Rewind() }
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Desc returns the child's schema.
+func (l *Limit) Desc() *tuple.Desc { return l.Child.Desc() }
+
+// Next returns the next tuple until the cap is hit.
+func (l *Limit) Next() (tuple.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return tuple.Tuple{}, false, nil
+	}
+	t, ok, err := l.Child.Next()
+	if ok {
+		l.seen++
+	}
+	return t, ok, err
+}
+
+// SliceScan serves tuples from memory; network operators and tests use it.
+type SliceScan struct {
+	Schema *tuple.Desc
+	Rows   []tuple.Tuple
+	pos    int
+}
+
+// Open resets the cursor.
+func (s *SliceScan) Open() error { s.pos = 0; return nil }
+
+// Rewind resets the cursor.
+func (s *SliceScan) Rewind() error { s.pos = 0; return nil }
+
+// Close is a no-op.
+func (s *SliceScan) Close() error { return nil }
+
+// Desc returns the slice's schema.
+func (s *SliceScan) Desc() *tuple.Desc { return s.Schema }
+
+// Next returns the next row.
+func (s *SliceScan) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.Rows) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.Rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Drain runs an operator to completion and returns all rows.
+func Drain(op Operator) ([]tuple.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []tuple.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Sort materialises and orders its child's output by one field (ascending;
+// Desc reverses). Replicas stored in different sort orders (§3.1) are
+// queried with a Sort on top when a plan needs a specific order.
+type Sort struct {
+	Child      Operator
+	Field      int
+	Descending bool
+
+	rows []tuple.Tuple
+	pos  int
+}
+
+// Open drains and sorts the child.
+func (s *Sort) Open() error {
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	for {
+		t, ok, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, t)
+	}
+	d := s.Child.Desc()
+	isChar := d.Fields[s.Field].Type == tuple.Char
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		var less bool
+		if isChar {
+			less = s.rows[i].Values[s.Field].Str < s.rows[j].Values[s.Field].Str
+		} else {
+			less = s.rows[i].Values[s.Field].I64 < s.rows[j].Values[s.Field].I64
+		}
+		if s.Descending {
+			return !less
+		}
+		return less
+	})
+	s.pos = 0
+	return nil
+}
+
+// Rewind restarts result iteration.
+func (s *Sort) Rewind() error { s.pos = 0; return nil }
+
+// Close closes the child.
+func (s *Sort) Close() error { return s.Child.Close() }
+
+// Desc returns the child's schema.
+func (s *Sort) Desc() *tuple.Desc { return s.Child.Desc() }
+
+// Next returns rows in sorted order.
+func (s *Sort) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}

@@ -1,0 +1,162 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harbor/internal/tuple"
+)
+
+var desc = tuple.MustDesc("id",
+	tuple.FieldDef{Name: "id", Type: tuple.Int64},
+	tuple.FieldDef{Name: "qty", Type: tuple.Int32},
+	tuple.FieldDef{Name: "name", Type: tuple.Char, Size: 8},
+)
+
+func mk(id, qty int64, name string) tuple.Tuple {
+	return tuple.MustMake(desc, tuple.VInt(id), tuple.VInt(qty), tuple.VStr(name))
+}
+
+func TestTermOps(t *testing.T) {
+	tp := mk(10, 5, "dell")
+	qf := desc.FieldIndex("qty")
+	cases := []struct {
+		op   Op
+		v    int64
+		want bool
+	}{
+		{EQ, 5, true}, {EQ, 6, false},
+		{NE, 5, false}, {NE, 4, true},
+		{LT, 6, true}, {LT, 5, false},
+		{LE, 5, true}, {LE, 4, false},
+		{GT, 4, true}, {GT, 5, false},
+		{GE, 5, true}, {GE, 6, false},
+	}
+	for _, c := range cases {
+		term := Term{Field: qf, Op: c.op, Value: tuple.VInt(c.v)}
+		if got := term.Eval(desc, tp); got != c.want {
+			t.Errorf("qty %s %d: got %v want %v", c.op, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCharComparison(t *testing.T) {
+	tp := mk(1, 0, "dell")
+	nf := desc.FieldIndex("name")
+	if !(Term{Field: nf, Op: EQ, Value: tuple.VStr("dell")}).Eval(desc, tp) {
+		t.Fatal("EQ on char failed")
+	}
+	if !(Term{Field: nf, Op: LT, Value: tuple.VStr("ipod")}).Eval(desc, tp) {
+		t.Fatal("dell < ipod should hold")
+	}
+	if (Term{Field: nf, Op: GT, Value: tuple.VStr("ipod")}).Eval(desc, tp) {
+		t.Fatal("dell > ipod should not hold")
+	}
+}
+
+func TestPredConjunction(t *testing.T) {
+	tp := mk(10, 5, "dell")
+	p := True.
+		And(Term{Field: desc.Key, Op: GE, Value: tuple.VInt(5)}).
+		And(Term{Field: desc.FieldIndex("qty"), Op: LT, Value: tuple.VInt(6)})
+	if !p.Eval(desc, tp) {
+		t.Fatal("conjunction should hold")
+	}
+	p2 := p.And(Term{Field: desc.FieldIndex("name"), Op: EQ, Value: tuple.VStr("ipod")})
+	if p2.Eval(desc, tp) {
+		t.Fatal("conjunction with false term should fail")
+	}
+	if !True.Eval(desc, tp) || !True.IsTrue() {
+		t.Fatal("empty predicate must be true")
+	}
+	// And must not mutate the receiver.
+	if len(p.Terms) != 2 {
+		t.Fatal("And mutated its receiver")
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	full := FullKeyRange()
+	if !full.Contains(math.MinInt64) || !full.Contains(0) || !full.Contains(math.MaxInt64) {
+		t.Fatal("full range must contain everything")
+	}
+	r := KeyRange{Lo: 10, Hi: 20}
+	if r.Contains(9) || !r.Contains(10) || !r.Contains(19) || r.Contains(20) {
+		t.Fatal("half-open semantics violated")
+	}
+	if (KeyRange{Lo: 5, Hi: 5}).Contains(5) {
+		t.Fatal("empty range should not contain its bound")
+	}
+	if !(KeyRange{Lo: 5, Hi: 5}).Empty() {
+		t.Fatal("lo==hi should be empty")
+	}
+	if full.Empty() {
+		t.Fatal("full range is not empty")
+	}
+}
+
+func TestKeyRangeIntersect(t *testing.T) {
+	a := KeyRange{Lo: 0, Hi: 100}
+	b := KeyRange{Lo: 50, Hi: 200}
+	got := a.Intersect(b)
+	if got.Lo != 50 || got.Hi != 100 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if !a.Intersect(KeyRange{Lo: 200, Hi: 300}).Empty() {
+		t.Fatal("disjoint ranges must intersect to empty")
+	}
+	if got := FullKeyRange().Intersect(a); got != a {
+		t.Fatalf("full ∩ a = %v, want %v", got, a)
+	}
+}
+
+func TestKeyRangePred(t *testing.T) {
+	r := KeyRange{Lo: 10, Hi: 20}
+	p := r.Pred(desc)
+	for k := int64(5); k < 25; k++ {
+		if got := p.Eval(desc, mk(k, 0, "")); got != r.Contains(k) {
+			t.Fatalf("key %d: pred %v, range %v", k, got, r.Contains(k))
+		}
+	}
+	if !FullKeyRange().Pred(desc).IsTrue() {
+		t.Fatal("full range should compile to TRUE")
+	}
+}
+
+// Property: KeyRange.Pred is equivalent to KeyRange.Contains.
+func TestQuickKeyRangePredEquivalence(t *testing.T) {
+	f := func(lo, hi, k int64) bool {
+		r := KeyRange{Lo: lo, Hi: hi}
+		return r.Pred(desc).Eval(desc, mk(k, 0, "")) == r.Contains(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect(a,b).Contains(k) == a.Contains(k) && b.Contains(k).
+func TestQuickIntersectSemantics(t *testing.T) {
+	f := func(alo, ahi, blo, bhi, k int64) bool {
+		a := KeyRange{Lo: alo, Hi: ahi}
+		b := KeyRange{Lo: blo, Hi: bhi}
+		return a.Intersect(b).Contains(k) == (a.Contains(k) && b.Contains(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if True.String() != "TRUE" {
+		t.Fatalf("True renders as %q", True.String())
+	}
+	p := True.And(Term{Field: 2, Op: GE, Value: tuple.VInt(3)})
+	if p.String() == "" || p.String() == "TRUE" {
+		t.Fatalf("predicate renders as %q", p.String())
+	}
+	if FullKeyRange().String() != "[*,*)" {
+		t.Fatalf("full range renders as %q", FullKeyRange().String())
+	}
+}

@@ -1,0 +1,420 @@
+// Package lockmgr implements each site's lock manager (§6.1.2 of the
+// thesis): strict two-phase locking at page granularity for normal
+// transaction processing, plus table-granularity locks so that a recovering
+// site can hold read locks over entire recovery objects during Phase 3
+// (§5.4.1).
+//
+// Because a table-level shared lock must conflict with concurrent page-level
+// exclusive locks inside the same table, the manager is hierarchical:
+// transactions implicitly take intention locks (IS/IX) on a table when they
+// lock one of its pages, and recovery's table locks are plain S/X locks that
+// conflict with those intentions in the usual way.
+//
+// Deadlocks are broken by timeouts, exactly as in the thesis: a lock request
+// that cannot be granted within the configured window fails with
+// ErrLockTimeout and the caller aborts the transaction.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TxnID identifies a transaction; ids are issued by the coordinator and are
+// globally unique.
+type TxnID int64
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// IS is an intention-shared lock (held on a table while reading pages).
+	IS Mode = iota + 1
+	// IX is an intention-exclusive lock (held on a table while writing pages).
+	IX
+	// S is a shared lock.
+	S
+	// X is an exclusive lock.
+	X
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// compatible reports whether two modes may be held simultaneously by
+// different transactions.
+func compatible(a, b Mode) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	}
+	return false
+}
+
+// sup returns the combined mode a transaction effectively holds after
+// acquiring both a and b on the same target. SIX is not modelled; S+IX
+// escalates to X (strictly more conservative, never less safe).
+func sup(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	stronger := func(m Mode) int {
+		switch m {
+		case IS:
+			return 0
+		case IX, S:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if a == X || b == X {
+		return X
+	}
+	if (a == S && b == IX) || (a == IX && b == S) {
+		return X
+	}
+	if stronger(a) >= stronger(b) {
+		return a
+	}
+	return b
+}
+
+// Target names a lockable object: a whole table (Page == TablePage) or one
+// page of it.
+type Target struct {
+	Table int32
+	Page  int32
+}
+
+// TablePage is the sentinel page number meaning "the table itself".
+const TablePage int32 = -1
+
+// TableTarget makes a table-level target.
+func TableTarget(table int32) Target { return Target{Table: table, Page: TablePage} }
+
+// PageTarget makes a page-level target.
+func PageTarget(table, pageNo int32) Target { return Target{Table: table, Page: pageNo} }
+
+// String renders the target.
+func (t Target) String() string {
+	if t.Page == TablePage {
+		return fmt.Sprintf("table %d", t.Table)
+	}
+	return fmt.Sprintf("table %d page %d", t.Table, t.Page)
+}
+
+// ErrLockTimeout signals a probable deadlock (§6.1.2 uses timeouts as the
+// deadlock-detection mechanism); callers abort the transaction.
+var ErrLockTimeout = errors.New("lockmgr: lock wait timed out (possible deadlock)")
+
+type waiter struct {
+	tid     TxnID
+	mode    Mode
+	granted chan struct{}
+	done    bool // set under the manager mutex when granted or abandoned
+}
+
+type entry struct {
+	holders map[TxnID]Mode
+	queue   []*waiter
+}
+
+// Manager is one site's lock manager. The zero value is not usable; call New.
+type Manager struct {
+	mu      sync.Mutex
+	locks   map[Target]*entry
+	timeout time.Duration
+
+	// held tracks, per transaction, everything it holds so ReleaseAll is
+	// O(locks held).
+	held map[TxnID]map[Target]Mode
+}
+
+// DefaultTimeout is the deadlock-detection window.
+const DefaultTimeout = 2 * time.Second
+
+// New creates a lock manager with the given deadlock timeout
+// (DefaultTimeout if zero).
+func New(timeout time.Duration) *Manager {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Manager{
+		locks:   map[Target]*entry{},
+		timeout: timeout,
+		held:    map[TxnID]map[Target]Mode{},
+	}
+}
+
+// Acquire blocks until tid holds mode on target or the deadlock timeout
+// fires. Acquiring a page lock implicitly acquires the matching intention
+// lock (IS for S, IX for X) on the table first; if that intention lock
+// cannot be granted the page request fails the same way.
+func (m *Manager) Acquire(tid TxnID, target Target, mode Mode) error {
+	deadline := time.Now().Add(m.timeout)
+	if target.Page != TablePage {
+		intent := IS
+		if mode == X || mode == IX {
+			intent = IX
+		}
+		if err := m.acquireOne(tid, TableTarget(target.Table), intent, deadline); err != nil {
+			return err
+		}
+	}
+	return m.acquireOne(tid, target, mode, deadline)
+}
+
+func (m *Manager) acquireOne(tid TxnID, target Target, mode Mode, deadline time.Time) error {
+	m.mu.Lock()
+	e := m.locks[target]
+	if e == nil {
+		e = &entry{holders: map[TxnID]Mode{}}
+		m.locks[target] = e
+	}
+	if cur, ok := e.holders[tid]; ok {
+		mode = sup(cur, mode)
+		if mode == cur {
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	if m.grantableLocked(e, tid, mode) {
+		m.grantLocked(e, tid, target, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{tid: tid, mode: mode, granted: make(chan struct{})}
+	e.queue = append(e.queue, w)
+	m.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return nil
+	case <-timer.C:
+		m.mu.Lock()
+		if w.done {
+			// Granted concurrently with the timeout; keep the lock.
+			m.mu.Unlock()
+			return nil
+		}
+		w.done = true
+		for i, q := range e.queue {
+			if q == w {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		// Our departure may unblock waiters queued behind us.
+		m.wakeLocked(target, e)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v wants %v on %v", ErrLockTimeout, tid, mode, target)
+	}
+}
+
+// grantableLocked reports whether tid may hold mode on e given the current
+// holders (ignoring tid's own weaker hold, which is being upgraded) and
+// FIFO fairness: a request that conflicts with any *earlier* waiter must
+// queue behind it unless tid is upgrading an existing hold (upgrades jump
+// the queue to avoid trivial upgrade deadlocks).
+func (m *Manager) grantableLocked(e *entry, tid TxnID, mode Mode) bool {
+	for h, hm := range e.holders {
+		if h == tid {
+			continue
+		}
+		if !compatible(mode, hm) {
+			return false
+		}
+	}
+	if _, upgrading := e.holders[tid]; upgrading {
+		return true
+	}
+	for _, w := range e.queue {
+		if w.tid != tid && !compatible(mode, w.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(e *entry, tid TxnID, target Target, mode Mode) {
+	e.holders[tid] = mode
+	hm := m.held[tid]
+	if hm == nil {
+		hm = map[Target]Mode{}
+		m.held[tid] = hm
+	}
+	hm[target] = mode
+}
+
+// wakeLocked grants queued waiters in FIFO order while they are grantable.
+func (m *Manager) wakeLocked(target Target, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		want := w.mode
+		if cur, ok := e.holders[w.tid]; ok {
+			want = sup(cur, want)
+		}
+		granted := true
+		for h, hm := range e.holders {
+			if h != w.tid && !compatible(want, hm) {
+				granted = false
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+		e.queue = e.queue[1:]
+		w.done = true
+		m.grantLocked(e, w.tid, target, want)
+		close(w.granted)
+	}
+}
+
+// TryAcquire grants mode on target only if it is immediately grantable
+// (no waiting). For page targets the table intention lock is still acquired
+// with normal blocking semantics — a recovering site's table lock must
+// stall writers — but contention on the page itself fails fast so inserts
+// can pick a different page instead of queueing behind another
+// transaction's uncommitted insert.
+func (m *Manager) TryAcquire(tid TxnID, target Target, mode Mode) (bool, error) {
+	if target.Page != TablePage {
+		intent := IS
+		if mode == X || mode == IX {
+			intent = IX
+		}
+		if err := m.acquireOne(tid, TableTarget(target.Table), intent, time.Now().Add(m.timeout)); err != nil {
+			return false, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[target]
+	if e == nil {
+		e = &entry{holders: map[TxnID]Mode{}}
+		m.locks[target] = e
+	}
+	want := mode
+	if cur, ok := e.holders[tid]; ok {
+		want = sup(cur, mode)
+		if want == cur {
+			return true, nil
+		}
+	}
+	if !m.grantableLocked(e, tid, want) {
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.locks, target)
+		}
+		return false, nil
+	}
+	m.grantLocked(e, tid, target, want)
+	return true, nil
+}
+
+// Has reports whether tid currently holds at least mode on target
+// (the thesis's hasAccess call).
+func (m *Manager) Has(tid TxnID, target Target, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.held[tid][target]
+	if !ok {
+		return false
+	}
+	return sup(cur, mode) == cur
+}
+
+// ReleaseAll releases every lock tid holds (end of transaction; the
+// thesis's releaseLocks).
+func (m *Manager) ReleaseAll(tid TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for target := range m.held[tid] {
+		m.releaseTargetLocked(tid, target)
+	}
+	delete(m.held, tid)
+}
+
+// Release releases one specific lock (recovery drops its table read locks
+// individually when it comes online, §5.4.2).
+func (m *Manager) Release(tid TxnID, target Target) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseTargetLocked(tid, target)
+	if hm := m.held[tid]; hm != nil {
+		delete(hm, target)
+		if len(hm) == 0 {
+			delete(m.held, tid)
+		}
+	}
+}
+
+func (m *Manager) releaseTargetLocked(tid TxnID, target Target) {
+	e := m.locks[target]
+	if e == nil {
+		return
+	}
+	delete(e.holders, tid)
+	m.wakeLocked(target, e)
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.locks, target)
+	}
+}
+
+// HoldersOf returns the transactions holding locks on target (diagnostics
+// and the §5.5.1 lock-override path: when a recovery buddy detects that a
+// recovering site died, it releases that site's locks by owner).
+func (m *Manager) HoldersOf(target Target) []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[target]
+	if e == nil {
+		return nil
+	}
+	out := make([]TxnID, 0, len(e.holders))
+	for tid := range e.holders {
+		out = append(out, tid)
+	}
+	return out
+}
+
+// HeldBy returns a snapshot of everything tid holds.
+func (m *Manager) HeldBy(tid TxnID) map[Target]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Target]Mode, len(m.held[tid]))
+	for t, md := range m.held[tid] {
+		out[t] = md
+	}
+	return out
+}
+
+// NumLocked returns the number of locked targets (test instrumentation).
+func (m *Manager) NumLocked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}

@@ -1,0 +1,317 @@
+package lockmgr
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, X}: false,
+		{IX, IS}: true, {IX, IX}: true, {IX, S}: false, {IX, X}: false,
+		{S, IS}: true, {S, IX}: false, {S, S}: true, {S, X}: false,
+		{X, IS}: false, {X, IX}: false, {X, S}: false, {X, X}: false,
+	}
+	for pair, w := range want {
+		if got := compatible(pair[0], pair[1]); got != w {
+			t.Errorf("compatible(%v,%v) = %v, want %v", pair[0], pair[1], got, w)
+		}
+	}
+}
+
+func TestSup(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{IS, IS, IS}, {IS, IX, IX}, {IS, S, S}, {IS, X, X},
+		{S, IX, X}, {IX, S, X}, {S, S, S}, {X, IS, X}, {S, X, X},
+	}
+	for _, c := range cases {
+		if got := sup(c.a, c.b); got != c.want {
+			t.Errorf("sup(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New(time.Second)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(1, tgt, S) || !m.Has(2, tgt, S) {
+		t.Fatal("both readers should hold S")
+	}
+	if m.Has(1, tgt, X) {
+		t.Fatal("Has must not report X for an S holder")
+	}
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(2, tgt, S)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// The failed waiter must not linger: releasing should leave the table
+	// clean and a retry should succeed.
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if m.NumLocked() != 0 {
+		t.Fatalf("lock table not empty: %d entries", m.NumLocked())
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := New(2 * time.Second)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, tgt, X) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter was not woken")
+	}
+	if !m.Has(2, tgt, X) {
+		t.Fatal("waiter does not hold the lock after wake")
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	m := New(time.Second)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(1, tgt, X) {
+		t.Fatal("upgrade failed")
+	}
+	// Another reader must now be blocked.
+	m2err := m.tryAcquire(2, tgt, S, 50*time.Millisecond)
+	if !errors.Is(m2err, ErrLockTimeout) {
+		t.Fatalf("expected timeout after upgrade, got %v", m2err)
+	}
+}
+
+// tryAcquire is a test helper using a custom timeout.
+func (m *Manager) tryAcquire(tid TxnID, tgt Target, mode Mode, d time.Duration) error {
+	saved := m.timeout
+	m.timeout = d
+	defer func() { m.timeout = saved }()
+	return m.Acquire(tid, tgt, mode)
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, tgt, X); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("upgrade should block on other reader, got %v", err)
+	}
+	// tid 1 still holds its S lock.
+	if !m.Has(1, tgt, S) {
+		t.Fatal("failed upgrade must not drop the original lock")
+	}
+}
+
+func TestHierarchyPageXConflictsWithTableS(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	// Txn 1 writes a page → implicit IX on the table.
+	if err := m.Acquire(1, PageTarget(7, 3), X); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(1, TableTarget(7), IX) {
+		t.Fatal("page X must imply table IX")
+	}
+	// Recovery (txn 2) wants a table-level S lock → must block.
+	if err := m.Acquire(2, TableTarget(7), S); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("table S should conflict with IX, got %v", err)
+	}
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, TableTarget(7), S); err != nil {
+		t.Fatal(err)
+	}
+	// And now a writer must block behind recovery's table S.
+	if err := m.tryAcquire(3, PageTarget(7, 5), X, 50*time.Millisecond); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("page X should conflict with table S, got %v", err)
+	}
+	// Readers can proceed: page S under table S is compatible (IS vs S).
+	if err := m.Acquire(4, PageTarget(7, 5), S); err != nil {
+		t.Fatalf("reader should coexist with recovery's table S: %v", err)
+	}
+}
+
+func TestReleaseSpecificTarget(t *testing.T) {
+	m := New(time.Second)
+	a, b := TableTarget(1), TableTarget(2)
+	if err := m.Acquire(1, a, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, b, S); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(1, a)
+	if m.Has(1, a, S) {
+		t.Fatal("released lock still held")
+	}
+	if !m.Has(1, b, S) {
+		t.Fatal("unrelated lock dropped")
+	}
+}
+
+func TestHoldersOfAndHeldBy(t *testing.T) {
+	m := New(time.Second)
+	tgt := TableTarget(5)
+	if err := m.Acquire(10, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(11, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	hs := m.HoldersOf(tgt)
+	if len(hs) != 2 {
+		t.Fatalf("HoldersOf = %v", hs)
+	}
+	held := m.HeldBy(10)
+	if held[tgt] != S {
+		t.Fatalf("HeldBy = %v", held)
+	}
+	if m.HoldersOf(TableTarget(99)) != nil {
+		t.Fatal("HoldersOf unknown target should be nil")
+	}
+}
+
+func TestFIFOFairnessNoWriterStarvation(t *testing.T) {
+	m := New(5 * time.Second)
+	tgt := PageTarget(1, 0)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	writerGot := make(chan struct{})
+	go func() {
+		if err := m.Acquire(2, tgt, X); err == nil {
+			close(writerGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// A new reader arriving while a writer waits must queue behind it.
+	readerGot := make(chan struct{})
+	go func() {
+		if err := m.Acquire(3, tgt, S); err == nil {
+			close(readerGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerGot:
+		t.Fatal("late reader jumped the writer queue")
+	default:
+	}
+	m.ReleaseAll(1)
+	<-writerGot
+	m.ReleaseAll(2)
+	<-readerGot
+}
+
+// TestQuickNoIncompatibleHolders hammers the manager with random
+// acquire/release traffic and asserts the core invariant: no two
+// transactions ever simultaneously hold incompatible modes on one target.
+func TestQuickNoIncompatibleHolders(t *testing.T) {
+	f := func(seed int64) bool {
+		m := New(30 * time.Millisecond)
+		var violation atomic.Bool
+		var wg sync.WaitGroup
+		targets := []Target{TableTarget(1), PageTarget(1, 0), PageTarget(1, 1), TableTarget(2)}
+		modes := []Mode{S, X, IS, IX}
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(g)))
+				tid := TxnID(g + 1)
+				for i := 0; i < 30; i++ {
+					tgt := targets[rng.Intn(len(targets))]
+					mode := modes[rng.Intn(len(modes))]
+					if err := m.Acquire(tid, tgt, mode); err != nil {
+						m.ReleaseAll(tid)
+						continue
+					}
+					// Invariant check across the whole lock table.
+					m.mu.Lock()
+					for _, e := range m.locks {
+						tids := make([]TxnID, 0, len(e.holders))
+						for h := range e.holders {
+							tids = append(tids, h)
+						}
+						for i := 0; i < len(tids); i++ {
+							for j := i + 1; j < len(tids); j++ {
+								if !compatible(e.holders[tids[i]], e.holders[tids[j]]) {
+									violation.Store(true)
+								}
+							}
+						}
+					}
+					m.mu.Unlock()
+					if rng.Intn(3) == 0 {
+						m.ReleaseAll(tid)
+					}
+				}
+				m.ReleaseAll(tid)
+			}(g)
+		}
+		wg.Wait()
+		return !violation.Load() && m.NumLocked() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockBrokenByTimeout(t *testing.T) {
+	m := New(100 * time.Millisecond)
+	a, b := PageTarget(1, 0), PageTarget(1, 1)
+	if err := m.Acquire(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, b, X) }()
+	go func() { errs <- m.Acquire(2, a, X) }()
+	e1, e2 := <-errs, <-errs
+	if !errors.Is(e1, ErrLockTimeout) && !errors.Is(e2, ErrLockTimeout) {
+		t.Fatalf("deadlock not broken: %v / %v", e1, e2)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}

@@ -1,0 +1,253 @@
+// Package page implements the fixed-size slotted data page used by the
+// segmented heap files (§6.1.1 of the thesis: 4 KB pages, fixed-width
+// tuples, dense packing with a first-empty-slot pointer).
+//
+// Layout of a data page:
+//
+//	bytes 0..7    pageLSN (uint64) — LSN of the last log record that
+//	              modified the page; ARIES uses it for redo decisions and
+//	              the WAL rule ("log before page flush") keys off it.
+//	bytes 8..9    slot count (uint16)
+//	bytes 10..    slot-used bitmap, ceil(slots/8) bytes
+//	...           slot array: slots × tupleWidth bytes
+//
+// Header pages of segmented heap files use the same 4 KB frame but their
+// own layout (see internal/storage).
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the page size in bytes (§6.1.1).
+const Size = 4096
+
+// LSN is a log sequence number: the byte offset of a record in a site's log.
+// Zero means "never logged" (HARBOR mode never assigns LSNs).
+type LSN = uint64
+
+// ID identifies a page on one site: a table and a page number within that
+// table's heap file.
+type ID struct {
+	Table  int32
+	PageNo int32
+}
+
+// String renders the id for diagnostics and lock dumps.
+func (id ID) String() string { return fmt.Sprintf("t%d:p%d", id.Table, id.PageNo) }
+
+// RecordID identifies a stored tuple: a page and a slot on that page.
+type RecordID struct {
+	Page ID
+	Slot int
+}
+
+// String renders the record id.
+func (r RecordID) String() string { return fmt.Sprintf("%s:s%d", r.Page, r.Slot) }
+
+const headerBase = 10 // pageLSN(8) + slot count(2)
+
+// SlotsPerPage computes how many fixed-width tuples fit on a data page,
+// accounting for the header and the used bitmap.
+func SlotsPerPage(tupleWidth int) int {
+	if tupleWidth <= 0 {
+		panic("page: non-positive tuple width")
+	}
+	// slots*width + ceil(slots/8) + headerBase <= Size.
+	slots := (Size - headerBase) * 8 / (tupleWidth*8 + 1)
+	for slots > 0 && headerBase+(slots+7)/8+slots*tupleWidth > Size {
+		slots--
+	}
+	return slots
+}
+
+// Page is an in-memory image of one data page plus bookkeeping that the
+// buffer pool needs. The raw data is authoritative; accessors keep the
+// header fields in sync.
+type Page struct {
+	id         ID
+	data       []byte
+	tupleWidth int
+	slots      int
+}
+
+// New formats an empty data page for tuples of the given width.
+func New(id ID, tupleWidth int) *Page {
+	p := &Page{
+		id:         id,
+		data:       make([]byte, Size),
+		tupleWidth: tupleWidth,
+		slots:      SlotsPerPage(tupleWidth),
+	}
+	binary.LittleEndian.PutUint16(p.data[8:], uint16(p.slots))
+	return p
+}
+
+// FromBytes wraps a 4 KB on-disk image. The slot count recorded in the
+// header must match the width-derived count; a mismatch indicates file
+// corruption or a schema mismatch.
+func FromBytes(id ID, data []byte, tupleWidth int) (*Page, error) {
+	if len(data) != Size {
+		return nil, fmt.Errorf("page %s: image is %d bytes, want %d", id, len(data), Size)
+	}
+	want := SlotsPerPage(tupleWidth)
+	got := int(binary.LittleEndian.Uint16(data[8:]))
+	if got != want {
+		return nil, fmt.Errorf("page %s: header slot count %d, schema implies %d", id, got, want)
+	}
+	return &Page{id: id, data: data, tupleWidth: tupleWidth, slots: want}, nil
+}
+
+// ID returns the page's identity.
+func (p *Page) ID() ID { return p.id }
+
+// Bytes returns the raw 4 KB image (shared, not a copy).
+func (p *Page) Bytes() []byte { return p.data }
+
+// NumSlots returns the page's slot capacity.
+func (p *Page) NumSlots() int { return p.slots }
+
+// LSN returns the pageLSN.
+func (p *Page) LSN() LSN { return binary.LittleEndian.Uint64(p.data) }
+
+// SetLSN stores the pageLSN.
+func (p *Page) SetLSN(l LSN) { binary.LittleEndian.PutUint64(p.data, l) }
+
+func (p *Page) bitmapOffset() int { return headerBase }
+func (p *Page) slotsOffset() int  { return headerBase + (p.slots+7)/8 }
+func (p *Page) slotOffset(i int) int {
+	return p.slotsOffset() + i*p.tupleWidth
+}
+
+// Used reports whether slot i holds a tuple.
+func (p *Page) Used(i int) bool {
+	if i < 0 || i >= p.slots {
+		return false
+	}
+	return p.data[p.bitmapOffset()+i/8]&(1<<(uint(i)%8)) != 0
+}
+
+func (p *Page) setUsed(i int, used bool) {
+	idx := p.bitmapOffset() + i/8
+	bit := byte(1) << (uint(i) % 8)
+	if used {
+		p.data[idx] |= bit
+	} else {
+		p.data[idx] &^= bit
+	}
+}
+
+// NumUsed counts occupied slots.
+func (p *Page) NumUsed() int {
+	n := 0
+	for i := 0; i < p.slots; i++ {
+		if p.Used(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstFree returns the lowest free slot index, or -1 if the page is full.
+// Heap files cache this per page to keep inserts cheap (§6.1.1).
+func (p *Page) FirstFree() int {
+	bm := p.data[p.bitmapOffset():p.slotsOffset()]
+	for byteIdx, b := range bm {
+		if b == 0xFF {
+			continue
+		}
+		for bit := 0; bit < 8; bit++ {
+			i := byteIdx*8 + bit
+			if i >= p.slots {
+				return -1
+			}
+			if b&(1<<uint(bit)) == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Slot returns the raw bytes of slot i (aliasing the page image). The slot
+// need not be in use; recovery and redo write into free slots directly.
+func (p *Page) Slot(i int) ([]byte, error) {
+	if i < 0 || i >= p.slots {
+		return nil, fmt.Errorf("page %s: slot %d out of range [0,%d)", p.id, i, p.slots)
+	}
+	off := p.slotOffset(i)
+	return p.data[off : off+p.tupleWidth], nil
+}
+
+// Insert stores the encoded tuple into the first free slot and returns the
+// slot index, or an error if the page is full or the width is wrong.
+func (p *Page) Insert(encoded []byte) (int, error) {
+	if len(encoded) != p.tupleWidth {
+		return 0, fmt.Errorf("page %s: tuple is %d bytes, slot width %d", p.id, len(encoded), p.tupleWidth)
+	}
+	i := p.FirstFree()
+	if i < 0 {
+		return 0, ErrPageFull
+	}
+	off := p.slotOffset(i)
+	copy(p.data[off:], encoded)
+	p.setUsed(i, true)
+	return i, nil
+}
+
+// InsertAt stores the encoded tuple into a specific slot, marking it used.
+// ARIES redo and HARBOR recovery use it to reproduce exact placements.
+func (p *Page) InsertAt(i int, encoded []byte) error {
+	if i < 0 || i >= p.slots {
+		return fmt.Errorf("page %s: slot %d out of range", p.id, i)
+	}
+	if len(encoded) != p.tupleWidth {
+		return fmt.Errorf("page %s: tuple is %d bytes, slot width %d", p.id, len(encoded), p.tupleWidth)
+	}
+	copy(p.data[p.slotOffset(i):], encoded)
+	p.setUsed(i, true)
+	return nil
+}
+
+// Delete frees slot i (a *physical* delete: recovery Phase 1 and rollback
+// use it; normal versioned deletes only set the deletion timestamp).
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= p.slots {
+		return fmt.Errorf("page %s: slot %d out of range", p.id, i)
+	}
+	if !p.Used(i) {
+		return fmt.Errorf("page %s: slot %d already free", p.id, i)
+	}
+	p.setUsed(i, false)
+	return nil
+}
+
+// WriteInt64At overwrites an 8-byte little-endian value at byte offset off
+// within slot i. The versioning layer uses it to stamp commit timestamps
+// and recovery uses it to copy deletion times in place.
+func (p *Page) WriteInt64At(i int, off int, v int64) error {
+	if i < 0 || i >= p.slots {
+		return fmt.Errorf("page %s: slot %d out of range", p.id, i)
+	}
+	if off < 0 || off+8 > p.tupleWidth {
+		return fmt.Errorf("page %s: field offset %d out of slot", p.id, off)
+	}
+	binary.LittleEndian.PutUint64(p.data[p.slotOffset(i)+off:], uint64(v))
+	return nil
+}
+
+// ReadInt64At reads an 8-byte little-endian value from byte offset off of
+// slot i.
+func (p *Page) ReadInt64At(i int, off int) (int64, error) {
+	if i < 0 || i >= p.slots {
+		return 0, fmt.Errorf("page %s: slot %d out of range", p.id, i)
+	}
+	if off < 0 || off+8 > p.tupleWidth {
+		return 0, fmt.Errorf("page %s: field offset %d out of slot", p.id, off)
+	}
+	return int64(binary.LittleEndian.Uint64(p.data[p.slotOffset(i)+off:])), nil
+}
+
+// ErrPageFull is returned by Insert when no free slot exists.
+var ErrPageFull = fmt.Errorf("page: no free slot")

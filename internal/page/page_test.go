@@ -1,0 +1,222 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotsPerPage(t *testing.T) {
+	// 64-byte tuples (the thesis benchmark tuple size): the packing must
+	// never exceed the page and should waste less than one tuple's space.
+	for _, w := range []int{1, 8, 17, 64, 100, 512, 4000} {
+		slots := SlotsPerPage(w)
+		if slots < 0 {
+			t.Fatalf("width %d: negative slots", w)
+		}
+		used := headerBase + (slots+7)/8 + slots*w
+		if used > Size {
+			t.Fatalf("width %d: %d slots overflow the page (%d bytes)", w, slots, used)
+		}
+		usedNext := headerBase + (slots+1+7)/8 + (slots+1)*w
+		if w <= Size-headerBase-1 && usedNext <= Size {
+			t.Fatalf("width %d: packing not maximal (%d slots fits, computed %d)", w, slots+1, slots)
+		}
+	}
+	if got := SlotsPerPage(64); got != 63 {
+		t.Fatalf("64-byte tuples per 4KB page = %d, want 63", got)
+	}
+}
+
+func TestInsertDeleteCycle(t *testing.T) {
+	p := New(ID{Table: 1, PageNo: 0}, 16)
+	enc := bytes.Repeat([]byte{0xAB}, 16)
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		slot, err := p.Insert(enc)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if slot != i {
+			t.Fatalf("insert %d landed in slot %d (dense packing expected)", i, slot)
+		}
+	}
+	if _, err := p.Insert(enc); err != ErrPageFull {
+		t.Fatalf("expected ErrPageFull, got %v", err)
+	}
+	if p.NumUsed() != n {
+		t.Fatalf("NumUsed = %d, want %d", p.NumUsed(), n)
+	}
+	if err := p.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used(5) {
+		t.Fatal("slot 5 still used after delete")
+	}
+	if err := p.Delete(5); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	// Dense packing: next insert reuses the freed slot.
+	slot, err := p.Insert(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 5 {
+		t.Fatalf("insert after delete landed in %d, want 5", slot)
+	}
+}
+
+func TestWrongWidthInsert(t *testing.T) {
+	p := New(ID{}, 16)
+	if _, err := p.Insert(make([]byte, 15)); err == nil {
+		t.Fatal("expected width error")
+	}
+	if err := p.InsertAt(0, make([]byte, 17)); err == nil {
+		t.Fatal("expected width error from InsertAt")
+	}
+}
+
+func TestLSNRoundTrip(t *testing.T) {
+	p := New(ID{Table: 3, PageNo: 9}, 32)
+	if p.LSN() != 0 {
+		t.Fatal("fresh page should have LSN 0")
+	}
+	p.SetLSN(0xDEADBEEF01)
+	if p.LSN() != 0xDEADBEEF01 {
+		t.Fatalf("LSN round trip failed: %x", p.LSN())
+	}
+}
+
+func TestFromBytesValidation(t *testing.T) {
+	p := New(ID{Table: 1}, 64)
+	if _, err := FromBytes(p.ID(), p.Bytes(), 64); err != nil {
+		t.Fatalf("FromBytes on valid image: %v", err)
+	}
+	if _, err := FromBytes(p.ID(), p.Bytes()[:100], 64); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := FromBytes(p.ID(), p.Bytes(), 32); err == nil {
+		t.Fatal("expected slot-count mismatch error")
+	}
+}
+
+func TestFromBytesPreservesContent(t *testing.T) {
+	p := New(ID{Table: 7, PageNo: 2}, 24)
+	enc := bytes.Repeat([]byte{0x5C}, 24)
+	if _, err := p.Insert(enc); err != nil {
+		t.Fatal(err)
+	}
+	p.SetLSN(77)
+	img := make([]byte, Size)
+	copy(img, p.Bytes())
+	q, err := FromBytes(p.ID(), img, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LSN() != 77 || !q.Used(0) || q.NumUsed() != 1 {
+		t.Fatal("reloaded page lost state")
+	}
+	got, err := q.Slot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, enc) {
+		t.Fatal("slot content mismatch after reload")
+	}
+}
+
+func TestWriteReadInt64At(t *testing.T) {
+	p := New(ID{}, 40)
+	if _, err := p.Insert(make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteInt64At(0, 8, -12345); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ReadInt64At(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -12345 {
+		t.Fatalf("got %d want -12345", v)
+	}
+	if err := p.WriteInt64At(0, 36, 1); err == nil {
+		t.Fatal("expected out-of-slot error")
+	}
+	if err := p.WriteInt64At(p.NumSlots(), 0, 1); err == nil {
+		t.Fatal("expected out-of-range slot error")
+	}
+}
+
+// Property: a random sequence of inserts and deletes keeps the bitmap, the
+// used count, and FirstFree mutually consistent with a model map.
+func TestQuickInsertDeleteModel(t *testing.T) {
+	const width = 128
+	f := func(ops []uint16) bool {
+		p := New(ID{Table: 9}, width)
+		model := map[int][]byte{}
+		next := byte(1)
+		for _, op := range ops {
+			if op%3 != 0 { // insert twice as often as delete
+				enc := bytes.Repeat([]byte{next}, width)
+				next++
+				slot, err := p.Insert(enc)
+				if err == ErrPageFull {
+					if len(model) != p.NumSlots() {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if _, dup := model[slot]; dup {
+					return false
+				}
+				model[slot] = enc
+			} else if len(model) > 0 {
+				// delete an arbitrary live slot
+				var victim int
+				for s := range model {
+					victim = s
+					break
+				}
+				if err := p.Delete(victim); err != nil {
+					return false
+				}
+				delete(model, victim)
+			}
+			if p.NumUsed() != len(model) {
+				return false
+			}
+		}
+		for s, enc := range model {
+			if !p.Used(s) {
+				return false
+			}
+			got, err := p.Slot(s)
+			if err != nil || !bytes.Equal(got, enc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPageInsert(b *testing.B) {
+	enc := make([]byte, 64)
+	b.ReportAllocs()
+	var p *Page
+	for i := 0; i < b.N; i++ {
+		if i%63 == 0 {
+			p = New(ID{}, 64)
+		}
+		if _, err := p.Insert(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+func TestRunCommitBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	for _, cfg := range []ProtoConfig{
+		{Name: "opt3pc", Protocol: txn.OptThreePC, Mode: worker.HARBOR, GroupCommit: true, Workers: 2},
+		{Name: "2pc", Protocol: txn.TwoPC, Mode: worker.ARIES, GroupCommit: true, Workers: 2},
+		{Name: "2pc-norepl", Protocol: txn.TwoPC, Mode: worker.ARIES, GroupCommit: true, Workers: 1},
+	} {
+		res, err := RunCommitBench(t.TempDir(), cfg, 2, 10, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Txns != 20 || res.TPS <= 0 {
+			t.Fatalf("%s: implausible result %+v", cfg.Name, res)
+		}
+	}
+}
+
+func TestRunCommitBenchWithWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	cfg := ProtoConfig{Name: "opt3pc", Protocol: txn.OptThreePC, Mode: worker.HARBOR, GroupCommit: true, Workers: 2}
+	noWork, err := RunCommitBench(t.TempDir(), cfg, 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWork, err := RunCommitBench(t.TempDir(), cfg, 1, 8, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withWork.TPS >= noWork.TPS {
+		t.Fatalf("simulated work did not slow transactions: %0.1f vs %0.1f tps", withWork.TPS, noWork.TPS)
+	}
+}
+
+func TestRunRecoveryBenchAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	for _, sc := range []RecoveryScenario{Aries1Table, Harbor1Table, Harbor2TablesSerial, Harbor2TablesParallel} {
+		res, err := RunRecoveryBench(t.TempDir(), RecoveryParams{
+			Scenario:        sc,
+			PreloadSegments: 4,
+			SegPages:        8,
+			InsertTxns:      30,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if res.RecoveryTime <= 0 {
+			t.Fatalf("%v: no recovery time", sc)
+		}
+		if sc != Aries1Table && res.TuplesCopied < 30 {
+			t.Fatalf("%v: copied %d tuples, want ≥ 30", sc, res.TuplesCopied)
+		}
+	}
+}
+
+func TestRunRecoveryBenchHistoricalUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	res, err := RunRecoveryBench(t.TempDir(), RecoveryParams{
+		Scenario:                 Harbor1Table,
+		PreloadSegments:          6,
+		SegPages:                 8,
+		InsertTxns:               20,
+		HistoricalSegmentUpdates: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeletesCopied < 4 {
+		t.Fatalf("historical updates not recovered: %+v", res)
+	}
+}
+
+func TestBenchTupleShape(t *testing.T) {
+	d := BenchDesc()
+	// 16 fields total; 8+8 ts + 8 id + 13*4 = 76 bytes.
+	if d.NumFields() != 16 {
+		t.Fatalf("fields = %d", d.NumFields())
+	}
+	if d.Width() != 76 {
+		t.Fatalf("width = %d", d.Width())
+	}
+	tp := BenchTuple(d, 5)
+	if tp.Key(d) != 5 {
+		t.Fatalf("key = %d", tp.Key(d))
+	}
+}
+
+func TestRunFailoverTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster bench")
+	}
+	samples, err := RunFailoverTimeline(t.TempDir(), TimelineParams{
+		Total:       2 * time.Second,
+		CrashAt:     500 * time.Millisecond,
+		RecoverAt:   time.Second,
+		SampleEvery: 100 * time.Millisecond,
+		PreloadRows: 50,
+		SegPages:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCrash, sawRecovery, sawOnline bool
+	var total float64
+	for _, s := range samples {
+		total += s.TPS
+		switch s.Event {
+		case "crash":
+			sawCrash = true
+		case "recovery-start":
+			sawRecovery = true
+		case "online":
+			sawOnline = true
+		}
+	}
+	if !sawCrash || !sawRecovery || !sawOnline {
+		t.Fatalf("events missing: crash=%v recovery=%v online=%v", sawCrash, sawRecovery, sawOnline)
+	}
+	if total <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"harbor/internal/core"
+	"harbor/internal/testutil"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// TimelineSample is one point of the Figure 6-7 series.
+type TimelineSample struct {
+	At    time.Duration // since experiment start
+	TPS   float64
+	Event string // "", "crash", "recovery-start", "online"
+}
+
+// TimelineParams configures the §6.5 experiment.
+type TimelineParams struct {
+	Total       time.Duration // experiment length (paper: 120 s)
+	CrashAt     time.Duration // worker crash (paper: 30 s)
+	RecoverAt   time.Duration // recovery start (paper: 60 s)
+	SampleEvery time.Duration // sampling interval (paper: 1 s)
+	PreloadRows int           // rows preloaded before the run
+	SegPages    int32
+	Concurrency int // insert streams (paper: no concurrency)
+}
+
+func (p TimelineParams) withDefaults() TimelineParams {
+	if p.Total == 0 {
+		p.Total = 6 * time.Second
+	}
+	if p.CrashAt == 0 {
+		p.CrashAt = p.Total / 4
+	}
+	if p.RecoverAt == 0 {
+		p.RecoverAt = p.Total / 2
+	}
+	if p.SampleEvery == 0 {
+		p.SampleEvery = 250 * time.Millisecond
+	}
+	if p.SegPages == 0 {
+		p.SegPages = 64
+	}
+	if p.Concurrency == 0 {
+		p.Concurrency = 1
+	}
+	return p
+}
+
+// RunFailoverTimeline reproduces the §6.5 experiment: transaction
+// processing throughput across a worker failure and its HARBOR online
+// recovery. It returns the sampled series with event markers.
+func RunFailoverTimeline(baseDir string, p TimelineParams) ([]TimelineSample, error) {
+	p = p.withDefaults()
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		GroupCommit: true,
+		LockTimeout: 5 * time.Second,
+		PoolFrames:  1 << 15,
+		BaseDir:     baseDir,
+		// Periodic Figure 3-2 checkpoints, as in the paper's runtime setup.
+		CheckpointEvery: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	desc := BenchDesc()
+	if err := cl.CreateReplicatedTable(1, desc, p.SegPages); err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.PreloadRows; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, BenchTuple(desc, int64(i))); err != nil {
+			return nil, err
+		}
+		if _, err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	var committed atomic.Int64
+	stop := make(chan struct{})
+	for s := 0; s < p.Concurrency; s++ {
+		go func(s int) {
+			key := int64(1_000_000 * (s + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := cl.Coord.Begin()
+				if err := tx.Insert(1, BenchTuple(desc, key)); err != nil {
+					_ = tx.Abort()
+					continue
+				}
+				if _, err := tx.Commit(); err != nil {
+					continue
+				}
+				key++
+				committed.Add(1)
+			}
+		}(s)
+	}
+
+	start := time.Now()
+	var samples []TimelineSample
+	last := int64(0)
+	crashed, recovering, online := false, false, false
+	recoveryDone := make(chan struct{})
+	ticker := time.NewTicker(p.SampleEvery)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		cur := committed.Load()
+		s := TimelineSample{
+			At:  elapsed,
+			TPS: float64(cur-last) / p.SampleEvery.Seconds(),
+		}
+		last = cur
+		if !crashed && elapsed >= p.CrashAt {
+			cl.Workers[0].Crash()
+			crashed = true
+			s.Event = "crash"
+		}
+		if crashed && !recovering && elapsed >= p.RecoverAt {
+			recovering = true
+			s.Event = "recovery-start"
+			go func() {
+				w, err := cl.RestartWorker(0)
+				if err == nil {
+					_, err = core.New(w, cl.Catalog).RecoverSite(core.Options{})
+				}
+				_ = err
+				close(recoveryDone)
+			}()
+		}
+		if recovering && !online {
+			select {
+			case <-recoveryDone:
+				online = true
+				if s.Event == "" {
+					s.Event = "online"
+				}
+			default:
+			}
+		}
+		samples = append(samples, s)
+		if elapsed >= p.Total {
+			break
+		}
+	}
+	close(stop)
+	time.Sleep(50 * time.Millisecond) // let in-flight txns settle before Close
+	return samples, nil
+}

@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"harbor/internal/tuple"
+)
+
+// WriteCheckpointFile durably records the HARBOR checkpoint time T at a
+// well-known location (the last step of the Figure 3-2 algorithm): all
+// updates committed at or before T are guaranteed flushed.
+func WriteCheckpointFile(path string, t tuple.Timestamp) error {
+	buf := binary.LittleEndian.AppendUint64(nil, uint64(t))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpointFile returns the recorded checkpoint time, or 0 when no
+// checkpoint has ever been written.
+func ReadCheckpointFile(path string) (tuple.Timestamp, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 12 {
+		return 0, fmt.Errorf("storage: checkpoint file is %d bytes", len(raw))
+	}
+	if crc32.ChecksumIEEE(raw[:8]) != binary.LittleEndian.Uint32(raw[8:]) {
+		return 0, fmt.Errorf("storage: checkpoint file checksum mismatch")
+	}
+	return tuple.Timestamp(binary.LittleEndian.Uint64(raw)), nil
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"sync"
+
+	"harbor/internal/page"
+	"harbor/internal/tuple"
+)
+
+// KeyIndex is the primary index on tuple identifiers (§6.1.5: "primary
+// indices based on tuple identifiers"). It maps a logical tuple id to every
+// stored version's record id — an update leaves both the deleted old version
+// and the new version under the same key. Recovery Phase 2/3 use it to apply
+// remote deletion timestamps by key (§5.3), and point queries use it to skip
+// full scans.
+//
+// The index is an in-memory structure rebuilt from the heap file at open;
+// like the thesis implementation it is not separately persisted, since it
+// can always be derived from the data.
+type KeyIndex struct {
+	mu sync.RWMutex
+	m  map[int64][]page.RecordID
+}
+
+// NewKeyIndex returns an empty index.
+func NewKeyIndex() *KeyIndex {
+	return &KeyIndex{m: map[int64][]page.RecordID{}}
+}
+
+// BuildKeyIndex scans every segment of the heap file and indexes each used
+// slot by its key field.
+func BuildKeyIndex(h *HeapFile) (*KeyIndex, error) {
+	idx := NewKeyIndex()
+	desc := h.Desc()
+	err := h.ScanDirect(h.AllSegments(), func(rid page.RecordID, t tuple.Tuple) bool {
+		idx.Add(t.Key(desc), rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Add indexes a record id under key.
+func (x *KeyIndex) Add(key int64, rid page.RecordID) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.m[key] = append(x.m[key], rid)
+}
+
+// Remove drops one record id from a key's posting list (physical delete).
+func (x *KeyIndex) Remove(key int64, rid page.RecordID) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lst := x.m[key]
+	for i, r := range lst {
+		if r == rid {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(x.m, key)
+	} else {
+		x.m[key] = lst
+	}
+}
+
+// Lookup returns a copy of the record ids stored under key.
+func (x *KeyIndex) Lookup(key int64) []page.RecordID {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return append([]page.RecordID(nil), x.m[key]...)
+}
+
+// Len returns the number of indexed record ids across all keys.
+func (x *KeyIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for _, lst := range x.m {
+		n += len(lst)
+	}
+	return n
+}
+
+// Clear empties the index (recovery from a blank slate).
+func (x *KeyIndex) Clear() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.m = map[int64][]page.RecordID{}
+}
+
+// Rebuild rescans the heap file and atomically replaces the index contents.
+func (x *KeyIndex) Rebuild(h *HeapFile) error {
+	fresh, err := BuildKeyIndex(h)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	x.m = fresh.m
+	x.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+
+	"harbor/internal/tuple"
+)
+
+// Manager owns every heap file of one site (the thesis's "Heap File /
+// Segmentation" box in Figure 6-1). It also carries each table's key index.
+type Manager struct {
+	mu     sync.Mutex
+	dir    string
+	tables map[int32]*Table
+}
+
+// Table bundles a heap file with its key index.
+type Table struct {
+	Heap  *HeapFile
+	Index *KeyIndex
+}
+
+// NewManager creates a manager rooted at dir, creating the directory and
+// opening any tables already present (site restart).
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{dir: dir, tables: map[int32]*Table{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	re := regexp.MustCompile(`^table_(\d+)\.meta$`)
+	for _, e := range entries {
+		match := re.FindStringSubmatch(e.Name())
+		if match == nil {
+			continue
+		}
+		id64, err := strconv.ParseInt(match[1], 10, 32)
+		if err != nil {
+			continue
+		}
+		id := int32(id64)
+		h, err := Open(dir, id)
+		if err != nil {
+			return nil, fmt.Errorf("storage: reopening table %d: %w", id, err)
+		}
+		idx, err := BuildKeyIndex(h)
+		if err != nil {
+			return nil, fmt.Errorf("storage: rebuilding index for table %d: %w", id, err)
+		}
+		m.tables[id] = &Table{Heap: h, Index: idx}
+	}
+	return m, nil
+}
+
+// Dir returns the site directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Create makes a new table.
+func (m *Manager) Create(id int32, desc *tuple.Desc, segPages int32) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[id]; ok {
+		return nil, fmt.Errorf("storage: table %d already open", id)
+	}
+	h, err := Create(m.dir, id, desc, segPages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Heap: h, Index: NewKeyIndex()}
+	m.tables[id] = t
+	return t, nil
+}
+
+// Get returns an open table or an error.
+func (m *Manager) Get(id int32) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %d not found", id)
+	}
+	return t, nil
+}
+
+// Has reports whether a table is open.
+func (m *Manager) Has(id int32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.tables[id]
+	return ok
+}
+
+// IDs lists the open table ids.
+func (m *Manager) IDs() []int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int32, 0, len(m.tables))
+	for id := range m.tables {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Drop closes a table and removes its files.
+func (m *Manager) Drop(id int32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[id]
+	if !ok {
+		return fmt.Errorf("storage: table %d not found", id)
+	}
+	delete(m.tables, id)
+	_ = t.Heap.Close()
+	if err := os.Remove(heapPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(metaPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// RebuildIndexes rescans every table and replaces its key index; recovery
+// (ARIES redo/undo or HARBOR phases) calls it after changing pages behind
+// the indexes' back.
+func (m *Manager) RebuildIndexes() error {
+	m.mu.Lock()
+	tables := make([]*Table, 0, len(m.tables))
+	for _, t := range m.tables {
+		tables = append(tables, t)
+	}
+	m.mu.Unlock()
+	for _, t := range tables {
+		if err := t.Index.Rebuild(t.Heap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes all heap files.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for _, t := range m.tables {
+		if err := t.Heap.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.tables = map[int32]*Table{}
+	return first
+}
+
+// CheckpointPath returns the site's global checkpoint file path (§3.4).
+func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.dat") }
+
+// ObjectCheckpointPath returns the per-object checkpoint file used during
+// recovery (§5.3: finer-granularity checkpoints while objects recover at
+// different rates).
+func ObjectCheckpointPath(dir string, table int32) string {
+	return filepath.Join(dir, fmt.Sprintf("recovery_ckpt_%d.dat", table))
+}

@@ -1,0 +1,447 @@
+// Package tuple defines the schema model and the fixed-width binary tuple
+// representation used by every storage, execution, and network component.
+//
+// Following the HARBOR data model (§3.3 of the thesis), every stored tuple is
+// internally augmented with an insertion timestamp and a deletion timestamp:
+//
+//	<insertion-time, deletion-time, a1, a2, ..., aN>
+//
+// The two timestamp fields are always fields 0 and 1 of the physical schema
+// and are of type Int64. A deletion timestamp of 0 means "not deleted"; an
+// insertion timestamp of Uncommitted marks a tuple written to disk by a
+// transaction that has not yet committed (possible under a STEAL buffer
+// policy) so that queries ignore it and recovery can identify it.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Timestamp is a logical commit time issued by the coordinator's timestamp
+// authority. Timestamps are totally ordered, start at 1, and need not
+// correspond to real time (§4.1).
+type Timestamp = int64
+
+const (
+	// NotDeleted is the deletion-timestamp value of a live tuple.
+	NotDeleted Timestamp = 0
+	// Uncommitted is the special insertion-timestamp value carried by tuples
+	// flushed to disk before their transaction committed. It is larger than
+	// any valid timestamp so that predicate "insertion-time > T" must
+	// explicitly exclude it (§5.4.1).
+	Uncommitted Timestamp = math.MaxInt64
+)
+
+// FieldType enumerates the supported column types. All types have a fixed
+// on-disk width so that pages can use fixed-size slots.
+type FieldType uint8
+
+const (
+	// Int32 is a 4-byte signed integer (the thesis's benchmark field type).
+	Int32 FieldType = iota + 1
+	// Int64 is an 8-byte signed integer; timestamps and tuple ids use it.
+	Int64
+	// Char is a fixed-width byte string, padded with zero bytes.
+	Char
+)
+
+// String returns the SQL-ish name of the type.
+func (t FieldType) String() string {
+	switch t {
+	case Int32:
+		return "INT32"
+	case Int64:
+		return "INT64"
+	case Char:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("FieldType(%d)", uint8(t))
+	}
+}
+
+// FieldDef describes one column of a schema.
+type FieldDef struct {
+	Name string
+	Type FieldType
+	// Size is the on-disk width in bytes for Char fields; ignored for the
+	// integer types whose width is implied.
+	Size int
+}
+
+// Width returns the number of bytes the field occupies in a stored tuple.
+func (f FieldDef) Width() int {
+	switch f.Type {
+	case Int32:
+		return 4
+	case Int64:
+		return 8
+	case Char:
+		return f.Size
+	default:
+		panic(fmt.Sprintf("tuple: unknown field type %d", f.Type))
+	}
+}
+
+// Desc is a tuple schema: an ordered list of fields, a designated key field
+// that uniquely identifies a logical tuple across replicas (§5.1 requires
+// such an identifier to match tuples between a recovering site and its
+// recovery buddies), and the two reserved timestamp columns.
+type Desc struct {
+	Fields []FieldDef
+	// Key is the index of the unique tuple-identifier field. It must refer
+	// to an Int64 field and defaults to the first user field (index 2).
+	Key int
+}
+
+// Reserved physical field positions present in every schema.
+const (
+	FieldInsTS = 0 // insertion timestamp (Int64)
+	FieldDelTS = 1 // deletion timestamp (Int64)
+	// FieldFirstUser is the index of the first user-defined field.
+	FieldFirstUser = 2
+)
+
+// NewDesc builds a schema from the user-visible fields, prepending the two
+// timestamp columns. keyField names the user field that serves as the unique
+// tuple identifier; it must be an Int64 field.
+func NewDesc(keyField string, fields ...FieldDef) (*Desc, error) {
+	all := make([]FieldDef, 0, len(fields)+2)
+	all = append(all,
+		FieldDef{Name: "ins_ts", Type: Int64},
+		FieldDef{Name: "del_ts", Type: Int64},
+	)
+	all = append(all, fields...)
+	key := -1
+	for i, f := range all {
+		if f.Type == Char && f.Size <= 0 {
+			return nil, fmt.Errorf("tuple: char field %q needs a positive size", f.Name)
+		}
+		if i >= FieldFirstUser && f.Name == keyField {
+			if f.Type != Int64 {
+				return nil, fmt.Errorf("tuple: key field %q must be INT64, got %s", keyField, f.Type)
+			}
+			key = i
+		}
+	}
+	if key < 0 {
+		return nil, fmt.Errorf("tuple: key field %q not found", keyField)
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Name == all[j].Name {
+				return nil, fmt.Errorf("tuple: duplicate field name %q", all[i].Name)
+			}
+		}
+	}
+	return &Desc{Fields: all, Key: key}, nil
+}
+
+// MustDesc is NewDesc that panics on error; intended for tests and static
+// schemas.
+func MustDesc(keyField string, fields ...FieldDef) *Desc {
+	d, err := NewDesc(keyField, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Width returns the fixed number of bytes one tuple occupies on disk.
+func (d *Desc) Width() int {
+	w := 0
+	for _, f := range d.Fields {
+		w += f.Width()
+	}
+	return w
+}
+
+// NumFields returns the number of physical fields (including timestamps).
+func (d *Desc) NumFields() int { return len(d.Fields) }
+
+// FieldIndex returns the index of the named field, or -1.
+func (d *Desc) FieldIndex(name string) int {
+	for i, f := range d.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Offset returns the byte offset of field i within a stored tuple.
+func (d *Desc) Offset(i int) int {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += d.Fields[j].Width()
+	}
+	return off
+}
+
+// Equal reports whether two schemas have identical field lists and key.
+func (d *Desc) Equal(o *Desc) bool {
+	if d.Key != o.Key || len(d.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range d.Fields {
+		if d.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema for diagnostics.
+func (d *Desc) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range d.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", f.Name, f.Type)
+		if f.Type == Char {
+			fmt.Fprintf(&b, "(%d)", f.Size)
+		}
+		if i == d.Key {
+			b.WriteString(" KEY")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Marshal encodes the schema (used in heap-file headers and on the wire).
+func (d *Desc) Marshal() []byte {
+	buf := make([]byte, 0, 8+16*len(d.Fields))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Key))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Fields)))
+	for _, f := range d.Fields {
+		buf = append(buf, byte(f.Type))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Size))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Name)))
+		buf = append(buf, f.Name...)
+	}
+	return buf
+}
+
+// UnmarshalDesc decodes a schema written by Marshal and returns the number
+// of bytes consumed.
+func UnmarshalDesc(buf []byte) (*Desc, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("tuple: schema header truncated")
+	}
+	key := int(int32(binary.LittleEndian.Uint32(buf)))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if n <= 0 || n > 1<<16 {
+		return nil, 0, fmt.Errorf("tuple: implausible field count %d", n)
+	}
+	off := 8
+	fields := make([]FieldDef, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < off+9 {
+			return nil, 0, fmt.Errorf("tuple: schema field %d truncated", i)
+		}
+		ft := FieldType(buf[off])
+		size := int(binary.LittleEndian.Uint32(buf[off+1:]))
+		nameLen := int(binary.LittleEndian.Uint32(buf[off+5:]))
+		off += 9
+		if len(buf) < off+nameLen {
+			return nil, 0, fmt.Errorf("tuple: schema field name %d truncated", i)
+		}
+		name := string(buf[off : off+nameLen])
+		off += nameLen
+		fields = append(fields, FieldDef{Name: name, Type: ft, Size: size})
+	}
+	d := &Desc{Fields: fields, Key: key}
+	if key < 0 || key >= len(fields) {
+		return nil, 0, fmt.Errorf("tuple: key index %d out of range", key)
+	}
+	return d, off, nil
+}
+
+// Value is a single field value. Exactly one of the branches is meaningful,
+// selected by the schema's field type. Char values are stored unpadded.
+type Value struct {
+	I64 int64
+	Str string
+}
+
+// VInt makes an integer Value (works for both Int32 and Int64 fields).
+func VInt(v int64) Value { return Value{I64: v} }
+
+// VStr makes a Char Value.
+func VStr(s string) Value { return Value{Str: s} }
+
+// Tuple is an in-memory tuple: one Value per physical field of its schema.
+// Tuples are value types; Clone produces an independent copy.
+type Tuple struct {
+	Values []Value
+}
+
+// New allocates a tuple with all fields zero for the given schema.
+func New(d *Desc) Tuple {
+	return Tuple{Values: make([]Value, len(d.Fields))}
+}
+
+// Make builds a tuple from user field values (excluding the timestamps),
+// with ins/del timestamps initialised to (Uncommitted, NotDeleted).
+func Make(d *Desc, userValues ...Value) (Tuple, error) {
+	if len(userValues) != len(d.Fields)-FieldFirstUser {
+		return Tuple{}, fmt.Errorf("tuple: got %d values, schema has %d user fields",
+			len(userValues), len(d.Fields)-FieldFirstUser)
+	}
+	t := New(d)
+	t.Values[FieldInsTS] = VInt(Uncommitted)
+	t.Values[FieldDelTS] = VInt(NotDeleted)
+	copy(t.Values[FieldFirstUser:], userValues)
+	return t, nil
+}
+
+// MustMake is Make that panics on arity errors.
+func MustMake(d *Desc, userValues ...Value) Tuple {
+	t, err := Make(d, userValues...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// InsTS returns the insertion timestamp.
+func (t Tuple) InsTS() Timestamp { return t.Values[FieldInsTS].I64 }
+
+// DelTS returns the deletion timestamp.
+func (t Tuple) DelTS() Timestamp { return t.Values[FieldDelTS].I64 }
+
+// SetInsTS sets the insertion timestamp.
+func (t Tuple) SetInsTS(ts Timestamp) { t.Values[FieldInsTS].I64 = ts }
+
+// SetDelTS sets the deletion timestamp.
+func (t Tuple) SetDelTS(ts Timestamp) { t.Values[FieldDelTS].I64 = ts }
+
+// Key returns the unique tuple identifier given the schema.
+func (t Tuple) Key(d *Desc) int64 { return t.Values[d.Key].I64 }
+
+// VisibleAt reports whether the tuple is visible to a (historical or
+// current-time) read as of time asOf under the §3.3 predicate: inserted at or
+// before asOf, and not deleted or deleted after asOf. Uncommitted tuples are
+// never visible.
+func (t Tuple) VisibleAt(asOf Timestamp) bool {
+	ins := t.InsTS()
+	if ins == Uncommitted || ins > asOf {
+		return false
+	}
+	del := t.DelTS()
+	return del == NotDeleted || del > asOf
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	vs := make([]Value, len(t.Values))
+	copy(vs, t.Values)
+	return Tuple{Values: vs}
+}
+
+// Equal reports field-wise equality under the given schema.
+func (t Tuple) Equal(d *Desc, o Tuple) bool {
+	if len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i, f := range d.Fields {
+		switch f.Type {
+		case Char:
+			if t.Values[i].Str != o.Values[i].Str {
+				return false
+			}
+		default:
+			if t.Values[i].I64 != o.Values[i].I64 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the tuple for diagnostics.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v.Str != "" {
+			fmt.Fprintf(&b, "%q", v.Str)
+		} else if i == FieldInsTS && v.I64 == Uncommitted {
+			b.WriteString("uncommitted")
+		} else {
+			fmt.Fprintf(&b, "%d", v.I64)
+		}
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// EncodeTo serialises the tuple into buf, which must be at least d.Width()
+// bytes long. It returns the number of bytes written.
+func (t Tuple) EncodeTo(d *Desc, buf []byte) int {
+	off := 0
+	for i, f := range d.Fields {
+		switch f.Type {
+		case Int32:
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(t.Values[i].I64)))
+			off += 4
+		case Int64:
+			binary.LittleEndian.PutUint64(buf[off:], uint64(t.Values[i].I64))
+			off += 8
+		case Char:
+			s := t.Values[i].Str
+			if len(s) > f.Size {
+				s = s[:f.Size]
+			}
+			copy(buf[off:off+f.Size], s)
+			for j := off + len(s); j < off+f.Size; j++ {
+				buf[j] = 0
+			}
+			off += f.Size
+		}
+	}
+	return off
+}
+
+// Encode serialises the tuple into a fresh buffer.
+func (t Tuple) Encode(d *Desc) []byte {
+	buf := make([]byte, d.Width())
+	t.EncodeTo(d, buf)
+	return buf
+}
+
+// Decode deserialises a tuple from buf (at least d.Width() bytes).
+func Decode(d *Desc, buf []byte) (Tuple, error) {
+	if len(buf) < d.Width() {
+		return Tuple{}, fmt.Errorf("tuple: buffer %d bytes, schema needs %d", len(buf), d.Width())
+	}
+	t := New(d)
+	off := 0
+	for i, f := range d.Fields {
+		switch f.Type {
+		case Int32:
+			t.Values[i].I64 = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			off += 4
+		case Int64:
+			t.Values[i].I64 = int64(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		case Char:
+			raw := buf[off : off+f.Size]
+			end := len(raw)
+			for end > 0 && raw[end-1] == 0 {
+				end--
+			}
+			t.Values[i].Str = string(raw[:end])
+			off += f.Size
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,309 @@
+package tuple
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func benchDesc(t testing.TB) *Desc {
+	// The thesis benchmark schema: 16 4-byte integer fields including the two
+	// timestamp fields (§6.2). We model the timestamps as int64 and keep 13
+	// int32 user fields plus an int64 id, which is byte-equivalent in spirit.
+	fields := []FieldDef{{Name: "id", Type: Int64}}
+	for i := 0; i < 13; i++ {
+		fields = append(fields, FieldDef{Name: string(rune('a' + i)), Type: Int32})
+	}
+	d, err := NewDesc("id", fields...)
+	if err != nil {
+		t.Fatalf("NewDesc: %v", err)
+	}
+	return d
+}
+
+func TestNewDescValidation(t *testing.T) {
+	if _, err := NewDesc("missing", FieldDef{Name: "x", Type: Int32}); err == nil {
+		t.Fatal("expected error for missing key field")
+	}
+	if _, err := NewDesc("x", FieldDef{Name: "x", Type: Int32}); err == nil {
+		t.Fatal("expected error for non-int64 key field")
+	}
+	if _, err := NewDesc("x", FieldDef{Name: "x", Type: Int64}, FieldDef{Name: "x", Type: Int32}); err == nil {
+		t.Fatal("expected error for duplicate field name")
+	}
+	if _, err := NewDesc("x", FieldDef{Name: "x", Type: Int64}, FieldDef{Name: "c", Type: Char}); err == nil {
+		t.Fatal("expected error for zero-size char field")
+	}
+}
+
+func TestDescWidthAndOffsets(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "qty", Type: Int32},
+		FieldDef{Name: "name", Type: Char, Size: 10},
+	)
+	// ins(8) + del(8) + id(8) + qty(4) + name(10)
+	if got, want := d.Width(), 38; got != want {
+		t.Fatalf("Width = %d, want %d", got, want)
+	}
+	if got := d.Offset(d.FieldIndex("qty")); got != 24 {
+		t.Fatalf("Offset(qty) = %d, want 24", got)
+	}
+	if d.FieldIndex("nope") != -1 {
+		t.Fatal("FieldIndex should return -1 for unknown field")
+	}
+	if d.Fields[d.Key].Name != "id" {
+		t.Fatalf("key field = %q, want id", d.Fields[d.Key].Name)
+	}
+}
+
+func TestDescMarshalRoundTrip(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "price", Type: Int32},
+		FieldDef{Name: "name", Type: Char, Size: 24},
+	)
+	buf := d.Marshal()
+	// Append noise to check the consumed-bytes return value.
+	got, n, err := UnmarshalDesc(append(buf, 0xAA, 0xBB))
+	if err != nil {
+		t.Fatalf("UnmarshalDesc: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if !got.Equal(d) {
+		t.Fatalf("round trip mismatch: %s vs %s", got, d)
+	}
+}
+
+func TestUnmarshalDescTruncated(t *testing.T) {
+	d := MustDesc("id", FieldDef{Name: "id", Type: Int64})
+	buf := d.Marshal()
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := UnmarshalDesc(buf[:i]); err == nil {
+			t.Fatalf("expected error for truncation at %d bytes", i)
+		}
+	}
+}
+
+func TestTupleEncodeDecodeRoundTrip(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "qty", Type: Int32},
+		FieldDef{Name: "name", Type: Char, Size: 8},
+	)
+	tp := MustMake(d, VInt(42), VInt(-7), VStr("colgate"))
+	tp.SetInsTS(100)
+	tp.SetDelTS(250)
+	got, err := Decode(d, tp.Encode(d))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Equal(d, tp) {
+		t.Fatalf("round trip mismatch: %s vs %s", got, tp)
+	}
+	if got.InsTS() != 100 || got.DelTS() != 250 || got.Key(d) != 42 {
+		t.Fatalf("accessors wrong after round trip: %s", got)
+	}
+}
+
+func TestCharTruncationAndPadding(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "name", Type: Char, Size: 4},
+	)
+	tp := MustMake(d, VInt(1), VStr("toolong"))
+	got, err := Decode(d, tp.Encode(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Values[3].Str != "tool" {
+		t.Fatalf("char truncation: got %q want %q", got.Values[3].Str, "tool")
+	}
+	tp2 := MustMake(d, VInt(2), VStr("ab"))
+	got2, err := Decode(d, tp2.Encode(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Values[3].Str != "ab" {
+		t.Fatalf("char padding: got %q want %q", got2.Values[3].Str, "ab")
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	d := benchDesc(t)
+	cases := []struct {
+		ins, del Timestamp
+		asOf     Timestamp
+		want     bool
+	}{
+		{ins: 1, del: NotDeleted, asOf: 1, want: true},
+		{ins: 2, del: NotDeleted, asOf: 1, want: false},
+		{ins: 1, del: 3, asOf: 2, want: true},   // deleted after asOf → visible
+		{ins: 1, del: 3, asOf: 3, want: false},  // deleted at asOf → invisible
+		{ins: 1, del: 3, asOf: 10, want: false}, // long gone
+		{ins: Uncommitted, del: NotDeleted, asOf: math.MaxInt64 - 1, want: false},
+		{ins: 5, del: NotDeleted, asOf: 5, want: true}, // inserted at asOf → visible
+	}
+	for i, c := range cases {
+		tp := MustMake(d, make([]Value, 14)...)
+		tp.SetInsTS(c.ins)
+		tp.SetDelTS(c.del)
+		if got := tp.VisibleAt(c.asOf); got != c.want {
+			t.Errorf("case %d: VisibleAt(%d) with ins=%d del=%d: got %v want %v",
+				i, c.asOf, c.ins, c.del, got, c.want)
+		}
+	}
+}
+
+// TestFigure31SampleTable replays the employees example of Figure 3-1 and
+// checks visibility at each described point in history.
+func TestFigure31SampleTable(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "name", Type: Char, Size: 16},
+		FieldDef{Name: "age", Type: Int32},
+	)
+	mk := func(ins, del Timestamp, id int64, name string, age int64) Tuple {
+		tp := MustMake(d, VInt(id), VStr(name), VInt(age))
+		tp.SetInsTS(ins)
+		tp.SetDelTS(del)
+		return tp
+	}
+	table := []Tuple{
+		mk(1, 0, 1, "Jessica", 17),
+		mk(1, 3, 2, "Kenny", 51),
+		mk(2, 0, 3, "Suey", 48),
+		mk(4, 6, 4, "Elliss", 20),
+		mk(6, 0, 4, "Ellis", 20),
+	}
+	visibleNames := func(asOf Timestamp) []string {
+		var out []string
+		for _, tp := range table {
+			if tp.VisibleAt(asOf) {
+				out = append(out, tp.Values[d.FieldIndex("name")].Str)
+			}
+		}
+		return out
+	}
+	if got := visibleNames(1); !reflect.DeepEqual(got, []string{"Jessica", "Kenny"}) {
+		t.Fatalf("asOf 1: %v", got)
+	}
+	if got := visibleNames(2); !reflect.DeepEqual(got, []string{"Jessica", "Kenny", "Suey"}) {
+		t.Fatalf("asOf 2: %v", got)
+	}
+	if got := visibleNames(3); !reflect.DeepEqual(got, []string{"Jessica", "Suey"}) {
+		t.Fatalf("asOf 3: %v", got)
+	}
+	if got := visibleNames(5); !reflect.DeepEqual(got, []string{"Jessica", "Suey", "Elliss"}) {
+		t.Fatalf("asOf 5: %v", got)
+	}
+	if got := visibleNames(6); !reflect.DeepEqual(got, []string{"Jessica", "Suey", "Ellis"}) {
+		t.Fatalf("asOf 6: %v", got)
+	}
+}
+
+func TestMakeArity(t *testing.T) {
+	d := benchDesc(t)
+	if _, err := Make(d, VInt(1)); err == nil {
+		t.Fatal("expected arity error")
+	}
+	tp, err := Make(d, append([]Value{VInt(9)}, make([]Value, 13)...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.InsTS() != Uncommitted || tp.DelTS() != NotDeleted {
+		t.Fatalf("fresh tuple timestamps wrong: %s", tp)
+	}
+	if tp.Key(d) != 9 {
+		t.Fatalf("key = %d, want 9", tp.Key(d))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := benchDesc(t)
+	tp := MustMake(d, append([]Value{VInt(1)}, make([]Value, 13)...)...)
+	cl := tp.Clone()
+	cl.Values[2].I64 = 999
+	if tp.Values[2].I64 == 999 {
+		t.Fatal("Clone aliases the original values")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary tuples on a randomised
+// schema with all three field types.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	d := MustDesc("id",
+		FieldDef{Name: "id", Type: Int64},
+		FieldDef{Name: "a", Type: Int32},
+		FieldDef{Name: "b", Type: Int64},
+		FieldDef{Name: "c", Type: Char, Size: 12},
+	)
+	f := func(ins, del, id, b int64, a int32, s string) bool {
+		if len(s) > 12 {
+			s = s[:12]
+		}
+		// Char fields are zero-padded; embedded NULs or trailing NULs are not
+		// representable, so strip them for the property.
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			if s[i] != 0 {
+				clean = append(clean, s[i])
+			}
+		}
+		tp := MustMake(d, VInt(id), VInt(int64(a)), VInt(b), VStr(string(clean)))
+		tp.SetInsTS(ins)
+		tp.SetDelTS(del)
+		got, err := Decode(d, tp.Encode(d))
+		return err == nil && got.Equal(d, tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: visibility matches the declarative predicate from §3.3.
+func TestQuickVisibilityPredicate(t *testing.T) {
+	d := benchDesc(t)
+	f := func(insRaw, delRaw uint16, asOfRaw uint16, uncommitted bool) bool {
+		ins := Timestamp(insRaw%100) + 1
+		del := Timestamp(delRaw % 100) // 0 means not deleted
+		asOf := Timestamp(asOfRaw % 100)
+		if uncommitted {
+			ins = Uncommitted
+		}
+		tp := MustMake(d, append([]Value{VInt(1)}, make([]Value, 13)...)...)
+		tp.SetInsTS(ins)
+		tp.SetDelTS(del)
+		want := ins != Uncommitted && ins <= asOf && (del == NotDeleted || del > asOf)
+		return tp.VisibleAt(asOf) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTupleEncode(b *testing.B) {
+	d := benchDesc(b)
+	tp := MustMake(d, append([]Value{VInt(1)}, make([]Value, 13)...)...)
+	buf := make([]byte, d.Width())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.EncodeTo(d, buf)
+	}
+}
+
+func BenchmarkTupleDecode(b *testing.B) {
+	d := benchDesc(b)
+	tp := MustMake(d, append([]Value{VInt(1)}, make([]Value, 13)...)...)
+	buf := tp.Encode(d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(d, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

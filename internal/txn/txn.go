@@ -1,0 +1,138 @@
+// Package txn defines the distributed-transaction vocabulary shared by
+// coordinators, workers, and the consensus building protocol: transaction
+// ids, the worker-side state machine of Figure 4-5, and the commit-protocol
+// selection enum with its Table 4.2 cost profile.
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ID is a globally unique transaction id. Coordinators allocate ids from an
+// IDSource seeded with their site id so multiple coordinators never collide.
+type ID = int64
+
+// IDSource hands out transaction ids.
+type IDSource struct {
+	next atomic.Int64
+}
+
+// NewIDSource seeds an id source; ids embed the coordinator site in the
+// high bits.
+func NewIDSource(site int32) *IDSource {
+	s := &IDSource{}
+	s.next.Store(int64(site) << 40)
+	return s
+}
+
+// Next returns a fresh transaction id.
+func (s *IDSource) Next() ID { return s.next.Add(1) }
+
+// State is the worker-side transaction state (Figure 4-5).
+type State uint8
+
+const (
+	// StatePending: work received, not yet voted (a.k.a. unprepared).
+	StatePending State = iota + 1
+	// StatePreparedYes: voted YES in the first phase.
+	StatePreparedYes
+	// StatePreparedNo: voted NO in the first phase.
+	StatePreparedNo
+	// StatePreparedToCommit: 3PC's extra state; the commit time is known.
+	StatePreparedToCommit
+	// StateCommitted: commit applied.
+	StateCommitted
+	// StateAborted: rollback applied.
+	StateAborted
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StatePreparedYes:
+		return "prepared(YES)"
+	case StatePreparedNo:
+		return "prepared(NO)"
+	case StatePreparedToCommit:
+		return "prepared-to-commit"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateCommitted || s == StateAborted }
+
+// Protocol selects the distributed commit protocol (§4.3).
+type Protocol uint8
+
+const (
+	// TwoPC is the traditional two-phase commit with write-ahead logging:
+	// 1 coordinator forced-write, 2 per worker (Figure 4-2).
+	TwoPC Protocol = iota + 1
+	// OptTwoPC is HARBOR's optimized 2PC: worker logging eliminated, only
+	// the coordinator's COMMIT/ABORT force remains (Figure 4-3).
+	OptTwoPC
+	// ThreePC is canonical non-blocking three-phase commit: workers log
+	// (3 forced-writes), the coordinator does not (Figure 4-4 shape with
+	// logging; §4.3.3 footnote 1).
+	ThreePC
+	// OptThreePC is HARBOR's logless 3PC: no forced-writes anywhere
+	// (Figure 4-4).
+	OptThreePC
+)
+
+// String renders the protocol name as used in the evaluation figures.
+func (p Protocol) String() string {
+	switch p {
+	case TwoPC:
+		return "traditional 2PC"
+	case OptTwoPC:
+		return "optimized 2PC"
+	case ThreePC:
+		return "canonical 3PC"
+	case OptThreePC:
+		return "optimized 3PC"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// WorkerLogs reports whether workers maintain a WAL under this protocol.
+func (p Protocol) WorkerLogs() bool { return p == TwoPC || p == ThreePC }
+
+// CoordinatorLogs reports whether the coordinator maintains a log.
+func (p Protocol) CoordinatorLogs() bool { return p == TwoPC || p == OptTwoPC }
+
+// ThreePhase reports whether the protocol has the prepared-to-commit round.
+func (p Protocol) ThreePhase() bool { return p == ThreePC || p == OptThreePC }
+
+// Cost is the Table 4.2 overhead profile of a protocol.
+type Cost struct {
+	MessagesPerWorker  int
+	CoordForcedWrites  int
+	WorkerForcedWrites int
+}
+
+// ExpectedCost returns the Table 4.2 row for a protocol.
+func (p Protocol) ExpectedCost() Cost {
+	switch p {
+	case TwoPC:
+		return Cost{MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 2}
+	case OptTwoPC:
+		return Cost{MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 0}
+	case ThreePC:
+		return Cost{MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 3}
+	case OptThreePC:
+		return Cost{MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 0}
+	default:
+		return Cost{}
+	}
+}

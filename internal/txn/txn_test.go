@@ -1,0 +1,108 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDSourceUniqueAcrossSites(t *testing.T) {
+	a := NewIDSource(1)
+	b := NewIDSource(2)
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, s := range []*IDSource{a, b} {
+			id := s.Next()
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestIDSourceConcurrent(t *testing.T) {
+	s := NewIDSource(3)
+	var mu sync.Mutex
+	seen := map[ID]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, 0, 200)
+			for i := 0; i < 200; i++ {
+				local = append(local, s.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStateTerminal(t *testing.T) {
+	for st, want := range map[State]bool{
+		StatePending:          false,
+		StatePreparedYes:      false,
+		StatePreparedNo:       false,
+		StatePreparedToCommit: false,
+		StateCommitted:        true,
+		StateAborted:          true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%v.Terminal() = %v", st, st.Terminal())
+		}
+		if st.String() == "" {
+			t.Errorf("%d has no name", st)
+		}
+	}
+}
+
+func TestProtocolProperties(t *testing.T) {
+	cases := []struct {
+		p          Protocol
+		workerLogs bool
+		coordLogs  bool
+		threePhase bool
+	}{
+		{TwoPC, true, true, false},
+		{OptTwoPC, false, true, false},
+		{ThreePC, true, false, true},
+		{OptThreePC, false, false, true},
+	}
+	for _, c := range cases {
+		if c.p.WorkerLogs() != c.workerLogs {
+			t.Errorf("%v.WorkerLogs() = %v", c.p, c.p.WorkerLogs())
+		}
+		if c.p.CoordinatorLogs() != c.coordLogs {
+			t.Errorf("%v.CoordinatorLogs() = %v", c.p, c.p.CoordinatorLogs())
+		}
+		if c.p.ThreePhase() != c.threePhase {
+			t.Errorf("%v.ThreePhase() = %v", c.p, c.p.ThreePhase())
+		}
+	}
+}
+
+// TestExpectedCostMatchesTable42 pins the Table 4.2 rows.
+func TestExpectedCostMatchesTable42(t *testing.T) {
+	table := map[Protocol]Cost{
+		TwoPC:      {MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 2},
+		OptTwoPC:   {MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 0},
+		ThreePC:    {MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 3},
+		OptThreePC: {MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 0},
+	}
+	for p, want := range table {
+		if got := p.ExpectedCost(); got != want {
+			t.Errorf("%v cost = %+v, want %+v", p, got, want)
+		}
+	}
+	if (Protocol(99)).ExpectedCost() != (Cost{}) {
+		t.Error("unknown protocol should cost zero")
+	}
+}

@@ -1,0 +1,69 @@
+package version
+
+import (
+	"harbor/internal/page"
+	"harbor/internal/storage"
+	"harbor/internal/wal"
+)
+
+// PageStore adapts a storage.Manager (plus an optional WAL) to the buffer
+// pool's Store interface, enforcing both write-ordering rules:
+//
+//  1. the WAL rule — the log must be durable up to a dirty page's pageLSN
+//     before the page is written (ARIES mode only), and
+//  2. the stats-ahead rule — a table's segment-directory meta must be
+//     durable before any of its data pages is written, so that segment
+//     timestamp bounds on disk are never staler than page contents
+//     (required for HARBOR Phase 1 pruning to be sound).
+type PageStore struct {
+	Mgr *storage.Manager
+	Log *wal.Manager // nil in HARBOR mode
+}
+
+var _ interface {
+	ReadPage(pid page.ID) ([]byte, error)
+	WritePage(pid page.ID, data []byte) error
+	TupleWidth(table int32) (int, error)
+	BeforeFlush(pid page.ID, pageLSN page.LSN) error
+} = (*PageStore)(nil)
+
+// ReadPage reads a page image from the table's heap file.
+func (ps *PageStore) ReadPage(pid page.ID) ([]byte, error) {
+	tb, err := ps.Mgr.Get(pid.Table)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Heap.ReadPageData(pid.PageNo)
+}
+
+// WritePage writes a page image (unsynced; checkpoint syncs explicitly).
+func (ps *PageStore) WritePage(pid page.ID, data []byte) error {
+	tb, err := ps.Mgr.Get(pid.Table)
+	if err != nil {
+		return err
+	}
+	return tb.Heap.WritePageData(pid.PageNo, data)
+}
+
+// TupleWidth returns the table's fixed slot width.
+func (ps *PageStore) TupleWidth(table int32) (int, error) {
+	tb, err := ps.Mgr.Get(table)
+	if err != nil {
+		return 0, err
+	}
+	return tb.Heap.TupleWidth(), nil
+}
+
+// BeforeFlush enforces the WAL and stats-ahead rules.
+func (ps *PageStore) BeforeFlush(pid page.ID, pageLSN page.LSN) error {
+	if ps.Log != nil && pageLSN > 0 {
+		if err := ps.Log.Force(pageLSN, false); err != nil {
+			return err
+		}
+	}
+	tb, err := ps.Mgr.Get(pid.Table)
+	if err != nil {
+		return err
+	}
+	return tb.Heap.EnsureMetaDurable()
+}

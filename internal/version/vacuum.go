@@ -1,0 +1,91 @@
+package version
+
+import (
+	"harbor/internal/page"
+	"harbor/internal/tuple"
+)
+
+// VacuumBefore physically removes every tuple version that was deleted at
+// or before horizon, implementing §3.3's configurable history: "a user can
+// configure the amount of history maintained by the system by running a
+// background process to remove all tuples deleted before a certain point
+// in time". Historical queries as of times ≥ horizon are unaffected;
+// earlier times may no longer see the purged versions.
+//
+// The caller picks a horizon no later than the oldest time it still wants
+// to travel to — typically `HWM - retention`. Vacuuming takes no
+// transactional locks (purged versions are invisible to every current read
+// and to every allowed historical read); page latches protect physical
+// consistency.
+//
+// Returns the number of versions removed.
+func (s *Store) VacuumBefore(table int32, horizon tuple.Timestamp) (int, error) {
+	tb, err := s.Mgr.Get(table)
+	if err != nil {
+		return 0, err
+	}
+	heap := tb.Heap
+	desc := heap.Desc()
+	delOff := desc.Offset(tuple.FieldDelTS)
+	keyOff := desc.Offset(desc.Key)
+	removed := 0
+	// Only segments that ever saw a deletion can hold purgeable versions;
+	// prune with the Tmax-deletion bound (del > 0 ⟺ TmaxDel > 0).
+	zero := tuple.Timestamp(0)
+	for _, si := range heap.SegmentPlan(nil, nil, &zero, false) {
+		for _, pno := range heap.SegmentPages(si) {
+			pid := page.ID{Table: table, PageNo: pno}
+			f, err := s.Pool.GetPageNoLock(pid)
+			if err != nil {
+				return removed, err
+			}
+			f.Latch.Lock()
+			dirty := false
+			for slot := 0; slot < f.Page.NumSlots(); slot++ {
+				if !f.Page.Used(slot) {
+					continue
+				}
+				del, err2 := f.Page.ReadInt64At(slot, delOff)
+				if err2 != nil {
+					err = err2
+					break
+				}
+				if del == tuple.NotDeleted || del > horizon {
+					continue
+				}
+				key, err2 := f.Page.ReadInt64At(slot, keyOff)
+				if err2 != nil {
+					err = err2
+					break
+				}
+				if err2 := f.Page.Delete(slot); err2 != nil {
+					err = err2
+					break
+				}
+				tb.Index.Remove(key, page.RecordID{Page: pid, Slot: slot})
+				s.MarkFreeSlot(table, pno)
+				removed++
+				dirty = true
+			}
+			f.Latch.Unlock()
+			s.Pool.Unpin(f, dirty, 0)
+			if err != nil {
+				return removed, err
+			}
+		}
+	}
+	return removed, nil
+}
+
+// VacuumAll runs VacuumBefore on every table of the store.
+func (s *Store) VacuumAll(horizon tuple.Timestamp) (int, error) {
+	total := 0
+	for _, id := range s.Mgr.IDs() {
+		n, err := s.VacuumBefore(id, horizon)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"harbor/internal/page"
+)
+
+// marshalRecord encodes a record body (without the length/CRC frame).
+func marshalRecord(r *Record) []byte {
+	var b []byte
+	u8 := func(v uint8) { b = append(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u8(uint8(r.Type))
+	u64(uint64(r.Txn))
+	u64(r.PrevLSN)
+	u32(uint32(r.Page.Table))
+	u32(uint32(r.Page.PageNo))
+	u32(uint32(r.Slot))
+	u32(uint32(r.FieldOff))
+	u64(uint64(r.Before))
+	u64(uint64(r.After))
+	u32(uint32(r.SegIdx))
+	if r.NewSegment {
+		u8(1)
+	} else {
+		u8(0)
+	}
+	u64(uint64(r.CommitTS))
+	u64(r.UndoNext)
+	u32(uint32(len(r.Image)))
+	b = append(b, r.Image...)
+	u32(uint32(len(r.DirtyPages)))
+	for _, dp := range r.DirtyPages {
+		u32(uint32(dp.Page.Table))
+		u32(uint32(dp.Page.PageNo))
+		u64(dp.RecLSN)
+	}
+	u32(uint32(len(r.ActiveTxns)))
+	for _, tx := range r.ActiveTxns {
+		u64(uint64(tx.Txn))
+		u8(uint8(tx.State))
+		u64(tx.LastLSN)
+	}
+	return b
+}
+
+// unmarshalRecord decodes a record body.
+func unmarshalRecord(b []byte) (*Record, error) {
+	r := &Record{}
+	off := 0
+	fail := func() (*Record, error) { return nil, fmt.Errorf("wal: record truncated at %d", off) }
+	u8 := func() (uint8, bool) {
+		if off+1 > len(b) {
+			return 0, false
+		}
+		v := b[off]
+		off++
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, true
+	}
+	t, ok := u8()
+	if !ok {
+		return fail()
+	}
+	r.Type = RecType(t)
+	var v64 uint64
+	var v32 uint32
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.Txn = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.PrevLSN = v64
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	r.Page.Table = int32(v32)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	r.Page.PageNo = int32(v32)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	r.Slot = int32(v32)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	r.FieldOff = int32(v32)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.Before = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.After = int64(v64)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	r.SegIdx = int32(v32)
+	var flag uint8
+	if flag, ok = u8(); !ok {
+		return fail()
+	}
+	r.NewSegment = flag != 0
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.CommitTS = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	r.UndoNext = v64
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	if off+int(v32) > len(b) {
+		return fail()
+	}
+	if v32 > 0 {
+		r.Image = append([]byte(nil), b[off:off+int(v32)]...)
+		off += int(v32)
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		var dp DirtyPage
+		var a, p uint32
+		var l uint64
+		if a, ok = u32(); !ok {
+			return fail()
+		}
+		if p, ok = u32(); !ok {
+			return fail()
+		}
+		if l, ok = u64(); !ok {
+			return fail()
+		}
+		dp.Page = page.ID{Table: int32(a), PageNo: int32(p)}
+		dp.RecLSN = l
+		r.DirtyPages = append(r.DirtyPages, dp)
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		var tx TxnStatus
+		var id uint64
+		var st uint8
+		var l uint64
+		if id, ok = u64(); !ok {
+			return fail()
+		}
+		if st, ok = u8(); !ok {
+			return fail()
+		}
+		if l, ok = u64(); !ok {
+			return fail()
+		}
+		tx.Txn = int64(id)
+		tx.State = TxnState(st)
+		tx.LastLSN = l
+		r.ActiveTxns = append(r.ActiveTxns, tx)
+	}
+	return r, nil
+}

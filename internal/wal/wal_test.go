@@ -1,0 +1,319 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harbor/internal/page"
+)
+
+func openTest(t *testing.T) (*Manager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, dir
+}
+
+func TestAppendForceIter(t *testing.T) {
+	m, _ := openTest(t)
+	r1 := &Record{Type: RecInsert, Txn: 1, Page: page.ID{Table: 1, PageNo: 2}, Slot: 3, Image: []byte{1, 2, 3}}
+	lsn1 := m.Append(r1)
+	r2 := &Record{Type: RecCommit, Txn: 1, PrevLSN: lsn1, CommitTS: 99}
+	lsn2 := m.Append(r2)
+	if lsn2 <= lsn1 {
+		t.Fatalf("LSNs not increasing: %d then %d", lsn1, lsn2)
+	}
+	if err := m.Force(lsn2, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.FlushedLSN() <= lsn2 {
+		t.Fatalf("flushed %d, want > %d", m.FlushedLSN(), lsn2)
+	}
+	var got []*Record
+	if err := m.Iter(0, func(r *Record) (bool, error) {
+		got = append(got, r)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("iterated %d records, want 2", len(got))
+	}
+	if got[0].Type != RecInsert || string(got[0].Image) != string([]byte{1, 2, 3}) {
+		t.Fatalf("record 0 corrupted: %+v", got[0])
+	}
+	if got[1].Type != RecCommit || got[1].CommitTS != 99 || got[1].PrevLSN != lsn1 {
+		t.Fatalf("record 1 corrupted: %+v", got[1])
+	}
+	if got[0].LSN != lsn1 || got[1].LSN != lsn2 {
+		t.Fatalf("iterated LSNs %d,%d want %d,%d", got[0].LSN, got[1].LSN, lsn1, lsn2)
+	}
+}
+
+func TestIterIncludesUnflushedTail(t *testing.T) {
+	m, _ := openTest(t)
+	m.Append(&Record{Type: RecPrepare, Txn: 7})
+	count := 0
+	if err := m.Iter(0, func(r *Record) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("tail record not iterated (count=%d)", count)
+	}
+}
+
+func TestIterFromLSN(t *testing.T) {
+	m, _ := openTest(t)
+	m.Append(&Record{Type: RecPrepare, Txn: 1})
+	lsn2 := m.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var types []RecType
+	if err := m.Iter(lsn2, func(r *Record) (bool, error) {
+		types = append(types, r.Type)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(types, []RecType{RecCommit}) {
+		t.Fatalf("Iter(from=%d) saw %v", lsn2, types)
+	}
+}
+
+func TestIterEarlyStop(t *testing.T) {
+	m, _ := openTest(t)
+	for i := 0; i < 5; i++ {
+		m.Append(&Record{Type: RecPrepare, Txn: int64(i)})
+	}
+	count := 0
+	if err := m.Iter(0, func(r *Record) (bool, error) {
+		count++
+		return count < 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early stop failed, count=%d", count)
+	}
+}
+
+func TestReopenDiscardsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := m.Append(&Record{Type: RecCommit, Txn: 1, CommitTS: 5})
+	if err := m.Force(lsn, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	// Simulate a torn write: append garbage.
+	f, err := os.OpenFile(Path(dir), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 9, 9, 9, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	count := 0
+	if err := m2.Iter(0, func(r *Record) (bool, error) {
+		count++
+		if r.Type != RecCommit {
+			t.Errorf("unexpected type %v", r.Type)
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("after torn tail: %d records, want 1", count)
+	}
+	// New appends go after the valid prefix.
+	lsn2 := m2.Append(&Record{Type: RecAbort, Txn: 2})
+	if err := m2.Force(lsn2, true); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	if err := m2.Iter(0, func(r *Record) (bool, error) { count++; return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("after append: %d records, want 2", count)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	m, _ := openTest(t)
+	const n = 32
+	var wg sync.WaitGroup
+	lsns := make([]page.LSN, n)
+	for i := 0; i < n; i++ {
+		lsns[i] = m.Append(&Record{Type: RecCommit, Txn: int64(i)})
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.Force(lsns[i], true); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	forceCalls, fsyncs, appends := m.Counters()
+	if forceCalls != n {
+		t.Fatalf("forceCalls = %d, want %d", forceCalls, n)
+	}
+	if appends != n {
+		t.Fatalf("appends = %d, want %d", appends, n)
+	}
+	if fsyncs >= n {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d forces", fsyncs, n)
+	}
+	if fsyncs < 1 {
+		t.Fatalf("no fsync at all")
+	}
+}
+
+func TestForceAlreadyFlushedIsFree(t *testing.T) {
+	m, _ := openTest(t)
+	lsn := m.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := m.Force(lsn, true); err != nil {
+		t.Fatal(err)
+	}
+	_, fs1, _ := m.Counters()
+	if err := m.Force(lsn, true); err != nil {
+		t.Fatal(err)
+	}
+	_, fs2, _ := m.Counters()
+	if fs2 != fs1 {
+		t.Fatalf("re-force caused fsync: %d → %d", fs1, fs2)
+	}
+	m.ResetCounters()
+	fc, fs, ap := m.Counters()
+	if fc != 0 || fs != 0 || ap != 0 {
+		t.Fatal("ResetCounters did not reset")
+	}
+}
+
+func TestGroupDelayStillCorrect(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	lsn := m.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := m.Force(lsn, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.FlushedLSN() <= lsn {
+		t.Fatal("force with delay did not flush")
+	}
+}
+
+func TestMasterRecord(t *testing.T) {
+	dir := t.TempDir()
+	got, err := ReadMaster(dir)
+	if err != nil || got != 0 {
+		t.Fatalf("empty master: %d, %v", got, err)
+	}
+	if err := WriteMaster(dir, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadMaster(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12345 {
+		t.Fatalf("master = %d", got)
+	}
+	// Corruption detected.
+	raw, _ := os.ReadFile(MasterPath(dir))
+	raw[0] ^= 0xFF
+	os.WriteFile(MasterPath(dir), raw, 0o644)
+	if _, err := ReadMaster(dir); err == nil {
+		t.Fatal("corrupt master must error")
+	}
+}
+
+// Property: record marshal/unmarshal round-trips arbitrary records.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(typ uint8, txn int64, prev uint64, table, pageNo, slot, fieldOff int32,
+		before, after, commitTS int64, undoNext uint64, img []byte, newSeg bool,
+		nDirty, nTxn uint8) bool {
+		r := &Record{
+			Type: RecType(typ%11 + 1), Txn: txn, PrevLSN: prev,
+			Page: page.ID{Table: table, PageNo: pageNo}, Slot: slot,
+			FieldOff: fieldOff, Before: before, After: after,
+			SegIdx: slot / 2, NewSegment: newSeg,
+			CommitTS: commitTS, UndoNext: undoNext,
+		}
+		if len(img) > 0 {
+			r.Image = img
+		}
+		for i := uint8(0); i < nDirty%5; i++ {
+			r.DirtyPages = append(r.DirtyPages, DirtyPage{Page: page.ID{Table: int32(i), PageNo: int32(i * 2)}, RecLSN: uint64(i)})
+		}
+		for i := uint8(0); i < nTxn%5; i++ {
+			r.ActiveTxns = append(r.ActiveTxns, TxnStatus{Txn: int64(i), State: TxnState(i%4 + 1), LastLSN: uint64(i)})
+		}
+		got, err := unmarshalRecord(marshalRecord(r))
+		if err != nil {
+			return false
+		}
+		got.LSN = r.LSN
+		return reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	r := &Record{Type: RecCheckpoint, DirtyPages: []DirtyPage{{Page: page.ID{Table: 1}, RecLSN: 2}}}
+	body := marshalRecord(r)
+	for i := 0; i < len(body); i++ {
+		if _, err := unmarshalRecord(body[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func BenchmarkAppendForce(b *testing.B) {
+	dir := b.TempDir()
+	m, err := Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	r := &Record{Type: RecCommit, Txn: 1, CommitTS: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lsn := m.Append(r)
+		if err := m.Force(lsn, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package wire defines the binary message protocol spoken between
+// coordinators, workers, recovering sites, and backup coordinators
+// (the "Communication Layer" box of Figure 6-1). Messages are
+// length-prefixed, CRC-protected frames with a hand-rolled fixed codec —
+// no reflection, stdlib only.
+//
+// One message struct serves all message types (like the WAL's record
+// union); the Type selects which fields are meaningful. Tuples travel in a
+// self-describing value encoding so replicas with different physical layouts
+// can exchange logical tuples (§3.1: copies need not be stored identically).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+)
+
+// Type enumerates message types.
+type Type uint8
+
+// Request and response message types.
+const (
+	// --- generic responses ---
+	MsgOK Type = iota + 1
+	MsgErr
+	MsgVote    // Flags&1 = YES
+	MsgTuple   // one streamed tuple
+	MsgScanEnd // end of tuple stream; Count = rows sent
+
+	// --- worker requests: transactions and data ---
+	MsgBegin
+	MsgCreateTable // Desc + SegPages
+	MsgInsert      // Txn, Table, Tuple
+	MsgDeleteKey   // Txn, Table, Key
+	MsgUpdateKey   // Txn, Table, Key, Tuple (replacement user values)
+	MsgSimWork     // Txn, Cycles — simulated CPU work (§6.3.2)
+	MsgScan        // Txn, Table, Vis, TS(asOf), Flags&1 locked, Pred
+	MsgEndRead     // Txn — release a read-only transaction's resources
+
+	// --- commit processing (§4.3) ---
+	MsgPrepare         // Txn; Sites = participant worker ids (3PC)
+	MsgPrepareToCommit // Txn, TS = commit time
+	MsgCommit          // Txn, TS = commit time
+	MsgAbort           // Txn
+
+	// --- recovery (Chapter 5) ---
+	MsgRecoveryScan // Table, TS(asOf; 0=none), bounds, KeyLo/KeyHi, Flags&1 keys-only
+	MsgLockTable    // Txn, Table — table-granularity read lock (§5.4.1)
+	MsgUnlockTable  // Txn, Table
+	MsgTableMeta    // Table → OK with Count = current time seen? (diagnostic)
+	MsgCheckpointNow
+
+	// --- consensus building protocol (§4.3.3) ---
+	MsgQueryTxnState // Txn → MsgTxnState
+	MsgTxnState      // Flags = state code, TS = commit time if known
+
+	// --- coordinator server (recovery + resolution) ---
+	MsgObjectOnline // Site, Table: "rec on S is coming online" (Fig 5-4)
+	MsgAllDone      // coordinator → recovering site
+	MsgTxnOutcome   // Txn → MsgTxnState (committed/aborted/unknown)
+	MsgCurrentTime  // → OK with TS = authority's current time
+
+	// --- cluster management ---
+	MsgPing
+	MsgCrash  // test hook: fail-stop the site
+	MsgVacuum // Table (0 = all tables), TS = horizon → OK with Count = purged
+)
+
+var typeNames = map[Type]string{
+	MsgOK: "OK", MsgErr: "ERR", MsgVote: "VOTE", MsgTuple: "TUPLE",
+	MsgScanEnd: "SCAN-END", MsgBegin: "BEGIN", MsgCreateTable: "CREATE-TABLE",
+	MsgInsert: "INSERT", MsgDeleteKey: "DELETE-KEY", MsgUpdateKey: "UPDATE-KEY",
+	MsgSimWork: "SIM-WORK", MsgScan: "SCAN", MsgEndRead: "END-READ",
+	MsgPrepare: "PREPARE", MsgPrepareToCommit: "PREPARE-TO-COMMIT",
+	MsgCommit: "COMMIT", MsgAbort: "ABORT", MsgRecoveryScan: "RECOVERY-SCAN",
+	MsgLockTable: "LOCK-TABLE", MsgUnlockTable: "UNLOCK-TABLE",
+	MsgTableMeta: "TABLE-META", MsgCheckpointNow: "CHECKPOINT-NOW",
+	MsgQueryTxnState: "QUERY-TXN-STATE", MsgTxnState: "TXN-STATE",
+	MsgObjectOnline: "OBJECT-ONLINE", MsgAllDone: "ALL-DONE",
+	MsgTxnOutcome: "TXN-OUTCOME", MsgCurrentTime: "CURRENT-TIME",
+	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
+}
+
+// String renders the message type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Flag bits in Msg.Flags.
+const (
+	// FlagYes marks a YES vote / success / keys-only projection / locked
+	// scan, depending on message type.
+	FlagYes uint8 = 1 << iota
+	// FlagHasInsLE marks the InsLE bound present (recovery scans).
+	FlagHasInsLE
+	// FlagHasInsGT marks the InsGT bound present.
+	FlagHasInsGT
+	// FlagHasDelGT marks the DelGT bound present.
+	FlagHasDelGT
+	// FlagNoPrune disables segment pruning on a recovery scan (ablation
+	// benchmarks measuring the value of the §4.2 segment architecture).
+	FlagNoPrune
+)
+
+// Msg is the wire message union.
+type Msg struct {
+	Type                Type
+	Txn                 int64
+	Table               int32
+	Site                int32
+	Key                 int64
+	TS                  int64 // commit time, asOf, or current time
+	Cycles              int64
+	Count               int64
+	Flags               uint8
+	Vis                 uint8
+	SegPages            int32
+	KeyLo, KeyHi        int64
+	InsLE, InsGT, DelGT int64 // valid per Flags
+	Text                string
+	Sites               []int32 // 3PC participant list
+	Desc                *tuple.Desc
+	Tuple               []tuple.Value // self-describing tuple values
+	Pred                []expr.Term
+}
+
+// Yes reports the FlagYes bit.
+func (m *Msg) Yes() bool { return m.Flags&FlagYes != 0 }
+
+// Err converts a MsgErr into an error (nil otherwise).
+func (m *Msg) Err() error {
+	if m.Type == MsgErr {
+		return fmt.Errorf("remote: %s", m.Text)
+	}
+	return nil
+}
+
+// Marshal encodes the message body (without framing).
+func (m *Msg) Marshal() []byte {
+	var b []byte
+	u8 := func(v uint8) { b = append(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u8(uint8(m.Type))
+	u64(uint64(m.Txn))
+	u32(uint32(m.Table))
+	u32(uint32(m.Site))
+	u64(uint64(m.Key))
+	u64(uint64(m.TS))
+	u64(uint64(m.Cycles))
+	u64(uint64(m.Count))
+	u8(m.Flags)
+	u8(m.Vis)
+	u32(uint32(m.SegPages))
+	u64(uint64(m.KeyLo))
+	u64(uint64(m.KeyHi))
+	u64(uint64(m.InsLE))
+	u64(uint64(m.InsGT))
+	u64(uint64(m.DelGT))
+	u32(uint32(len(m.Text)))
+	b = append(b, m.Text...)
+	u32(uint32(len(m.Sites)))
+	for _, s := range m.Sites {
+		u32(uint32(s))
+	}
+	if m.Desc != nil {
+		schema := m.Desc.Marshal()
+		u32(uint32(len(schema)))
+		b = append(b, schema...)
+	} else {
+		u32(0)
+	}
+	u32(uint32(len(m.Tuple)))
+	for _, v := range m.Tuple {
+		if v.Str != "" {
+			u8(1)
+			u32(uint32(len(v.Str)))
+			b = append(b, v.Str...)
+		} else {
+			u8(0)
+			u64(uint64(v.I64))
+		}
+	}
+	u32(uint32(len(m.Pred)))
+	for _, t := range m.Pred {
+		u32(uint32(t.Field))
+		u8(uint8(t.Op))
+		if t.Value.Str != "" {
+			u8(1)
+			u32(uint32(len(t.Value.Str)))
+			b = append(b, t.Value.Str...)
+		} else {
+			u8(0)
+			u64(uint64(t.Value.I64))
+		}
+	}
+	return b
+}
+
+// Unmarshal decodes a message body.
+func Unmarshal(b []byte) (*Msg, error) {
+	m := &Msg{}
+	off := 0
+	fail := func() (*Msg, error) { return nil, fmt.Errorf("wire: message truncated at %d", off) }
+	u8 := func() (uint8, bool) {
+		if off+1 > len(b) {
+			return 0, false
+		}
+		v := b[off]
+		off++
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, true
+	}
+	str := func(n uint32) (string, bool) {
+		if off+int(n) > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+	t8, ok := u8()
+	if !ok {
+		return fail()
+	}
+	m.Type = Type(t8)
+	var v64 uint64
+	var v32 uint32
+	var v8 uint8
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.Txn = int64(v64)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	m.Table = int32(v32)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	m.Site = int32(v32)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.Key = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.TS = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.Cycles = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.Count = int64(v64)
+	if v8, ok = u8(); !ok {
+		return fail()
+	}
+	m.Flags = v8
+	if v8, ok = u8(); !ok {
+		return fail()
+	}
+	m.Vis = v8
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	m.SegPages = int32(v32)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.KeyLo = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.KeyHi = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.InsLE = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.InsGT = int64(v64)
+	if v64, ok = u64(); !ok {
+		return fail()
+	}
+	m.DelGT = int64(v64)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	if m.Text, ok = str(v32); !ok {
+		return fail()
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		s, ok := u32()
+		if !ok {
+			return fail()
+		}
+		m.Sites = append(m.Sites, int32(s))
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	if v32 > 0 {
+		if off+int(v32) > len(b) {
+			return fail()
+		}
+		d, n, err := tuple.UnmarshalDesc(b[off : off+int(v32)])
+		if err != nil {
+			return nil, err
+		}
+		if n != int(v32) {
+			return nil, fmt.Errorf("wire: schema length mismatch")
+		}
+		off += int(v32)
+		m.Desc = d
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		kind, ok := u8()
+		if !ok {
+			return fail()
+		}
+		var v tuple.Value
+		if kind == 1 {
+			n, ok := u32()
+			if !ok {
+				return fail()
+			}
+			if v.Str, ok = str(n); !ok {
+				return fail()
+			}
+		} else {
+			x, ok := u64()
+			if !ok {
+				return fail()
+			}
+			v.I64 = int64(x)
+		}
+		m.Tuple = append(m.Tuple, v)
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		field, ok1 := u32()
+		op, ok2 := u8()
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		term := expr.Term{Field: int(int32(field)), Op: expr.Op(op)}
+		kind, ok := u8()
+		if !ok {
+			return fail()
+		}
+		if kind == 1 {
+			n, ok := u32()
+			if !ok {
+				return fail()
+			}
+			if term.Value.Str, ok = str(n); !ok {
+				return fail()
+			}
+		} else {
+			x, ok := u64()
+			if !ok {
+				return fail()
+			}
+			term.Value.I64 = int64(x)
+		}
+		m.Pred = append(m.Pred, term)
+	}
+	return m, nil
+}
+
+// WriteMsg frames and writes one message: u32 length, u32 crc, body.
+func WriteMsg(w io.Writer, m *Msg) error {
+	body := m.Marshal()
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// MaxMsgSize bounds a frame (sanity against stream corruption).
+const MaxMsgSize = 16 << 20
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxMsgSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("wire: frame checksum mismatch")
+	}
+	return Unmarshal(body)
+}
+
+// TupleValues converts an in-memory tuple to wire values.
+func TupleValues(t tuple.Tuple) []tuple.Value {
+	return append([]tuple.Value(nil), t.Values...)
+}
+
+// ToTuple converts wire values back to a tuple.
+func ToTuple(vals []tuple.Value) tuple.Tuple {
+	return tuple.Tuple{Values: append([]tuple.Value(nil), vals...)}
+}
+
+// PredOf converts wire terms into a predicate.
+func PredOf(terms []expr.Term) expr.Pred { return expr.Pred{Terms: terms} }

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+)
+
+func TestMarshalRoundTripAllFields(t *testing.T) {
+	desc := tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "name", Type: tuple.Char, Size: 8},
+	)
+	m := &Msg{
+		Type: MsgRecoveryScan, Txn: -5, Table: 3, Site: 2, Key: 99, TS: 1234,
+		Cycles: 7, Count: 11, Flags: FlagYes | FlagHasDelGT, Vis: 2,
+		SegPages: 256, KeyLo: -100, KeyHi: 100, InsLE: 1, InsGT: 2, DelGT: 3,
+		Text:  "hello",
+		Sites: []int32{1, 2, 3},
+		Desc:  desc,
+		Tuple: []tuple.Value{tuple.VInt(5), tuple.VStr("x")},
+		Pred: []expr.Term{
+			{Field: 2, Op: expr.GE, Value: tuple.VInt(10)},
+			{Field: 3, Op: expr.EQ, Value: tuple.VStr("abc")},
+		},
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Desc compares via Equal; compare separately then null out.
+	if !got.Desc.Equal(m.Desc) {
+		t.Fatal("desc mismatch")
+	}
+	got.Desc, m.Desc = nil, nil
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, m)
+	}
+}
+
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Msg{
+		{Type: MsgPing},
+		{Type: MsgInsert, Txn: 1, Table: 2, Tuple: []tuple.Value{tuple.VInt(1)}},
+		{Type: MsgErr, Text: "boom"},
+	}
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Text != want.Text {
+			t.Fatalf("got %v want %v", got.Type, want.Type)
+		}
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, &Msg{Type: MsgPing, Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[10] ^= 0xFF
+	if _, err := ReadMsg(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestErrHelper(t *testing.T) {
+	if (&Msg{Type: MsgOK}).Err() != nil {
+		t.Fatal("OK produced error")
+	}
+	if (&Msg{Type: MsgErr, Text: "bad"}).Err() == nil {
+		t.Fatal("MsgErr produced nil error")
+	}
+	if !(&Msg{Flags: FlagYes}).Yes() {
+		t.Fatal("Yes() broken")
+	}
+}
+
+func TestTupleConversion(t *testing.T) {
+	desc := tuple.MustDesc("id", tuple.FieldDef{Name: "id", Type: tuple.Int64})
+	tp := tuple.MustMake(desc, tuple.VInt(42))
+	tp.SetInsTS(7)
+	vals := TupleValues(tp)
+	back := ToTuple(vals)
+	if !back.Equal(desc, tp) {
+		t.Fatal("tuple conversion lost data")
+	}
+	// Mutating the wire copy must not touch the original.
+	vals[0].I64 = 99
+	if tp.InsTS() != 7 {
+		t.Fatal("TupleValues aliases the tuple")
+	}
+}
+
+func TestQuickMsgRoundTrip(t *testing.T) {
+	f := func(typ uint8, txn, key, ts int64, table, site int32, flags, vis uint8, text string, nSites uint8) bool {
+		m := &Msg{
+			Type: Type(typ%30 + 1), Txn: txn, Table: table, Site: site,
+			Key: key, TS: ts, Flags: flags, Vis: vis, Text: text,
+		}
+		for i := uint8(0); i < nSites%5; i++ {
+			m.Sites = append(m.Sites, int32(i))
+		}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	m := &Msg{Type: MsgScan, Text: "abc", Sites: []int32{1}, Tuple: []tuple.Value{tuple.VStr("s")}}
+	body := m.Marshal()
+	for i := 0; i < len(body); i++ {
+		if _, err := Unmarshal(body[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 8)
+	hdr[3] = 0xFF // huge length
+	buf.Write(hdr)
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func BenchmarkMsgRoundTrip(b *testing.B) {
+	m := &Msg{Type: MsgInsert, Txn: 1, Table: 2, Tuple: make([]tuple.Value, 16)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(m.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes — corrupt frames from
+// a broken peer must fail cleanly.
+func TestQuickUnmarshalRobustness(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Unmarshal panicked on %x: %v", b, r)
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package worker
+
+import (
+	"sort"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/lockmgr"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+)
+
+// handleOrphan runs when the connection owning a transaction dies without
+// resolving it — the §5.5 / §4.3 coordinator-failure logic:
+//
+//   - pending or voted-NO transactions abort ("a worker site can safely
+//     abort the transaction if ... still pending, or ... has voted NO",
+//     §4.3.2);
+//   - under the 2PC protocols a prepared(YES) worker must wait for the
+//     coordinator to recover (blocking), implemented as a background poll
+//     of the coordinator's transaction-outcome service;
+//   - under the 3PC protocols the workers run the consensus building
+//     protocol (§4.3.3) led by a backup coordinator.
+func (s *Site) handleOrphan(id txn.ID) {
+	if s.crashed.Load() {
+		return
+	}
+	w := s.getTxn(id, false)
+	if w == nil {
+		return
+	}
+	s.mu.Lock()
+	state := w.state
+	s.mu.Unlock()
+	if state.Terminal() {
+		return
+	}
+	if !w.didWrite {
+		// Read-only transaction: just release its resources.
+		s.Locks.ReleaseAll(lockmgr.TxnID(id))
+		s.setState(w, txn.StateAborted)
+		s.forget(id)
+		return
+	}
+	switch state {
+	case txn.StatePending, txn.StatePreparedNo:
+		_ = s.Store.Abort(lockmgr.TxnID(id))
+		s.setState(w, txn.StateAborted)
+		s.aborts.Add(1)
+	default: // prepared(YES) or prepared-to-commit
+		if s.Cfg.Protocol.ThreePhase() {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.runConsensus(id)
+			}()
+		} else {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.awaitCoordinatorOutcome(id)
+			}()
+		}
+	}
+}
+
+// awaitCoordinatorOutcome is the blocking 2PC path: poll the coordinator's
+// recovery server until it answers, then apply the outcome locally.
+func (s *Site) awaitCoordinatorOutcome(id txn.ID) {
+	if s.Cfg.Catalog == nil {
+		return
+	}
+	coordAddr, ok := s.Cfg.Catalog.SiteAddr(s.Cfg.Catalog.Coordinator())
+	if !ok {
+		return
+	}
+	for i := 0; i < 600; i++ {
+		if s.crashed.Load() {
+			return
+		}
+		if st, _, ok := s.TxnState(id); !ok || st.Terminal() {
+			return
+		}
+		c, err := comm.Dial(coordAddr)
+		if err == nil {
+			resp, err := c.Call(&wire.Msg{Type: wire.MsgTxnOutcome, Txn: id})
+			c.Close()
+			if err == nil {
+				if resp.Yes() {
+					s.applyLocal(id, wire.MsgCommit, resp.TS)
+				} else {
+					s.applyLocal(id, wire.MsgAbort, 0)
+				}
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// applyLocal drives a commit/abort through the normal handler paths.
+func (s *Site) applyLocal(id txn.ID, typ wire.Type, ts int64) {
+	owned := map[txn.ID]bool{}
+	switch typ {
+	case wire.MsgPrepare:
+		s.handlePrepare(&wire.Msg{Type: typ, Txn: id}, owned)
+	case wire.MsgPrepareToCommit:
+		s.handlePrepareToCommit(&wire.Msg{Type: typ, Txn: id, TS: ts})
+	case wire.MsgCommit:
+		s.handleCommit(&wire.Msg{Type: typ, Txn: id, TS: ts}, owned)
+	case wire.MsgAbort:
+		s.handleAbort(&wire.Msg{Type: typ, Txn: id}, owned)
+	}
+}
+
+// runConsensus executes the §4.3.3 consensus building protocol for a
+// transaction whose coordinator died. The backup coordinator is chosen by
+// the pre-assigned ranking — the lowest-numbered live participant. A
+// non-backup worker waits for the backup to resolve the transaction and
+// promotes itself if the backup dies too.
+func (s *Site) runConsensus(id txn.ID) {
+	w := s.getTxn(id, false)
+	if w == nil {
+		return
+	}
+	s.mu.Lock()
+	parts := append([]int32(nil), w.participants...)
+	s.mu.Unlock()
+	if len(parts) == 0 {
+		// Without a participant list (pre-PREPARE failure) abort safely.
+		s.applyLocal(id, wire.MsgAbort, 0)
+		return
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	for _, p := range parts {
+		if s.crashed.Load() {
+			return
+		}
+		if st, _, ok := s.TxnState(id); !ok || st.Terminal() {
+			return
+		}
+		if catalog.SiteID(p) == s.Cfg.Site {
+			s.actAsBackupCoordinator(id, parts)
+			return
+		}
+		// A lower-ranked live participant is the backup; give it time.
+		addr, ok := s.Cfg.Catalog.SiteAddr(catalog.SiteID(p))
+		if ok && comm.Ping(addr, 500*time.Millisecond) {
+			if st, done := s.awaitTerminal(id, 5*time.Second); done && st.Terminal() {
+				return
+			}
+			// Backup alive but silent; fall through and try the next rank
+			// (it may itself be waiting on a dead lower rank).
+			continue
+		}
+		// Backup candidate dead: next rank takes over.
+	}
+}
+
+// actAsBackupCoordinator implements Table 4.1. The backup decides from its
+// local state, drives the remaining participants over fresh connections,
+// and disregards unreachable ones (they will recover and learn the outcome
+// through recovery).
+func (s *Site) actAsBackupCoordinator(id txn.ID, parts []int32) {
+	st, ts, ok := s.TxnState(id)
+	if !ok {
+		return
+	}
+	bcast := func(typ wire.Type, ts int64) {
+		for _, p := range parts {
+			if catalog.SiteID(p) == s.Cfg.Site {
+				s.applyLocal(id, typ, ts)
+				continue
+			}
+			addr, ok := s.Cfg.Catalog.SiteAddr(catalog.SiteID(p))
+			if !ok {
+				continue
+			}
+			c, err := comm.Dial(addr)
+			if err != nil {
+				continue
+			}
+			_, _ = c.Call(&wire.Msg{Type: typ, Txn: id, TS: ts})
+			c.Close()
+		}
+	}
+	switch st {
+	case txn.StatePending, txn.StatePreparedNo, txn.StateAborted:
+		// No site could have reached prepared-to-commit: abort everywhere.
+		bcast(wire.MsgAbort, 0)
+	case txn.StatePreparedYes:
+		// No site can have committed: bring everyone to prepared, then
+		// abort (Table 4.1 row 3).
+		bcast(wire.MsgPrepare, 0)
+		bcast(wire.MsgAbort, 0)
+	case txn.StatePreparedToCommit:
+		// No site can have aborted: replay the last two phases with the
+		// commit time received from the old coordinator.
+		bcast(wire.MsgPrepareToCommit, ts)
+		bcast(wire.MsgCommit, ts)
+	case txn.StateCommitted:
+		bcast(wire.MsgCommit, ts)
+	}
+}

@@ -1,0 +1,94 @@
+package worker
+
+import (
+	"sync"
+
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+)
+
+// tsTracker computes the safe HARBOR checkpoint time T (Figure 3-2's
+// "current time - 1") from the worker's local view.
+//
+// The guarantee a checkpoint must provide is that every update committed at
+// or before T has been applied to the buffer pool before the dirty-pages
+// snapshot is taken (so flushing the snapshot makes them durable). Commit
+// times are issued by the coordinator's monotone timestamp authority at the
+// commit point, so:
+//
+//   - appliedTS — the largest commit time fully stamped locally — is safe
+//     on its own only if nothing earlier is still in flight;
+//   - a transaction whose commit time is known but whose stamping is in
+//     progress (or whose COMMIT message may still be in flight) bounds T by
+//     ts-1;
+//   - a transaction that has prepared but whose commit time is not yet
+//     known bounds T by the appliedTS recorded when it prepared: its
+//     eventual commit time is issued after its prepare, hence strictly
+//     greater than every commit time issued before the prepare.
+type tsTracker struct {
+	mu        sync.Mutex
+	appliedTS tuple.Timestamp
+	// barriers: prepared transactions → appliedTS at prepare time.
+	barriers map[txn.ID]tuple.Timestamp
+	// known: transactions whose commit time is known but not fully applied.
+	known map[txn.ID]tuple.Timestamp
+}
+
+func (t *tsTracker) init() {
+	t.barriers = map[txn.ID]tuple.Timestamp{}
+	t.known = map[txn.ID]tuple.Timestamp{}
+}
+
+// prepared records a barrier when a transaction votes YES.
+func (t *tsTracker) prepared(id txn.ID) {
+	t.mu.Lock()
+	t.barriers[id] = t.appliedTS
+	t.mu.Unlock()
+}
+
+// commitTSKnown upgrades a barrier to a concrete bound once the commit time
+// arrives (PREPARE-TO-COMMIT or COMMIT message).
+func (t *tsTracker) commitTSKnown(id txn.ID, ts tuple.Timestamp) {
+	t.mu.Lock()
+	delete(t.barriers, id)
+	t.known[id] = ts
+	t.mu.Unlock()
+}
+
+// applied marks a transaction's stamping complete.
+func (t *tsTracker) applied(id txn.ID, ts tuple.Timestamp) {
+	t.mu.Lock()
+	delete(t.known, id)
+	delete(t.barriers, id)
+	if ts > t.appliedTS {
+		t.appliedTS = ts
+	}
+	t.mu.Unlock()
+}
+
+// resolved clears a transaction that aborted or was forgotten.
+func (t *tsTracker) resolved(id txn.ID) {
+	t.mu.Lock()
+	delete(t.known, id)
+	delete(t.barriers, id)
+	t.mu.Unlock()
+}
+
+// safeCheckpointTS returns the largest T such that all commits ≤ T are
+// fully applied locally.
+func (t *tsTracker) safeCheckpointTS() tuple.Timestamp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	safe := t.appliedTS
+	for _, b := range t.barriers {
+		if b < safe {
+			safe = b
+		}
+	}
+	for _, ts := range t.known {
+		if ts-1 < safe {
+			safe = ts - 1
+		}
+	}
+	return safe
+}

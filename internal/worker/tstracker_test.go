@@ -1,0 +1,76 @@
+package worker
+
+import "testing"
+
+// The tsTracker computes the safe Figure 3-2 checkpoint time. These tests
+// pin the exact scenario that motivated it: a commit whose COMMIT message
+// is still in flight must hold the checkpoint back even though a later
+// commit already applied.
+func TestTrackerBasicAdvance(t *testing.T) {
+	var tr tsTracker
+	tr.init()
+	if got := tr.safeCheckpointTS(); got != 0 {
+		t.Fatalf("fresh tracker safe T = %d", got)
+	}
+	tr.prepared(1)
+	tr.commitTSKnown(1, 5)
+	tr.applied(1, 5)
+	if got := tr.safeCheckpointTS(); got != 5 {
+		t.Fatalf("safe T = %d, want 5", got)
+	}
+}
+
+func TestTrackerInFlightCommitBlocksCheckpoint(t *testing.T) {
+	var tr tsTracker
+	tr.init()
+	// Txn A prepared; its commit time is not yet known.
+	tr.prepared(1)
+	// Txn B commits fully with ts 7 (it overtook A on the wire).
+	tr.prepared(2)
+	tr.commitTSKnown(2, 7)
+	tr.applied(2, 7)
+	// A's eventual ts could be less than 7? No — it will be issued after
+	// A's prepare, hence greater than everything applied at prepare time
+	// (0). The checkpoint may only advance to A's barrier.
+	if got := tr.safeCheckpointTS(); got != 0 {
+		t.Fatalf("safe T = %d, want 0 (A's prepare barrier)", got)
+	}
+	// Once A's commit time (say 6) is known, the bound becomes ts-1 = 5.
+	tr.commitTSKnown(1, 6)
+	if got := tr.safeCheckpointTS(); got != 5 {
+		t.Fatalf("safe T = %d, want 5", got)
+	}
+	tr.applied(1, 6)
+	if got := tr.safeCheckpointTS(); got != 7 {
+		t.Fatalf("safe T = %d, want 7", got)
+	}
+}
+
+func TestTrackerAbortClears(t *testing.T) {
+	var tr tsTracker
+	tr.init()
+	tr.prepared(1)
+	tr.commitTSKnown(2, 9)
+	tr.resolved(1)
+	tr.resolved(2)
+	if got := tr.safeCheckpointTS(); got != 0 {
+		t.Fatalf("safe T = %d after aborts, want 0", got)
+	}
+	tr.applied(3, 4)
+	if got := tr.safeCheckpointTS(); got != 4 {
+		t.Fatalf("safe T = %d, want 4", got)
+	}
+}
+
+func TestTrackerBarrierReflectsAppliedAtPrepareTime(t *testing.T) {
+	var tr tsTracker
+	tr.init()
+	tr.applied(1, 10)
+	tr.prepared(2) // barrier = 10
+	tr.applied(3, 20)
+	// Checkpoint can advance to 10 (everything ≤ 10 applied; txn 2's
+	// eventual commit time must exceed 10).
+	if got := tr.safeCheckpointTS(); got != 10 {
+		t.Fatalf("safe T = %d, want 10", got)
+	}
+}
