@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the packages with coordinator/network concurrency.
+race:
+	$(GO) test -race -count=1 ./internal/coord/ ./internal/comm/
+
+# The CI gate: vet + race on the concurrent packages, then the full suite.
+check: vet race test
+
+bench:
+	$(GO) test -bench . -benchtime 2000x -run xxx .

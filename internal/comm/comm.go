@@ -18,13 +18,17 @@ import (
 	"harbor/internal/wire"
 )
 
-// Conn wraps one TCP connection with buffered framed-message IO.
+// Conn wraps one TCP connection with buffered framed-message IO. Each
+// direction owns a scratch buffer (wire.Encoder / wire.Decoder) so the
+// steady state sends and receives without per-message allocations.
 type Conn struct {
-	nc net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	nc  net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	dec wire.Decoder // reads are single-goroutine per connection
 
-	wmu sync.Mutex // serialises writes (server pushes + responses)
+	wmu sync.Mutex   // serialises writes (server pushes + responses)
+	enc wire.Encoder // guarded by wmu
 }
 
 // NewConn wraps an established net.Conn.
@@ -36,7 +40,7 @@ func NewConn(nc net.Conn) *Conn {
 func (c *Conn) Send(m *wire.Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := wire.WriteMsg(c.w, m); err != nil {
+	if err := c.enc.WriteMsg(c.w, m); err != nil {
 		return err
 	}
 	return c.w.Flush()
@@ -46,7 +50,7 @@ func (c *Conn) Send(m *wire.Msg) error {
 func (c *Conn) SendNoFlush(m *wire.Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return wire.WriteMsg(c.w, m)
+	return c.enc.WriteMsg(c.w, m)
 }
 
 // Flush flushes buffered writes.
@@ -58,7 +62,7 @@ func (c *Conn) Flush() error {
 
 // Recv reads one message (blocking).
 func (c *Conn) Recv() (*wire.Msg, error) {
-	return wire.ReadMsg(c.r)
+	return c.dec.ReadMsg(c.r)
 }
 
 // RecvTimeout reads one message with a deadline; a timeout returns
@@ -68,7 +72,7 @@ func (c *Conn) RecvTimeout(d time.Duration) (*wire.Msg, error) {
 		return nil, err
 	}
 	defer c.nc.SetReadDeadline(time.Time{})
-	m, err := wire.ReadMsg(c.r)
+	m, err := c.dec.ReadMsg(c.r)
 	if err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
@@ -110,6 +114,16 @@ func (c *Conn) CallRaw(m *wire.Msg) (*wire.Msg, error) {
 		return nil, err
 	}
 	return c.Recv()
+}
+
+// CallRawTimeout is CallRaw with a response deadline. A deadline pass
+// returns ErrTimeout; callers treat it like a transport failure and close
+// the connection (a late response would desynchronise the request stream).
+func (c *Conn) CallRawTimeout(m *wire.Msg, d time.Duration) (*wire.Msg, error) {
+	if err := c.Send(m); err != nil {
+		return nil, err
+	}
+	return c.RecvTimeout(d)
 }
 
 // Dial connects to a site address.
@@ -219,20 +233,48 @@ func (s *Server) Close() error {
 	return err
 }
 
+// DefaultMaxIdle caps a pool's idle list unless SetMaxIdle overrides it.
+// Beyond the cap, returned connections are closed instead of parked, so a
+// burst of concurrent transactions cannot grow the idle set without bound.
+const DefaultMaxIdle = 16
+
+// PoolStats reports a pool's lifetime connection accounting.
+type PoolStats struct {
+	Dials    int64 // connections dialed because no idle one existed
+	Reuses   int64 // Gets served from the idle list
+	Discards int64 // connections closed by Put (over cap) or Discard
+}
+
 // Pool is a small client-connection pool per remote address; coordinators
 // recycle connections for subsequent transactions (§6.1.6).
 type Pool struct {
 	addr string
 
-	mu   sync.Mutex
-	idle []*Conn
+	mu      sync.Mutex
+	idle    []*Conn
+	maxIdle int
+	stats   PoolStats
 }
 
 // NewPool creates a pool for one address.
-func NewPool(addr string) *Pool { return &Pool{addr: addr} }
+func NewPool(addr string) *Pool { return &Pool{addr: addr, maxIdle: DefaultMaxIdle} }
 
 // Addr returns the pool's target address.
 func (p *Pool) Addr() string { return p.addr }
+
+// SetMaxIdle changes the idle-connection cap (n < 1 disables pooling).
+func (p *Pool) SetMaxIdle(n int) {
+	p.mu.Lock()
+	p.maxIdle = n
+	p.mu.Unlock()
+}
+
+// Stats returns the pool's connection accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // Get returns an idle connection or dials a new one.
 func (p *Pool) Get() (*Conn, error) {
@@ -240,22 +282,36 @@ func (p *Pool) Get() (*Conn, error) {
 	if n := len(p.idle); n > 0 {
 		c := p.idle[n-1]
 		p.idle = p.idle[:n-1]
+		p.stats.Reuses++
 		p.mu.Unlock()
 		return c, nil
 	}
+	p.stats.Dials++
 	p.mu.Unlock()
 	return Dial(p.addr)
 }
 
-// Put returns a healthy connection for reuse.
+// Put returns a healthy connection for reuse; over the idle cap it is
+// closed instead.
 func (p *Pool) Put(c *Conn) {
 	p.mu.Lock()
+	if len(p.idle) >= p.maxIdle {
+		p.stats.Discards++
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
 	p.idle = append(p.idle, c)
 	p.mu.Unlock()
 }
 
 // Discard closes a broken connection.
-func (p *Pool) Discard(c *Conn) { c.Close() }
+func (p *Pool) Discard(c *Conn) {
+	p.mu.Lock()
+	p.stats.Discards++
+	p.mu.Unlock()
+	c.Close()
+}
 
 // CloseAll drops every idle connection.
 func (p *Pool) CloseAll() {

@@ -121,6 +121,93 @@ func TestPoolRecyclesConnections(t *testing.T) {
 	p.Put(c2)
 }
 
+func TestPoolCapsIdleConnections(t *testing.T) {
+	s := startEcho(t)
+	p := NewPool(s.Addr())
+	defer p.CloseAll()
+	p.SetMaxIdle(2)
+	// Check out 5 connections concurrently, then return them all: only 2
+	// may be parked, the rest must be closed and counted as discards.
+	var conns []*Conn
+	for i := 0; i < 5; i++ {
+		c, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		p.Put(c)
+	}
+	st := p.Stats()
+	if st.Dials != 5 {
+		t.Fatalf("dials = %d, want 5", st.Dials)
+	}
+	if st.Discards != 3 {
+		t.Fatalf("discards = %d, want 3 (idle cap 2)", st.Discards)
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 2 {
+		t.Fatalf("idle list holds %d conns, want 2", idle)
+	}
+}
+
+func TestPoolStatsCountReuse(t *testing.T) {
+	s := startEcho(t)
+	p := NewPool(s.Addr())
+	defer p.CloseAll()
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	for i := 0; i < 3; i++ {
+		c, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(c)
+	}
+	st := p.Stats()
+	if st.Dials != 1 || st.Reuses != 3 {
+		t.Fatalf("stats = %+v, want 1 dial / 3 reuses", st)
+	}
+	bad, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(bad)
+	if st := p.Stats(); st.Discards != 1 {
+		t.Fatalf("discards = %d, want 1", st.Discards)
+	}
+}
+
+func TestCallRawTimeout(t *testing.T) {
+	// A server that never answers scans: CallRawTimeout must return
+	// ErrTimeout instead of blocking forever.
+	srv, err := Listen("127.0.0.1:0", HandlerFunc(func(c *Conn) {
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CallRawTimeout(&wire.Msg{Type: wire.MsgPing}, 100*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	s := startEcho(t)
 	var wg sync.WaitGroup

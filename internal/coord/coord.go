@@ -35,6 +35,15 @@ type Config struct {
 	GroupDelay  time.Duration
 	// SyncDelay simulates per-fsync disk latency (benchmarks).
 	SyncDelay time.Duration
+	// FanoutLimit bounds the goroutines of one concurrent network round
+	// (update distribution, commit phases, distributed scans). 0 uses
+	// defaultFanoutLimit.
+	FanoutLimit int
+	// RoundTimeout bounds each per-replica call of a fan-out round; a
+	// replica that misses the deadline is treated as fail-stopped (§4.3.5:
+	// the coordinator may "crash" a bottlenecking worker and proceed with
+	// K-1 safety). 0 waits forever.
+	RoundTimeout time.Duration
 }
 
 // outcomeRec is the coordinator's memory of a finished transaction.
@@ -150,6 +159,12 @@ func (co *Coordinator) Close() error {
 func (co *Coordinator) Protocol() txn.Protocol { return co.cfg.Protocol }
 
 // Counters returns (messages sent to workers, commits, aborts).
+//
+// Counting rule: msgsSent increments exactly once per *attempted* request
+// send to a worker — whether or not the send or its response succeeds —
+// and never for streamed per-tuple responses flowing back. Every send path
+// (fan-out rounds, scans, per-txn dials, the join replay) follows this
+// rule, so the counter is comparable across protocols and failure modes.
 func (co *Coordinator) Counters() (int64, int64, int64) {
 	return co.msgsSent.Load(), co.commits.Load(), co.aborts.Load()
 }
@@ -344,7 +359,9 @@ func (co *Coordinator) serveConn(c *comm.Conn) {
 // handleObjectOnline implements the coordinator side of Figure 5-4's
 // join-pending protocol: mark the replica online so all subsequent updates
 // include it, replay each pending transaction's queued updates that touch
-// the object, and answer "all done".
+// the object, and answer "all done". Distinct pending transactions replay
+// concurrently (each on its own dedicated connection to the recovering
+// site); within one transaction the queued updates stay strictly ordered.
 func (co *Coordinator) handleObjectOnline(site catalog.SiteID, table int32) error {
 	// Flag first under the lock (so no new update can miss the site), then
 	// snapshot pending transactions.
@@ -356,55 +373,54 @@ func (co *Coordinator) handleObjectOnline(site catalog.SiteID, table int32) erro
 	}
 	co.mu.Unlock()
 
-	for _, t := range pending {
-		t.mu.Lock()
-		if t.done {
-			t.mu.Unlock()
-			continue
+	fanEach(co.fanoutLimit(), pending, func(_ int, t *ctxn) struct{} {
+		co.replayQueueTo(t, site, table)
+		return struct{}{}
+	})
+	return nil
+}
+
+// replayQueueTo sends one pending transaction's queued updates for the
+// recovering table to the newly-online site (§5.4.2). Holding t.mu for the
+// replay keeps the per-site request order intact: later distributes to this
+// transaction wait here and therefore send to the new site only after the
+// queue replay finished.
+func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	// Relevant if any queued update touches the recovering table and did
+	// not already reach the recovering site.
+	var replay []*queuedUpdate
+	for _, q := range t.queue {
+		if q.msg.Table == table && !q.sentTo[site] {
+			replay = append(replay, q)
 		}
-		// Relevant if any queued update touches the recovering table and
-		// did not already reach the recovering site (§5.4.2). Holding t.mu
-		// for the replay keeps the per-site request order intact: later
-		// distributes to this transaction wait here and therefore send to
-		// the new site only after the queue replay finished.
-		var replay []*queuedUpdate
-		for _, q := range t.queue {
-			if q.msg.Table == table && !q.sentTo[site] {
-				replay = append(replay, q)
-			}
+	}
+	if len(replay) == 0 {
+		return
+	}
+	if _, ok := t.workers[site]; !ok {
+		if _, err := co.dialWorkerForTxn(t, site); err != nil {
+			return // site died again; it will re-run recovery (§5.5.1)
 		}
-		if len(replay) == 0 {
-			t.mu.Unlock()
-			continue
+	}
+	conn := t.workers[site]
+	for _, q := range replay {
+		resp, err := conn.Call(q.msg)
+		co.msgsSent.Add(1)
+		if err == nil {
+			err = resp.Err()
 		}
-		if _, ok := t.workers[site]; !ok {
-			if _, err := co.dialWorkerForTxn(t, site); err != nil {
-				t.mu.Unlock()
-				continue // site died again; it will re-run recovery (§5.5.1)
-			}
-		}
-		conn := t.workers[site]
-		replayErr := func() error {
-			for _, q := range replay {
-				resp, err := conn.Call(q.msg)
-				co.msgsSent.Add(1)
-				if err != nil {
-					return err
-				}
-				if err := resp.Err(); err != nil {
-					return err
-				}
-				q.sentTo[site] = true
-			}
-			return nil
-		}()
-		if replayErr != nil {
+		if err != nil {
 			delete(t.workers, site)
 			conn.Close()
+			return
 		}
-		t.mu.Unlock()
+		q.sentTo[site] = true
 	}
-	return nil
 }
 
 // dialWorkerForTxn opens a dedicated connection to a worker for one

@@ -1,0 +1,63 @@
+package coord
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFanEachPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out := fanEach(8, items, func(i, v int) int { return v * 2 })
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestFanEachBoundsConcurrency(t *testing.T) {
+	const limit = 4
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	items := make([]int, 64)
+	fanEach(limit, items, func(int, int) struct{} {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak concurrency %d: fan-out did not actually run in parallel", p)
+	}
+}
+
+func TestFanEachSingleItemRunsInline(t *testing.T) {
+	done := make(chan struct{}, 1)
+	out := fanEach(0, []int{7}, func(_, v int) int {
+		done <- struct{}{}
+		return v + 1
+	})
+	<-done // would already have run synchronously
+	if out[0] != 8 {
+		t.Fatalf("out[0] = %d", out[0])
+	}
+}
+
+func TestFanEachEmpty(t *testing.T) {
+	if got := fanEach(4, nil, func(int, int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("expected empty result, got %v", got)
+	}
+}

@@ -1,0 +1,244 @@
+package coord_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"harbor/internal/coord"
+	"harbor/internal/testutil"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// TestSlowReplicasCommitAtMaxNotSumLatency proves the fan-out property the
+// §4.3 cost model assumes: with every replica slowed by d per message, a
+// transaction's wall time tracks rounds×d (max over replicas per round),
+// not rounds×K×d (sum over replicas). With K=2 and d on both workers the
+// sequential coordinator would need ≥ 16d for this workload; the parallel
+// one needs ~10d (the per-txn BEGIN dials remain sequential by design).
+func TestSlowReplicasCommitAtMaxNotSumLatency(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	const d = 20 * time.Millisecond
+	for _, w := range cl.Workers {
+		w.SetSimMsgDelay(d)
+	}
+	defer func() {
+		for _, w := range cl.Workers {
+			w.SetSimMsgDelay(0)
+		}
+	}()
+
+	start := time.Now()
+	tx := cl.Coord.Begin()
+	for i := int64(1); i <= 5; i++ {
+		if err := tx.Insert(1, mk(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Rounds: BEGIN×2 sequential (2d) + 5 inserts + PREPARE +
+	// PREPARE-TO-COMMIT + COMMIT parallel (8d) = 10d. The sequential
+	// coordinator paid 2d + 2d×8 = 18d. Split the difference with margin.
+	if min := 8 * d; elapsed < min {
+		t.Fatalf("commit took %v < %v: the slow-replica delay is not being applied", elapsed, min)
+	}
+	if max := 15 * d; elapsed > max {
+		t.Fatalf("commit took %v > %v: latency tracks the sum of replica delays, not the max", elapsed, max)
+	}
+}
+
+// TestSlowReplicaScanRunsSitesConcurrently partitions a table across two
+// sites and checks a distributed scan costs ~max of the per-site delays.
+func TestSlowReplicaScanRunsSitesConcurrently(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	// Table 2: key range split between the two workers (no replication),
+	// so a full scan must visit both sites.
+	if err := cl.CreatePartitionedTable(2, testDesc(), 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	tx := cl.Coord.Begin()
+	for _, key := range []int64{10, 110} {
+		if err := tx.Insert(2, mk(key, key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const d = 30 * time.Millisecond
+	for _, w := range cl.Workers {
+		w.SetSimMsgDelay(d)
+	}
+	defer func() {
+		for _, w := range cl.Workers {
+			w.SetSimMsgDelay(0)
+		}
+	}()
+	start := time.Now()
+	rows, err := cl.Coord.Scan(2, coord.QueryOptions{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("scan returned %d rows, want 2", len(rows))
+	}
+	// Each site serves SCAN + END-READ (2d); two sites scanned
+	// sequentially would cost ≥ 4d, concurrently ~2d.
+	if max := 3 * d; elapsed > max {
+		t.Fatalf("scan took %v > %v: sites were read sequentially", elapsed, max)
+	}
+	// Deterministic merge order: site 1's key range before site 2's.
+	if rows[0].Key(testDesc()) != 10 || rows[1].Key(testDesc()) != 110 {
+		t.Fatalf("merge order not deterministic by (site, key): %v", ids(rows))
+	}
+}
+
+// TestScanFailsOverPerSite crashes the serving replica without telling the
+// coordinator; the scan must mark it down and re-read only the failed key
+// slice from the surviving buddy.
+func TestScanFailsOverPerSite(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	for i := int64(1); i <= 3; i++ {
+		if err := tx.Insert(1, mk(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 is the preferred read site (lowest id). Crash it silently.
+	cl.Workers[0].Crash()
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(rows); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("failover scan: %v", got)
+	}
+	if !cl.Coord.SiteDown(testutil.WorkerSiteID(0)) {
+		t.Fatal("failed read site was not marked down")
+	}
+}
+
+// TestParallelFanoutConcurrentTransactions drives ≥8 concurrent
+// transactions (with interleaved distributed scans) through the parallel
+// fan-out; run under -race this exercises every concurrent round.
+func TestParallelFanoutConcurrentTransactions(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	const streams = 8
+	const txnsPerStream = 10
+	for s := 1; s < streams; s++ {
+		if err := cl.CreateReplicatedTable(int32(s+1), testDesc(), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			table := int32(s + 1)
+			for i := 0; i < txnsPerStream; i++ {
+				tx := cl.Coord.Begin()
+				if err := tx.Insert(table, mk(int64(i), int64(s))); err != nil {
+					errs <- fmt.Errorf("stream %d insert %d: %w", s, i, err)
+					return
+				}
+				if _, err := tx.Commit(); err != nil {
+					errs <- fmt.Errorf("stream %d commit %d: %w", s, i, err)
+					return
+				}
+				tx2 := cl.Coord.Begin()
+				if err := tx2.UpdateKey(table, int64(i), mk(int64(i), int64(s+100))); err != nil {
+					errs <- fmt.Errorf("stream %d update %d: %w", s, i, err)
+					return
+				}
+				if _, err := tx2.Commit(); err != nil {
+					errs <- fmt.Errorf("stream %d update-commit %d: %w", s, i, err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := cl.Coord.Scan(table, coord.QueryOptions{}); err != nil {
+						errs <- fmt.Errorf("stream %d scan %d: %w", s, i, err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for s := 0; s < streams; s++ {
+		rows, err := cl.Coord.Scan(int32(s+1), coord.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != txnsPerStream {
+			t.Fatalf("table %d has %d rows, want %d", s+1, len(rows), txnsPerStream)
+		}
+		for _, r := range rows {
+			if r.Values[3].I64 != int64(s+100) {
+				t.Fatalf("table %d row %d missed its update: %v", s+1, r.Key(testDesc()), r.Values)
+			}
+		}
+	}
+}
+
+// TestRoundTimeoutEvictsStalledReplica configures a per-call round timeout
+// and stalls one replica past it: the coordinator must treat the replica as
+// fail-stopped and commit with K-1 safety instead of waiting.
+func TestRoundTimeoutEvictsStalledReplica(t *testing.T) {
+	base := t.TempDir()
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:      2,
+		Protocol:     txn.OptThreePC,
+		Mode:         worker.HARBOR,
+		GroupCommit:  true,
+		LockTimeout:  time.Second,
+		BaseDir:      base,
+		RoundTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.CreateReplicatedTable(1, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stall worker 1 well past the round timeout from here on.
+	cl.Workers[1].SetSimMsgDelay(2 * time.Second)
+	if err := tx.Insert(1, mk(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Coord.SiteDown(testutil.WorkerSiteID(1)) {
+		t.Fatal("stalled replica was not marked down")
+	}
+	cl.Workers[1].SetSimMsgDelay(0)
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("K-1 commit left %d rows, want 2", len(rows))
+	}
+}

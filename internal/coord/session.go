@@ -2,6 +2,7 @@ package coord
 
 import (
 	"fmt"
+	"sort"
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
@@ -33,10 +34,12 @@ func (co *Coordinator) Begin() *Txn {
 func (tx *Txn) ID() txn.ID { return tx.t.id }
 
 // distribute sends one logical update request to every live replica of its
-// key and queues it for possible replay to recovering sites (§4.1). Each
-// Txn belongs to one client goroutine; the txn mutex is held only while
-// mutating the queue/worker set, never across the network calls, so the
-// §5.4.2 join replay can run while an update waits behind Phase 3 locks.
+// key — concurrently, one goroutine per replica (§4.1: the round costs the
+// slowest replica's RTT, not the sum) — and queues it for possible replay
+// to recovering sites. Each Txn belongs to one client goroutine; the txn
+// mutex is held only while mutating the queue/worker set, never across the
+// network calls, so the §5.4.2 join replay can run while an update waits
+// behind Phase 3 locks.
 func (tx *Txn) distribute(m *wire.Msg, key int64) error {
 	co := tx.co
 	t := tx.t
@@ -56,11 +59,7 @@ func (tx *Txn) distribute(m *wire.Msg, key int64) error {
 	}
 	entry := &queuedUpdate{msg: m, sentTo: map[catalog.SiteID]bool{}}
 	t.queue = append(t.queue, entry)
-	type pair struct {
-		site catalog.SiteID
-		conn *comm.Conn
-	}
-	var targets []pair
+	var targets []fanTarget
 	for _, site := range sites {
 		conn, ok := t.workers[site]
 		if !ok {
@@ -74,32 +73,49 @@ func (tx *Txn) distribute(m *wire.Msg, key int64) error {
 		}
 		entry.sentTo[site] = true // claimed before the call so the join
 		// replay never double-sends this entry to the same site
-		targets = append(targets, pair{site, conn})
+		targets = append(targets, fanTarget{site, conn})
 	}
 	t.mu.Unlock()
 
 	sent := 0
-	for _, w := range targets {
-		resp, err := w.conn.CallRaw(m)
-		co.msgsSent.Add(1)
-		if err != nil {
-			// Connection drop: fail-stop signal. Drop the worker.
-			co.MarkDown(w.site)
-			t.mu.Lock()
-			delete(t.workers, w.site)
-			t.mu.Unlock()
-			w.conn.Close()
+	var logical error
+	for _, r := range co.round(targets, func(fanTarget) *wire.Msg { return m }) {
+		if r.err != nil {
+			// Connection drop: fail-stop signal. Drop the worker (K-1).
+			tx.dropWorker(r.site, r.conn)
 			continue
 		}
-		if err := resp.Err(); err != nil {
-			return err // logical error (e.g. deadlock timeout): abort path
+		if err := r.resp.Err(); err != nil {
+			// Logical error (e.g. deadlock timeout): abort path. Keep the
+			// first one in site order for a deterministic message.
+			if logical == nil {
+				logical = err
+			}
+			continue
 		}
 		sent++
+	}
+	if logical != nil {
+		return logical
 	}
 	if sent == 0 {
 		return fmt.Errorf("coord: update reached no replica of table %d", m.Table)
 	}
 	return nil
+}
+
+// dropWorker removes a fail-stopped worker from the transaction and the
+// failure detector's live set, closing its dedicated connection. The conn
+// is compared so a replacement dialed by the join replay is never removed.
+func (tx *Txn) dropWorker(site catalog.SiteID, conn *comm.Conn) {
+	tx.co.MarkDown(site)
+	t := tx.t
+	t.mu.Lock()
+	if t.workers[site] == conn {
+		delete(t.workers, site)
+	}
+	t.mu.Unlock()
+	conn.Close()
 }
 
 // Insert distributes an insert of the tuple to all replicas covering its key.
@@ -126,16 +142,16 @@ func (tx *Txn) UpdateKey(table int32, key int64, replacement tuple.Tuple) error 
 }
 
 // SimWork asks every worker already participating to burn CPU cycles
-// (the §6.3.2 workload). If no worker has joined yet it targets every
-// replica site of the given table.
+// (the §6.3.2 workload), all replicas spinning concurrently. If no worker
+// has joined yet it targets every replica site of the given table.
 func (tx *Txn) SimWork(table int32, cycles int64) error {
 	co := tx.co
 	t := tx.t
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	sites := co.cfg.Catalog.UpdateSites(table, 0, func(s catalog.SiteID) bool {
 		return co.objectIsOnline(table, s)
 	})
+	var targets []fanTarget
 	for _, site := range sites {
 		conn, ok := t.workers[site]
 		if !ok {
@@ -145,19 +161,22 @@ func (tx *Txn) SimWork(table int32, cycles int64) error {
 				continue
 			}
 		}
-		resp, err := conn.CallRaw(&wire.Msg{Type: wire.MsgSimWork, Txn: t.id, Cycles: cycles})
-		co.msgsSent.Add(1)
-		if err != nil {
-			co.MarkDown(site)
-			delete(t.workers, site)
-			conn.Close()
+		targets = append(targets, fanTarget{site, conn})
+	}
+	t.mu.Unlock()
+	var logical error
+	for _, r := range co.round(targets, func(t fanTarget) *wire.Msg {
+		return &wire.Msg{Type: wire.MsgSimWork, Txn: tx.t.id, Cycles: cycles}
+	}) {
+		if r.err != nil {
+			tx.dropWorker(r.site, r.conn)
 			continue
 		}
-		if err := resp.Err(); err != nil {
-			return err
+		if err := r.resp.Err(); err != nil && logical == nil {
+			logical = err
 		}
 	}
-	return nil
+	return logical
 }
 
 // finish releases the transaction record and recycles worker connections.
@@ -193,11 +212,7 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 		t.mu.Unlock()
 		return 0, fmt.Errorf("coord: transaction %d already finished", t.id)
 	}
-	type pair struct {
-		site catalog.SiteID
-		conn *comm.Conn
-	}
-	var workers []pair
+	var workers []fanTarget
 	dropped := map[catalog.SiteID]bool{}
 	for s, c := range t.workers {
 		// §4.3.5: a worker that crashed before commit processing began is
@@ -209,8 +224,9 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 			c.Close()
 			continue
 		}
-		workers = append(workers, pair{s, c})
+		workers = append(workers, fanTarget{s, c})
 	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].site < workers[j].site })
 	// Safety check for the K-1 path: every queued update must still have a
 	// live recipient, or its effects would be lost by committing.
 	if len(dropped) > 0 {
@@ -252,20 +268,19 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 		}
 	}
 
-	// --- Phase 1: PREPARE / votes ---
+	// --- Phase 1: PREPARE / votes, all workers concurrently ---
 	allYes := true
-	prepared := make([]pair, 0, len(workers))
-	for _, w := range workers {
-		resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgPrepare, Txn: t.id, Sites: participants})
-		co.msgsSent.Add(1)
-		if err != nil {
+	prepared := make([]fanTarget, 0, len(workers))
+	prepareMsg := &wire.Msg{Type: wire.MsgPrepare, Txn: t.id, Sites: participants}
+	for _, r := range co.round(workers, func(fanTarget) *wire.Msg { return prepareMsg }) {
+		if r.err != nil {
 			// No response ⇒ assume NO vote (§4.3.2 failure rule).
-			co.MarkDown(w.site)
+			co.MarkDown(r.site)
 			allYes = false
 			continue
 		}
-		if resp.Type == wire.MsgVote && resp.Yes() {
-			prepared = append(prepared, w)
+		if r.resp.Type == wire.MsgVote && r.resp.Yes() {
+			prepared = append(prepared, fanTarget{r.site, r.conn})
 		} else {
 			allYes = false
 		}
@@ -281,20 +296,16 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 
 	if co.cfg.Protocol.ThreePhase() {
 		// --- 3PC Phase 2: PREPARE-TO-COMMIT carries the commit time ---
-		acked := true
-		for _, w := range prepared {
-			resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgPrepareToCommit, Txn: t.id, TS: ts})
-			co.msgsSent.Add(1)
-			if err != nil || resp.Type != wire.MsgOK {
-				if err != nil {
-					co.MarkDown(w.site)
-				}
+		p2c := &wire.Msg{Type: wire.MsgPrepareToCommit, Txn: t.id, TS: ts}
+		for _, r := range co.round(prepared, func(fanTarget) *wire.Msg { return p2c }) {
+			if r.err != nil {
 				// A dead worker will learn the outcome through recovery or
 				// consensus; the commit point is all *live* acks.
-				_ = acked
+				co.MarkDown(r.site)
 			}
 		}
-		// Commit point reached (§4.3.3).
+		// Commit point reached (§4.3.3): the round barrier above means every
+		// live worker acked before the outcome is recorded.
 		co.recordOutcome(t.id, true, ts)
 	} else {
 		// --- 2PC commit point: force-write COMMIT at the coordinator ---
@@ -308,15 +319,12 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 		co.recordOutcome(t.id, true, ts)
 	}
 
-	// --- final phase: COMMIT ---
-	for _, w := range prepared {
-		resp, err := w.conn.CallRaw(&wire.Msg{Type: wire.MsgCommit, Txn: t.id, TS: ts})
-		co.msgsSent.Add(1)
-		if err != nil {
-			co.MarkDown(w.site)
-			continue
+	// --- final phase: COMMIT, all prepared workers concurrently ---
+	commitMsg := &wire.Msg{Type: wire.MsgCommit, Txn: t.id, TS: ts}
+	for _, r := range co.round(prepared, func(fanTarget) *wire.Msg { return commitMsg }) {
+		if r.err != nil {
+			co.MarkDown(r.site)
 		}
-		_ = resp
 	}
 	if co.log != nil {
 		// W(END): a normal, unforced log write.
@@ -345,19 +353,17 @@ func (tx *Txn) abortAll() {
 	}
 	co.recordOutcome(t.id, false, 0)
 	t.mu.Lock()
-	conns := make(map[catalog.SiteID]*comm.Conn, len(t.workers))
+	targets := make([]fanTarget, 0, len(t.workers))
 	for s, c := range t.workers {
-		conns[s] = c
+		targets = append(targets, fanTarget{s, c})
 	}
 	t.mu.Unlock()
-	for site, conn := range conns {
-		resp, err := conn.CallRaw(&wire.Msg{Type: wire.MsgAbort, Txn: t.id})
-		co.msgsSent.Add(1)
-		if err != nil {
-			co.MarkDown(site)
-			continue
+	sort.Slice(targets, func(i, j int) bool { return targets[i].site < targets[j].site })
+	abortMsg := &wire.Msg{Type: wire.MsgAbort, Txn: t.id}
+	for _, r := range co.round(targets, func(fanTarget) *wire.Msg { return abortMsg }) {
+		if r.err != nil {
+			co.MarkDown(r.site)
 		}
-		_ = resp
 	}
 	if co.log != nil {
 		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
@@ -380,9 +386,11 @@ type QueryOptions struct {
 	PreferSite catalog.SiteID
 }
 
-// Scan runs a read-only query over one logical table, merging results from
-// however many sites the read plan needs (§4.1: read queries go to any
-// sites with the relevant data).
+// Scan runs a read-only query over one logical table, scanning every site
+// of the read plan concurrently and merging the streams in a deterministic
+// order — serving site, then tuple key — so a multi-segment read costs the
+// slowest site, not the sum (§4.1: read queries go to any sites with the
+// relevant data).
 func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error) {
 	live := func(s catalog.SiteID) bool { return co.objectIsOnline(table, s) }
 	srcs, err := co.cfg.Catalog.ReadSites(table, live)
@@ -409,37 +417,74 @@ func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error
 			asOf = co.Authority.HWM()
 		}
 	}
-	// Failover: a replica that dies mid-read is marked down and the read
-	// plan is recomputed against the survivors (§2.2's failover, in its
-	// simplest retry form).
-	for attempt := 0; ; attempt++ {
-		var out []tuple.Tuple
-		ok := true
-		for _, src := range srcs {
-			pred := opt.Pred
-			rangePred := src.Pred
-			spec, _ := co.cfg.Catalog.Table(table)
-			if spec != nil && rangePred != expr.FullKeyRange() {
-				pred = pred.And(rangePred.Pred(spec.Desc).Terms...)
-			}
-			rows, err := co.scanSite(src.Buddy, id, table, vis, asOf, locked, pred)
-			if err != nil {
-				if attempt < 2 {
-					ok = false
-					break
-				}
-				return nil, err
-			}
-			out = append(out, rows...)
-		}
-		if ok {
-			return out, nil
-		}
-		srcs, err = co.cfg.Catalog.ReadSites(table, live)
-		if err != nil {
-			return nil, err
-		}
+	spec, _ := co.cfg.Catalog.Table(table)
+	parts, err := co.scanSources(srcs, spec, id, table, vis, asOf, locked, opt.Pred, live, 0)
+	if err != nil {
+		return nil, err
 	}
+	// Deterministic merge: order parts by serving site and rows by key, so
+	// the result is independent of goroutine completion order.
+	sort.Slice(parts, func(i, j int) bool { return parts[i].site < parts[j].site })
+	var out []tuple.Tuple
+	for _, p := range parts {
+		if spec != nil {
+			rows := p.rows
+			sort.SliceStable(rows, func(i, j int) bool {
+				return rows[i].Key(spec.Desc) < rows[j].Key(spec.Desc)
+			})
+		}
+		out = append(out, p.rows...)
+	}
+	return out, nil
+}
+
+// scanPart is one site's contribution to a distributed scan.
+type scanPart struct {
+	site catalog.SiteID
+	rows []tuple.Tuple
+}
+
+// scanSources scans every source concurrently. A source whose site dies
+// mid-read is failed over individually: the site is marked down (scanSite
+// already did), a coverage plan for just that source's key range is
+// computed from the survivors, and only that slice of the key space is
+// re-read (§2.2's failover, per-site rather than whole-query). depth bounds
+// cascading failures.
+func (co *Coordinator) scanSources(srcs []catalog.RecoverySource, spec *catalog.TableSpec,
+	id txn.ID, table int32, vis exec.Visibility, asOf tuple.Timestamp, locked bool,
+	basePred expr.Pred, live func(catalog.SiteID) bool, depth int) ([]scanPart, error) {
+	type res struct {
+		rows []tuple.Tuple
+		err  error
+	}
+	results := fanEach(co.fanoutLimit(), srcs, func(_ int, src catalog.RecoverySource) res {
+		pred := basePred
+		if spec != nil && src.Pred != expr.FullKeyRange() {
+			pred = pred.And(src.Pred.Pred(spec.Desc).Terms...)
+		}
+		rows, err := co.scanSite(src.Buddy, id, table, vis, asOf, locked, pred)
+		return res{rows, err}
+	})
+	var parts []scanPart
+	for i, r := range results {
+		if r.err == nil {
+			parts = append(parts, scanPart{srcs[i].Buddy, r.rows})
+			continue
+		}
+		if depth >= 2 {
+			return nil, r.err
+		}
+		plan, perr := co.cfg.Catalog.RecoveryPlan(table, srcs[i].Pred, srcs[i].Buddy, live)
+		if perr != nil {
+			return nil, r.err // no surviving coverage: report the read error
+		}
+		sub, serr := co.scanSources(plan, spec, id, table, vis, asOf, locked, basePred, live, depth+1)
+		if serr != nil {
+			return nil, serr
+		}
+		parts = append(parts, sub...)
+	}
+	return parts, nil
 }
 
 func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
@@ -460,12 +505,13 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 	if locked {
 		m.Flags |= wire.FlagYes
 	}
-	if err := conn.Send(m); err != nil {
+	err = conn.Send(m)
+	co.msgsSent.Add(1) // counted per attempted send (see Counters)
+	if err != nil {
 		co.MarkDown(site)
 		conn.Close()
 		return nil, err
 	}
-	co.msgsSent.Add(1)
 	var rows []tuple.Tuple
 	for {
 		resp, err := conn.Recv()
@@ -487,12 +533,13 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 		// Release the read transaction's locks (§4.3: "for read
 		// transactions, the coordinator merely needs to notify the workers
 		// to release any system resources and locks").
-		if _, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id}); err != nil {
+		_, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id})
+		co.msgsSent.Add(1) // counted per attempted send (see Counters)
+		if err != nil {
 			co.MarkDown(site)
 			conn.Close()
 			return rows, nil
 		}
-		co.msgsSent.Add(1)
 	}
 	p.Put(conn)
 	return rows, nil

@@ -29,6 +29,9 @@ type ClusterConfig struct {
 	PoolFrames      int
 	LockTimeout     time.Duration
 	BaseDir         string // required: root directory for site state
+	// RoundTimeout bounds each per-replica call of a coordinator fan-out
+	// round (0 = wait forever).
+	RoundTimeout time.Duration
 }
 
 // Cluster is a one-coordinator, N-worker deployment (the thesis used one
@@ -79,12 +82,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cat.AddSite(site, w.Addr())
 	}
 	co, err := coord.New(coord.Config{
-		Site:        0,
-		Dir:         filepath.Join(cfg.BaseDir, "site0"),
-		Protocol:    cfg.Protocol,
-		Catalog:     cat,
-		GroupCommit: cfg.GroupCommit,
-		SyncDelay:   cfg.SyncDelay,
+		Site:         0,
+		Dir:          filepath.Join(cfg.BaseDir, "site0"),
+		Protocol:     cfg.Protocol,
+		Catalog:      cat,
+		GroupCommit:  cfg.GroupCommit,
+		SyncDelay:    cfg.SyncDelay,
+		RoundTimeout: cfg.RoundTimeout,
 	})
 	if err != nil {
 		cl.Close()
@@ -111,6 +115,22 @@ func (cl *Cluster) CreateReplicatedTable(id int32, desc *tuple.Desc, segPages in
 		})
 	}
 	return cl.Coord.CreateTable(spec, reps...)
+}
+
+// CreatePartitionedTable creates a table horizontally partitioned across
+// the first two workers at the split key: worker 0 holds keys < split,
+// worker 1 holds keys >= split (no replication — a distributed scan must
+// visit both sites).
+func (cl *Cluster) CreatePartitionedTable(id int32, desc *tuple.Desc, segPages int32, split int64) error {
+	if len(cl.Workers) < 2 {
+		return fmt.Errorf("testutil: partitioned table needs >= 2 workers")
+	}
+	full := expr.FullKeyRange()
+	spec := &catalog.TableSpec{ID: id, Name: fmt.Sprintf("t%d", id), Desc: desc, SegPages: segPages}
+	return cl.Coord.CreateTable(spec,
+		catalog.Replica{Site: WorkerSiteID(0), Table: id, Range: expr.KeyRange{Lo: full.Lo, Hi: split}, SegPages: segPages},
+		catalog.Replica{Site: WorkerSiteID(1), Table: id, Range: expr.KeyRange{Lo: split, Hi: full.Hi}, SegPages: segPages},
+	)
 }
 
 // RestartWorker replaces a crashed worker with a fresh Site over the same

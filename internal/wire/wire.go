@@ -143,9 +143,14 @@ func (m *Msg) Err() error {
 	return nil
 }
 
-// Marshal encodes the message body (without framing).
-func (m *Msg) Marshal() []byte {
-	var b []byte
+// Marshal encodes the message body (without framing). It always allocates;
+// hot paths use AppendTo with a reused scratch buffer instead.
+func (m *Msg) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message body to b and returns the extended
+// slice. Appending into a caller-owned scratch buffer lets a connection
+// marshal every outgoing message without a fresh allocation.
+func (m *Msg) AppendTo(b []byte) []byte {
 	u8 := func(v uint8) { b = append(b, v) }
 	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
 	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
@@ -403,25 +408,55 @@ func Unmarshal(b []byte) (*Msg, error) {
 	return m, nil
 }
 
-// WriteMsg frames and writes one message: u32 length, u32 crc, body.
+// WriteMsg frames and writes one message: u32 length, u32 crc, body. Each
+// call allocates a fresh frame; connections use an Encoder instead.
 func WriteMsg(w io.Writer, m *Msg) error {
-	body := m.Marshal()
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	var e Encoder
+	return e.WriteMsg(w, m)
+}
+
+// Encoder frames messages through a reusable scratch buffer: the frame
+// (header + body) is assembled in place and written with a single Write.
+// An Encoder is not safe for concurrent use; comm.Conn serialises writers.
+type Encoder struct {
+	buf []byte
+}
+
+// WriteMsg frames and writes one message, reusing the encoder's buffer.
+func (e *Encoder) WriteMsg(w io.Writer, m *Msg) error {
+	b := append(e.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	b = m.AppendTo(b)
+	e.buf = b // keep the grown capacity for the next message
+	body := b[8:]
+	binary.LittleEndian.PutUint32(b, uint32(len(body)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(body))
+	_, err := w.Write(b)
 	return err
 }
 
 // MaxMsgSize bounds a frame (sanity against stream corruption).
 const MaxMsgSize = 16 << 20
 
-// ReadMsg reads one framed message.
+// ReadMsg reads one framed message, allocating a fresh frame buffer.
+// Connections use a Decoder instead.
 func ReadMsg(r io.Reader) (*Msg, error) {
-	hdr := make([]byte, 8)
+	var d Decoder
+	return d.ReadMsg(r)
+}
+
+// Decoder reads frames through a reusable scratch buffer. Unmarshal copies
+// every string out of the frame, so the buffer may be reused immediately.
+// A Decoder is not safe for concurrent use; connections have one reader.
+type Decoder struct {
+	buf []byte
+}
+
+// ReadMsg reads one framed message, reusing the decoder's buffer.
+func (d *Decoder) ReadMsg(r io.Reader) (*Msg, error) {
+	if cap(d.buf) < 8 {
+		d.buf = make([]byte, 8, 4<<10)
+	}
+	hdr := d.buf[:8]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
@@ -430,7 +465,10 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 	if n > MaxMsgSize {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package worker
 
 import (
 	"fmt"
+	"time"
 
 	"harbor/internal/comm"
 	"harbor/internal/exec"
@@ -30,6 +31,9 @@ func (s *Site) serveConn(c *comm.Conn) {
 		}
 		if s.crashed.Load() {
 			return
+		}
+		if d := s.msgDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
 		}
 		resp := s.dispatch(c, m, owned)
 		if resp == nil {

@@ -124,6 +124,12 @@ type Site struct {
 	// failNextPrepare makes the next PREPARE vote NO (abort-path tests).
 	failNextPrepare atomic.Bool
 
+	// msgDelay (ns) stalls every received request before dispatch —
+	// simulated network/processing latency in the spirit of §6.3.2's
+	// simulated work, used to prove coordinator rounds run at
+	// max-of-replicas rather than sum-of-replicas latency.
+	msgDelay atomic.Int64
+
 	// Stats
 	commits, aborts atomic.Int64
 }
@@ -230,6 +236,10 @@ func (s *Site) Crashed() bool { return s.crashed.Load() }
 // FailNextPrepare arms the abort-path test hook: the next PREPARE received
 // votes NO (simulating a consistency-constraint violation, §4.3).
 func (s *Site) FailNextPrepare() { s.failNextPrepare.Store(true) }
+
+// SetSimMsgDelay makes the site sleep d before dispatching each received
+// request (0 disables), simulating a slow replica or laggy link.
+func (s *Site) SetSimMsgDelay(d time.Duration) { s.msgDelay.Store(int64(d)) }
 
 // Counters returns (commits, aborts) processed.
 func (s *Site) Counters() (int64, int64) { return s.commits.Load(), s.aborts.Load() }
