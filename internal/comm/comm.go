@@ -29,6 +29,8 @@ type Conn struct {
 
 	wmu sync.Mutex   // serialises writes (server pushes + responses)
 	enc wire.Encoder // guarded by wmu
+
+	callmu sync.Mutex // serialises request/response exchanges (Reserve)
 }
 
 // NewConn wraps an established net.Conn.
@@ -85,6 +87,18 @@ func (c *Conn) RecvTimeout(d time.Duration) (*wire.Msg, error) {
 
 // ErrTimeout is returned by RecvTimeout when the deadline passes.
 var ErrTimeout = errors.New("comm: receive timed out")
+
+// Reserve claims the connection for one request/response exchange. Most
+// conns have a single owner (a pool checkout, a server handler) and never
+// need a claim; when a conn is shared between goroutines — the
+// coordinator's fan-out rounds and the §5.4.2 join replay both use a
+// transaction's per-worker conns — each must hold the claim from its
+// request Send until the matching response Recv, or two exchanges could
+// interleave and swap responses.
+func (c *Conn) Reserve() { c.callmu.Lock() }
+
+// Release ends a Reserve claim.
+func (c *Conn) Release() { c.callmu.Unlock() }
 
 // Close closes the connection.
 func (c *Conn) Close() error { return c.nc.Close() }

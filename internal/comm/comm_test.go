@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -292,5 +293,48 @@ func TestTupleStreaming(t *testing.T) {
 	}
 	if count != n {
 		t.Fatalf("received %d tuples", count)
+	}
+}
+
+// TestReserveSerializesSharedCalls drives many request/response exchanges
+// from concurrent goroutines over ONE shared conn, each holding the
+// Reserve claim from send to receive (the coordinator's fan-out rounds and
+// the join replay share per-transaction conns this way). Every goroutine
+// must read the response to its own request, never a sibling's.
+func TestReserveSerializesSharedCalls(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const goroutines = 8
+	const calls = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf("g%d-%d", g, i)
+				c.Reserve()
+				resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: want})
+				c.Release()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Text != want {
+					errs <- fmt.Errorf("exchange swapped: sent %q, got %q", want, resp.Text)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

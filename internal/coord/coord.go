@@ -384,7 +384,11 @@ func (co *Coordinator) handleObjectOnline(site catalog.SiteID, table int32) erro
 // recovering table to the newly-online site (§5.4.2). Holding t.mu for the
 // replay keeps the per-site request order intact: later distributes to this
 // transaction wait here and therefore send to the new site only after the
-// queue replay finished.
+// queue replay finished. The site's conn may already be claimed by an
+// in-flight fan-out round (rounds run with t.mu released), so each replay
+// Call holds the conn's Reserve claim — blocking until the round's own
+// exchange on that conn completes — rather than racing its Recv. That
+// cannot deadlock: a round never takes t.mu while holding claims.
 func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -409,7 +413,9 @@ func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) 
 	}
 	conn := t.workers[site]
 	for _, q := range replay {
+		conn.Reserve()
 		resp, err := conn.Call(q.msg)
+		conn.Release()
 		co.msgsSent.Add(1)
 		if err == nil {
 			err = resp.Err()

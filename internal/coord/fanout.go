@@ -2,9 +2,12 @@
 // distribution (§4.1), the commit/abort phases (§4.3), distributed scans,
 // and the §5.4.2 join replay — talks to its targets concurrently, so a
 // round costs the *slowest* replica's RTT instead of the sum (the cost
-// model of §4.3 and Table 4.1 assumes exactly this). Each target owns a
+// model of §4.3 and Table 4.1 assumes exactly this). Each target uses a
 // dedicated per-transaction comm.Conn (or a pool connection checked out for
-// the scan), so concurrent rounds never interleave writes on one socket.
+// the scan), so rounds of different transactions never share a socket.
+// Within one transaction a per-worker conn IS shared — the §5.4.2 join
+// replay sends on it too — so every request/response exchange holds the
+// conn's Reserve claim from send to receive (see comm.Conn.Reserve).
 package coord
 
 import (
@@ -85,25 +88,31 @@ func (co *Coordinator) fanoutLimit() int {
 // shared message for all targets is fine; sends are sequential and only
 // read it). Every attempted send counts once toward msgsSent, success or
 // not — the counting rule documented on Counters().
+//
+// Each conn is Reserved for the whole send→receive exchange: the §5.4.2
+// join replay shares a transaction's per-worker conns, and without the
+// claim its request/response pair could interleave with ours and the two
+// exchanges would swap responses.
 func (co *Coordinator) round(targets []fanTarget, mk func(fanTarget) *wire.Msg) []fanResult {
 	out := make([]fanResult, len(targets))
-	// Send phase: pipeline the request onto every connection.
+	// Send phase: claim each connection, then pipeline the request onto it.
 	for i, t := range targets {
 		out[i] = fanResult{site: t.site, conn: t.conn}
+		t.conn.Reserve()
 		co.msgsSent.Add(1)
 		out[i].err = t.conn.Send(mk(t))
 	}
 	// Collect phase: responses arrive independently per connection; waiting
 	// on target 0 while target 1's response sits buffered costs nothing.
 	for i, t := range targets {
-		if out[i].err != nil {
-			continue
+		if out[i].err == nil {
+			if d := co.cfg.RoundTimeout; d > 0 {
+				out[i].resp, out[i].err = t.conn.RecvTimeout(d)
+			} else {
+				out[i].resp, out[i].err = t.conn.Recv()
+			}
 		}
-		if d := co.cfg.RoundTimeout; d > 0 {
-			out[i].resp, out[i].err = t.conn.RecvTimeout(d)
-		} else {
-			out[i].resp, out[i].err = t.conn.Recv()
-		}
+		t.conn.Release()
 	}
 	return out
 }

@@ -5,6 +5,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/tuple"
 )
 
 func TestFanEachPreservesOrder(t *testing.T) {
@@ -59,5 +62,34 @@ func TestFanEachSingleItemRunsInline(t *testing.T) {
 func TestFanEachEmpty(t *testing.T) {
 	if got := fanEach(4, nil, func(int, int) int { return 1 }); len(got) != 0 {
 		t.Fatalf("expected empty result, got %v", got)
+	}
+}
+
+// TestMergeScanPartsSameSite: after per-site failover one site can serve
+// several parts (its own range plus a failed buddy's slice). The merge must
+// produce one globally key-ordered run per site, identical for any arrival
+// order of the parts.
+func TestMergeScanPartsSameSite(t *testing.T) {
+	desc := tuple.MustDesc("id", tuple.FieldDef{Name: "id", Type: tuple.Int64})
+	spec := &catalog.TableSpec{ID: 1, Desc: desc}
+	row := func(k int64) tuple.Tuple { return tuple.MustMake(desc, tuple.VInt(k)) }
+	a := scanPart{site: 2, rows: []tuple.Tuple{row(30), row(10)}}
+	b := scanPart{site: 1, rows: []tuple.Tuple{row(5)}}
+	c := scanPart{site: 2, rows: []tuple.Tuple{row(20)}}
+	want := []int64{5, 10, 20, 30}
+	for _, order := range [][]scanPart{{a, b, c}, {c, b, a}, {b, c, a}} {
+		got := mergeScanParts(append([]scanPart{}, order...), spec)
+		if len(got) != len(want) {
+			t.Fatalf("merged %d rows, want %d", len(got), len(want))
+		}
+		for i, r := range got {
+			if r.Key(desc) != want[i] {
+				keys := make([]int64, len(got))
+				for j, g := range got {
+					keys[j] = g.Key(desc)
+				}
+				t.Fatalf("merge order %v, want %v", keys, want)
+			}
+		}
 	}
 }

@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"harbor/internal/comm"
 	"harbor/internal/coord"
 	"harbor/internal/testutil"
 	"harbor/internal/txn"
+	"harbor/internal/wire"
 	"harbor/internal/worker"
 )
 
@@ -240,5 +242,75 @@ func TestRoundTimeoutEvictsStalledReplica(t *testing.T) {
 	}
 	if len(rows) != 2 {
 		t.Fatalf("K-1 commit left %d rows, want 2", len(rows))
+	}
+}
+
+// TestCommitRoundTimeoutClosesStalledConn stalls a replica during the
+// commit rounds (the distribute path is covered above): the PREPARE
+// timeout must close the transaction's conn to the stalled replica, not
+// recycle it into the site's pool, because the slow-but-alive replica's
+// late responses are still queued on it. Under the old bare-MarkDown
+// handling the conn reached the pool, and once the replica rejoined, the
+// next scan that borrowed it read the stale VOTE as its own reply —
+// silent protocol desync observable as phantom rows.
+func TestCommitRoundTimeoutClosesStalledConn(t *testing.T) {
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:      2,
+		Protocol:     txn.OptThreePC,
+		Mode:         worker.HARBOR,
+		GroupCommit:  true,
+		LockTimeout:  time.Second,
+		BaseDir:      t.TempDir(),
+		RoundTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.CreateReplicatedTable(1, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stall worker 1 from here on: the inserts already went through, so the
+	// first round to time out is PREPARE. No response means a NO vote
+	// (§4.3.2), so the transaction must abort and the site be evicted.
+	cl.Workers[1].SetSimMsgDelay(300 * time.Millisecond)
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("commit succeeded despite a timed-out PREPARE vote")
+	}
+	if !cl.Coord.SiteDown(testutil.WorkerSiteID(1)) {
+		t.Fatal("stalled replica was not marked down")
+	}
+	// Let the stalled replica drain its queue; its late replies land on the
+	// dropped conn (closed by the fix, recycled by the bug).
+	cl.Workers[1].SetSimMsgDelay(0)
+	time.Sleep(time.Second)
+
+	// The replica announces its object online again (§5.4.2 join), making
+	// it readable — over a fresh connection, never the stalled one.
+	c, err := comm.Dial(cl.Coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{
+		Type: wire.MsgObjectOnline, Site: int32(testutil.WorkerSiteID(1)), Table: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.MsgAllDone {
+		t.Fatalf("object-online announce answered %v", resp.Type)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{PreferSite: testutil.WorkerSiteID(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("aborted transaction left %d visible rows on the rejoined replica (stale-response desync): %v",
+			len(rows), ids(rows))
 	}
 }

@@ -190,6 +190,12 @@ func (tx *Txn) finish() {
 	t.queue = nil
 	t.mu.Unlock()
 	for site, conn := range conns {
+		// A down site's conn may carry an unread late response (RoundTimeout
+		// eviction); recycling it would desynchronise the next borrower.
+		if co.SiteDown(site) {
+			conn.Close()
+			continue
+		}
 		if p, err := co.pool(site); err == nil {
 			p.Put(conn)
 		} else {
@@ -274,8 +280,11 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 	prepareMsg := &wire.Msg{Type: wire.MsgPrepare, Txn: t.id, Sites: participants}
 	for _, r := range co.round(workers, func(fanTarget) *wire.Msg { return prepareMsg }) {
 		if r.err != nil {
-			// No response ⇒ assume NO vote (§4.3.2 failure rule).
-			co.MarkDown(r.site)
+			// No response ⇒ assume NO vote (§4.3.2 failure rule). The conn
+			// must be closed, not merely marked down: on a RoundTimeout the
+			// replica may still be alive and its late response queued, so a
+			// recycled conn would feed that stale reply to the next borrower.
+			tx.dropWorker(r.site, r.conn)
 			allYes = false
 			continue
 		}
@@ -301,7 +310,7 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 			if r.err != nil {
 				// A dead worker will learn the outcome through recovery or
 				// consensus; the commit point is all *live* acks.
-				co.MarkDown(r.site)
+				tx.dropWorker(r.site, r.conn)
 			}
 		}
 		// Commit point reached (§4.3.3): the round barrier above means every
@@ -323,7 +332,7 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 	commitMsg := &wire.Msg{Type: wire.MsgCommit, Txn: t.id, TS: ts}
 	for _, r := range co.round(prepared, func(fanTarget) *wire.Msg { return commitMsg }) {
 		if r.err != nil {
-			co.MarkDown(r.site)
+			tx.dropWorker(r.site, r.conn)
 		}
 	}
 	if co.log != nil {
@@ -362,7 +371,7 @@ func (tx *Txn) abortAll() {
 	abortMsg := &wire.Msg{Type: wire.MsgAbort, Txn: t.id}
 	for _, r := range co.round(targets, func(fanTarget) *wire.Msg { return abortMsg }) {
 		if r.err != nil {
-			co.MarkDown(r.site)
+			tx.dropWorker(r.site, r.conn)
 		}
 	}
 	if co.log != nil {
@@ -422,20 +431,40 @@ func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error
 	if err != nil {
 		return nil, err
 	}
-	// Deterministic merge: order parts by serving site and rows by key, so
-	// the result is independent of goroutine completion order.
-	sort.Slice(parts, func(i, j int) bool { return parts[i].site < parts[j].site })
+	return mergeScanParts(parts, spec), nil
+}
+
+// mergeScanParts flattens scan parts deterministically: parts are grouped
+// by serving site (ascending), and each site's rows are ordered by tuple
+// key. Per-site failover can leave one site serving several parts (its own
+// range plus a failed buddy's slice), so same-site parts are merged before
+// the key sort — a per-part sort would leave the site's rows only
+// piecewise ordered, in part order that depends on the failure pattern.
+func mergeScanParts(parts []scanPart, spec *catalog.TableSpec) []tuple.Tuple {
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].site < parts[j].site })
 	var out []tuple.Tuple
-	for _, p := range parts {
+	for i := 0; i < len(parts); {
+		j := i + 1
+		for j < len(parts) && parts[j].site == parts[i].site {
+			j++
+		}
+		rows := parts[i].rows
+		if j > i+1 {
+			merged := make([]tuple.Tuple, 0, len(rows))
+			for k := i; k < j; k++ {
+				merged = append(merged, parts[k].rows...)
+			}
+			rows = merged
+		}
 		if spec != nil {
-			rows := p.rows
-			sort.SliceStable(rows, func(i, j int) bool {
-				return rows[i].Key(spec.Desc) < rows[j].Key(spec.Desc)
+			sort.SliceStable(rows, func(a, b int) bool {
+				return rows[a].Key(spec.Desc) < rows[b].Key(spec.Desc)
 			})
 		}
-		out = append(out, p.rows...)
+		out = append(out, rows...)
+		i = j
 	}
-	return out, nil
+	return out
 }
 
 // scanPart is one site's contribution to a distributed scan.
