@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench chaos
 
 all: check
 
@@ -15,10 +15,16 @@ vet:
 
 # Race-detector pass over the packages with coordinator/network concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/coord/ ./internal/comm/
+	$(GO) test -race -count=1 ./internal/coord/ ./internal/comm/ ./internal/faultnet/ ./internal/chaos/
 
 # The CI gate: vet + race on the concurrent packages, then the full suite.
 check: vet race test
+
+# Seeded chaos sweep: every scenario under CHAOS_ITERS consecutive seeds
+# starting at CHAOS_SEED. A failure prints the reproducing seed.
+chaos:
+	CHAOS_SEED=$${CHAOS_SEED:-1} CHAOS_ITERS=$${CHAOS_ITERS:-3} \
+		$(GO) test ./internal/chaos/ -run TestChaos -count=1 -v
 
 bench:
 	$(GO) test -bench . -benchtime 2000x -run xxx .

@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -234,6 +235,12 @@ func (c *Catalog) KSafety(table int32) int {
 	return k
 }
 
+// ErrKSafetyExceeded marks a recovery plan that cannot cover the target
+// range with live replicas: more than K-1 copies of some key range are
+// down at once. Callers may recover other sites first (a rejoined replica
+// becomes a legitimate buddy) and retry.
+var ErrKSafetyExceeded = errors.New("K-safety exceeded")
+
 // RecoveryPlan computes the recovery sources for a failed replica: a set of
 // live replicas with mutually exclusive predicates whose union covers the
 // failed replica's range (§5.1). failed is excluded from candidates.
@@ -280,8 +287,8 @@ func (c *Catalog) coverage(table int32, target expr.KeyRange, live func(SiteID) 
 			}
 		}
 		if best == -1 {
-			return nil, fmt.Errorf("catalog: table %d range %v not coverable at key %d (K-safety exceeded)",
-				table, target, cursor)
+			return nil, fmt.Errorf("catalog: table %d range %v not coverable at key %d: %w",
+				table, target, cursor, ErrKSafetyExceeded)
 		}
 		r := cands[best]
 		pred := expr.KeyRange{Lo: cursor, Hi: minI64(bestHi, target.Hi)}

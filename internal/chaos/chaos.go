@@ -1,0 +1,653 @@
+// Package chaos is a Jepsen-style invariant harness for the HARBOR
+// reproduction: it runs a randomized insert/update/delete/scan workload on
+// a real cluster while a seeded faultnet schedule injects partitions,
+// crashes, stalls, delays, and duplicate deliveries; then it heals every
+// link, runs HARBOR recovery (§5) on every disturbed site, and checks four
+// invariants over the survivors:
+//
+//  1. every transaction the client was told committed is visible in a
+//     post-heal scan on all K replicas;
+//  2. no aborted transaction has visible effects;
+//  3. all replicas of each table converge to identical logical contents;
+//  4. commit timestamps are monotone per the timestamp authority —
+//     strictly increasing per client stream, globally unique, and never
+//     above the final high water mark.
+//
+// Every violation message carries the scenario name and seed; re-running
+// with the same seed replays the same fault schedule and workload choices.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/comm"
+	"harbor/internal/coord"
+	"harbor/internal/core"
+	"harbor/internal/exec"
+	"harbor/internal/faultnet"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+	"harbor/internal/worker"
+)
+
+// Table ids used by the harness: streams write tableStreams through the
+// real coordinator; the raw Table 4.1 consensus transactions write
+// tableConsensus so their multi-second resolution never blocks the stream
+// workload on page locks.
+const (
+	tableStreams   int32 = 1
+	tableConsensus int32 = 2
+)
+
+// chaosDesc is the workload schema: a key and one value field encoding
+// which write produced the visible version.
+func chaosDesc() *tuple.Desc {
+	return tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int64},
+	)
+}
+
+func mkT(key, val int64) tuple.Tuple {
+	return tuple.MustMake(chaosDesc(), tuple.VInt(key), tuple.VInt(val))
+}
+
+// Scenario is one named chaos experiment: a disturbance phase (workload +
+// fault schedule, via the Harness helpers) over a standard cluster.
+type Scenario struct {
+	Name    string
+	Workers int
+	Drive   func(h *Harness)
+}
+
+// Result reports one chaos run. Violations empty = all invariants held.
+type Result struct {
+	Scenario   string
+	Seed       int64
+	Commits    int   // client-confirmed stream commits
+	Aborts     int   // stream transactions that ended aborted
+	RawTxns    int   // Table 4.1 consensus transactions driven
+	Aftershock int   // post-heal verification transactions (must all commit)
+	Disturbed  []int // worker indexes that ran HARBOR recovery post-heal
+	Violations []string
+	Trace      []string // the fault schedule as executed
+}
+
+// opKind is a stream operation.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+)
+
+func (k opKind) String() string {
+	return [...]string{"insert", "update", "delete"}[k]
+}
+
+// opRec is one stream transaction as the client observed it.
+type opRec struct {
+	stream   int
+	id       txn.ID
+	kind     opKind
+	key, val int64
+	clientOK bool // Commit returned success
+	clientTS tuple.Timestamp
+}
+
+// rawRec is one manually-driven 3PC transaction whose coordinator "died"
+// mid-protocol, resolved by worker consensus (Table 4.1).
+type rawRec struct {
+	id           txn.ID
+	key, val     int64
+	ts           tuple.Timestamp
+	expectCommit bool
+}
+
+// Harness wires one scenario run together. Drive functions use its
+// helpers to run workload streams, script faults, and crash workers.
+type Harness struct {
+	Seed int64
+	Name string
+	Net  *faultnet.Network
+	Cl   *testutil.Cluster
+
+	rng     *rand.Rand // fault-schedule randomness (Drive goroutine only)
+	scanIDs *txn.IDSource
+
+	mu         sync.Mutex
+	ops        [][]opRec
+	raws       []rawRec
+	crashed    map[int]bool
+	violations []string
+}
+
+// Run executes one scenario under one seed and checks the invariants.
+func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
+	res := &Result{Scenario: sc.Name, Seed: seed}
+	nw := faultnet.New(seed)
+	nw.Install()
+	defer nw.Uninstall()
+
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:      sc.Workers,
+		Protocol:     txn.OptThreePC,
+		Mode:         worker.HARBOR,
+		GroupCommit:  true,
+		LockTimeout:  500 * time.Millisecond,
+		RoundTimeout: 250 * time.Millisecond,
+		DialTimeout:  time.Second,
+		BaseDir:      filepath.Join(baseDir, fmt.Sprintf("%s-%d", sc.Name, seed)),
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cl.Close()
+	for i := range cl.Workers {
+		nw.Name(cl.Workers[i].Addr(), fmt.Sprintf("w%d", i))
+	}
+	desc := chaosDesc()
+	if err := cl.CreateReplicatedTable(tableStreams, desc, 4); err != nil {
+		return res, err
+	}
+	if err := cl.CreateReplicatedTable(tableConsensus, desc, 4); err != nil {
+		return res, err
+	}
+
+	h := &Harness{
+		Seed:    seed,
+		Name:    sc.Name,
+		Net:     nw,
+		Cl:      cl,
+		rng:     rand.New(rand.NewSource(seed)),
+		scanIDs: txn.NewIDSource(9),
+		crashed: map[int]bool{},
+	}
+
+	sc.Drive(h)
+
+	if err := h.healAndRecover(res); err != nil {
+		return res, fmt.Errorf("chaos %s seed=%d: heal/recover: %w", sc.Name, seed, err)
+	}
+	if err := h.quiesce(15 * time.Second); err != nil {
+		return res, fmt.Errorf("chaos %s seed=%d: %w", sc.Name, seed, err)
+	}
+	h.aftershock(res)
+	if err := h.quiesce(5 * time.Second); err != nil {
+		return res, fmt.Errorf("chaos %s seed=%d: aftershock %w", sc.Name, seed, err)
+	}
+	h.checkInvariants(res)
+	res.Trace = nw.Trace()
+	return res, nil
+}
+
+// violatef records one invariant violation, stamped with scenario + seed.
+func (h *Harness) violatef(format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.violations = append(h.violations,
+		fmt.Sprintf("chaos %s seed=%d: ", h.Name, h.Seed)+fmt.Sprintf(format, args...))
+}
+
+// workerAddr returns the current listen address of worker i.
+func (h *Harness) workerAddr(i int) string {
+	addr, _ := h.Cl.Catalog.SiteAddr(testutil.WorkerSiteID(i))
+	return addr
+}
+
+// CrashWorker fail-stops worker i (it stays down until post-heal recovery).
+func (h *Harness) CrashWorker(i int) {
+	h.mu.Lock()
+	h.crashed[i] = true
+	h.mu.Unlock()
+	h.Cl.Workers[i].Crash()
+}
+
+// sleepMS sleeps a schedule-chosen duration in [lo, hi] milliseconds.
+func (h *Harness) sleepMS(lo, hi int) {
+	time.Sleep(time.Duration(lo+h.rng.Intn(hi-lo+1)) * time.Millisecond)
+}
+
+// RunWorkload runs `streams` concurrent client streams of `txnsPerStream`
+// transactions each against tableStreams while executing the fault
+// schedule on the calling goroutine; it returns when both are done.
+func (h *Harness) RunWorkload(streams, txnsPerStream int, faults func()) {
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h.stream(s, txnsPerStream)
+		}(s)
+	}
+	faults()
+	wg.Wait()
+}
+
+// stream is one client: a sequence of single-op transactions over its own
+// key range, with stream-local bookkeeping of which keys are live.
+func (h *Harness) stream(s, n int) {
+	rng := rand.New(rand.NewSource(h.Seed*7919 + int64(s)))
+	co := h.Cl.Coord
+	nextKey := int64(s+1) << 32
+	var live []int64 // keys with a confirmed-committed insert, not yet deleted
+	recs := make([]opRec, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(8) == 0 {
+			// Exercise the distributed read path mid-fault; contents are
+			// verified post-heal, here only that scans don't wedge.
+			_, _ = co.Scan(tableStreams, coord.QueryOptions{Historical: true})
+			continue
+		}
+		kind := opInsert
+		if len(live) > 0 {
+			switch rng.Intn(10) {
+			case 0, 1:
+				kind = opDelete
+			case 2, 3, 4:
+				kind = opUpdate
+			}
+		}
+		rec := opRec{stream: s, kind: kind, val: int64(s+1)<<40 + int64(i)}
+		switch kind {
+		case opInsert:
+			rec.key = nextKey
+			nextKey++
+		default:
+			rec.key = live[rng.Intn(len(live))]
+		}
+
+		tx := co.Begin()
+		rec.id = tx.ID()
+		var err error
+		switch kind {
+		case opInsert:
+			err = tx.Insert(tableStreams, mkT(rec.key, rec.val))
+		case opUpdate:
+			err = tx.UpdateKey(tableStreams, rec.key, mkT(rec.key, rec.val))
+		case opDelete:
+			err = tx.DeleteKey(tableStreams, rec.key)
+		}
+		if err == nil {
+			// Client think-time between the last write and COMMIT. Without
+			// it the write→prepare gap is microseconds and a fault arming
+			// mid-run almost always lands on the (well-trodden) distribute
+			// path; the gap puts the commit rounds themselves under fire.
+			time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+		}
+		if err != nil {
+			_ = tx.Abort()
+		} else if ts, cerr := tx.Commit(); cerr == nil {
+			rec.clientOK, rec.clientTS = true, ts
+			switch kind {
+			case opInsert:
+				live = append(live, rec.key)
+			case opDelete:
+				for j, k := range live {
+					if k == rec.key {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+		recs = append(recs, rec)
+		time.Sleep(time.Duration(1+rng.Intn(7)) * time.Millisecond)
+	}
+	h.mu.Lock()
+	h.ops = append(h.ops, recs)
+	h.mu.Unlock()
+}
+
+// aftershock runs a short fault-free workload after heal and recovery: a
+// healed, fully recovered cluster must accept and commit every transaction.
+// It deliberately goes through the coordinator's pooled connections — the
+// ones that lived through the fault era — so residual damage (a stale or
+// desynchronised pooled conn, a replica wrongly left out of the update set)
+// surfaces as a visible failure instead of lingering.
+func (h *Harness) aftershock(res *Result) {
+	// As many concurrent streams as the fault-era workload ran, so the
+	// connection pools are drained to the same depth they reached while
+	// faults were active (Pool.Get is LIFO: a serial prober would only
+	// ever see the freshest connection).
+	const streams, txns = 4, 8
+	h.mu.Lock()
+	before := len(h.ops)
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h.stream(5+s, txns) // key ranges disjoint from workload streams
+		}(s)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	recs := h.ops[before:]
+	h.mu.Unlock()
+	for _, rs := range recs {
+		for _, r := range rs {
+			res.Aftershock++
+			if !r.clientOK {
+				h.violatef("aftershock: txn %d (%s key=%d) failed on the healed cluster", r.id, r.kind, r.key)
+			}
+		}
+	}
+}
+
+// healAndRecover lifts every fault, restarts every disturbed worker, and
+// runs HARBOR recovery on each (serially: a recovered site rejoins the
+// update set and becomes a legitimate buddy for the next).
+func (h *Harness) healAndRecover(res *Result) error {
+	h.Net.HealAll()
+	// Let workers observe their closed connections (orphan detection).
+	time.Sleep(50 * time.Millisecond)
+
+	var disturbed []int
+	for i := range h.Cl.Workers {
+		h.mu.Lock()
+		crashed := h.crashed[i]
+		h.mu.Unlock()
+		crashed = crashed || h.Cl.Workers[i].Crashed()
+		if crashed || h.Cl.Coord.SiteDown(testutil.WorkerSiteID(i)) {
+			disturbed = append(disturbed, i)
+		}
+		// Only a crashed worker restarts. An evicted-but-alive worker (a
+		// partition or stall got it marked down) rejoins by running
+		// recovery in place, §5.5 — which means the coordinator keeps its
+		// old connection pool for the site, exactly the state a recycled
+		// stale connection would be hiding in.
+		if crashed {
+			if _, err := h.Cl.RestartWorker(i); err != nil {
+				return fmt.Errorf("restart worker %d: %w", i, err)
+			}
+		}
+	}
+	res.Disturbed = disturbed
+
+	// Let in-doubt transactions resolve (orphaned workers consult the
+	// coordinator's outcome service, §5.5) before recovery rewinds state:
+	// Phase 1 must not race a prepared transaction that is about to be
+	// committed onto this site.
+	if err := h.quiesce(10 * time.Second); err != nil {
+		return fmt.Errorf("pre-recovery %w", err)
+	}
+
+	// Recover in passes: when a total outage left several replicas of a
+	// table offline at once, only the final survivor can rejoin first
+	// (from its own data); the others fail their recovery plan with
+	// ErrKSafetyExceeded until a rejoined replica becomes a legitimate
+	// buddy. Retrying in passes mirrors a recovery daemon.
+	remaining := disturbed
+	for len(remaining) > 0 {
+		var deferred []int
+		for _, i := range remaining {
+			r := core.New(h.Cl.Workers[i], h.Cl.Catalog)
+			if _, err := r.RecoverSite(core.Options{Parallel: true}); err != nil {
+				if errors.Is(err, catalog.ErrKSafetyExceeded) {
+					deferred = append(deferred, i)
+					continue
+				}
+				return fmt.Errorf("recover worker %d: %w", i, err)
+			}
+		}
+		if len(deferred) == len(remaining) {
+			return fmt.Errorf("recovery stuck: workers %v all fail with K-safety exceeded", deferred)
+		}
+		remaining = deferred
+	}
+	return nil
+}
+
+// quiesce waits until every recorded transaction is terminal on every
+// worker, so post-heal scans observe final state only.
+func (h *Harness) quiesce(timeout time.Duration) error {
+	h.mu.Lock()
+	var ids []txn.ID
+	for _, recs := range h.ops {
+		for _, r := range recs {
+			ids = append(ids, r.id)
+		}
+	}
+	for _, r := range h.raws {
+		ids = append(ids, r.id)
+	}
+	h.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		var pending []string
+		for wi, w := range h.Cl.Workers {
+			if w.Crashed() {
+				continue
+			}
+			for _, id := range ids {
+				if st, _, ok := w.TxnState(id); ok && !st.Terminal() {
+					pending = append(pending, fmt.Sprintf("txn %d %v on worker %d", id, st, wi))
+				}
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("quiesce: %d transactions still unresolved after %v: %s",
+				len(pending), timeout, strings.Join(pending, "; "))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// tkey addresses one logical row across the harness's tables.
+type tkey struct {
+	table int32
+	key   int64
+}
+
+// repRow is one visible row of a replica scan.
+type repRow struct {
+	val int64
+	ts  tuple.Timestamp
+}
+
+// checkInvariants resolves every transaction's outcome at the coordinator,
+// computes the expected logical contents, scans every replica, and checks
+// the four invariants.
+func (h *Harness) checkInvariants(res *Result) {
+	co := h.Cl.Coord
+	hwm := co.Authority.HWM()
+
+	// --- resolve outcomes and build the expected state -----------------
+	expected := map[tkey]repRow{}
+	seenTS := map[tuple.Timestamp]txn.ID{}
+	h.mu.Lock()
+	ops, raws := h.ops, h.raws
+	h.mu.Unlock()
+
+	for _, recs := range ops {
+		var lastTS tuple.Timestamp
+		for _, rec := range recs {
+			committed, ts, known := co.Outcome(rec.id)
+			if rec.clientOK {
+				res.Commits++
+				if !known || !committed {
+					h.violatef("invariant 1: txn %d (%s key=%d) was confirmed to the client but the coordinator records it aborted", rec.id, rec.kind, rec.key)
+					continue
+				}
+				if ts != rec.clientTS {
+					h.violatef("invariant 4: txn %d returned commit ts %d to the client but recorded %d", rec.id, rec.clientTS, ts)
+				}
+			} else {
+				res.Aborts++
+				if known && committed {
+					h.violatef("invariant 2: txn %d (%s key=%d) errored at the client but the coordinator recorded a commit", rec.id, rec.kind, rec.key)
+				}
+			}
+			if !(known && committed) {
+				continue
+			}
+			// invariant 4: per-stream monotone, globally unique commit times.
+			if ts <= lastTS {
+				h.violatef("invariant 4: stream %d commit ts not monotone: %d after %d (txn %d)", rec.stream, ts, lastTS, rec.id)
+			}
+			lastTS = ts
+			if prev, dup := seenTS[ts]; dup {
+				h.violatef("invariant 4: commit ts %d issued to both txn %d and txn %d", ts, prev, rec.id)
+			}
+			seenTS[ts] = rec.id
+			if ts > hwm {
+				h.violatef("invariant 4: txn %d committed at ts %d above the final HWM %d", rec.id, ts, hwm)
+			}
+			k := tkey{tableStreams, rec.key}
+			switch rec.kind {
+			case opInsert, opUpdate:
+				expected[k] = repRow{val: rec.val, ts: ts}
+			case opDelete:
+				delete(expected, k)
+			}
+		}
+	}
+	for _, rec := range raws {
+		res.RawTxns++
+		if !rec.expectCommit {
+			continue
+		}
+		if prev, dup := seenTS[rec.ts]; dup {
+			h.violatef("invariant 4: commit ts %d issued to both txn %d and raw txn %d", rec.ts, prev, rec.id)
+		}
+		seenTS[rec.ts] = rec.id
+		expected[tkey{tableConsensus, rec.key}] = repRow{val: rec.val, ts: rec.ts}
+	}
+
+	// --- scan every replica and compare --------------------------------
+	replicas := make([]map[tkey]repRow, len(h.Cl.Workers))
+	for i := range h.Cl.Workers {
+		rep, err := h.scanReplica(i, hwm)
+		if err != nil {
+			h.violatef("invariant 3: replica scan of worker %d failed post-heal: %v", i, err)
+			continue
+		}
+		replicas[i] = rep
+		for k, want := range expected {
+			got, ok := rep[k]
+			if !ok {
+				h.violatef("invariant 1: committed row table=%d key=%d (val=%d ts=%d) missing on worker %d", k.table, k.key, want.val, want.ts, i)
+				continue
+			}
+			if got != want {
+				h.violatef("invariant 1: row table=%d key=%d on worker %d is (val=%d ts=%d), want (val=%d ts=%d)", k.table, k.key, i, got.val, got.ts, want.val, want.ts)
+			}
+		}
+		for k, got := range rep {
+			if _, ok := expected[k]; !ok {
+				h.violatef("invariant 2: worker %d shows row table=%d key=%d (val=%d ts=%d) from a transaction that did not commit (or was deleted)", i, k.table, k.key, got.val, got.ts)
+			}
+		}
+	}
+	// invariant 3: replica convergence, checked pairwise against worker 0
+	// (independent of the expected-state model above).
+	for i := 1; i < len(replicas); i++ {
+		if replicas[0] == nil || replicas[i] == nil {
+			continue
+		}
+		if len(replicas[0]) != len(replicas[i]) {
+			h.violatef("invariant 3: workers 0 and %d diverge: %d vs %d visible rows", i, len(replicas[0]), len(replicas[i]))
+			continue
+		}
+		for k, r0 := range replicas[0] {
+			if ri, ok := replicas[i][k]; !ok || ri != r0 {
+				h.violatef("invariant 3: workers 0 and %d diverge at table=%d key=%d: (%v,%v) vs (%v,%v)", i, k.table, k.key, r0.val, r0.ts, ri.val, ri.ts)
+			}
+		}
+	}
+
+	// The coordinator's own distributed read path — which borrows from the
+	// same connection pools the fault era disturbed — must agree with the
+	// direct replica scans.
+	desc := chaosDesc()
+	for _, table := range []int32{tableStreams, tableConsensus} {
+		rows, err := co.Scan(table, coord.QueryOptions{Historical: true, AsOf: hwm})
+		if err != nil {
+			h.violatef("invariant 3: coordinator scan of table %d failed post-heal: %v", table, err)
+			continue
+		}
+		got := map[tkey]repRow{}
+		for _, t := range rows {
+			got[tkey{table, t.Key(desc)}] = repRow{
+				val: t.Values[desc.FieldIndex("v")].I64,
+				ts:  t.InsTS(),
+			}
+		}
+		for k, want := range expected {
+			if k.table != table {
+				continue
+			}
+			if g, ok := got[k]; !ok {
+				h.violatef("invariant 3: coordinator scan of table %d misses committed key %d (val=%d ts=%d)", table, k.key, want.val, want.ts)
+			} else if g != want {
+				h.violatef("invariant 3: coordinator scan of table %d returns key %d as (val=%d ts=%d), want (val=%d ts=%d)", table, k.key, g.val, g.ts, want.val, want.ts)
+			}
+			delete(got, k)
+		}
+		for k, g := range got {
+			h.violatef("invariant 3: coordinator scan of table %d returns key %d (val=%d ts=%d) that should not exist", table, k.key, g.val, g.ts)
+		}
+	}
+
+	h.mu.Lock()
+	res.Violations = append(res.Violations, h.violations...)
+	h.mu.Unlock()
+}
+
+// scanReplica reads one worker's visible contents of both tables directly
+// (historical, unlocked, as of the final HWM) over a dedicated connection.
+func (h *Harness) scanReplica(i int, asOf tuple.Timestamp) (map[tkey]repRow, error) {
+	desc := chaosDesc()
+	c, err := comm.Dial(h.Cl.Workers[i].Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	out := map[tkey]repRow{}
+	for _, table := range []int32{tableStreams, tableConsensus} {
+		id := h.scanIDs.Next()
+		if err := c.Send(&wire.Msg{
+			Type: wire.MsgScan, Txn: id, Table: table,
+			Vis: uint8(exec.Historical), TS: asOf,
+		}); err != nil {
+			return nil, err
+		}
+		for {
+			resp, err := c.RecvTimeout(5 * time.Second)
+			if err != nil {
+				return nil, err
+			}
+			if resp.Type == wire.MsgErr {
+				return nil, resp.Err()
+			}
+			if resp.Type == wire.MsgScanEnd {
+				break
+			}
+			t := wire.ToTuple(resp.Tuple)
+			out[tkey{table, t.Key(desc)}] = repRow{
+				val: t.Values[desc.FieldIndex("v")].I64,
+				ts:  t.InsTS(),
+			}
+		}
+		if _, err := c.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestChaos runs the scenario suite under deterministic seeds. Every
+// violation message embeds the scenario and seed; rerun a failure with
+//
+//	CHAOS_SEED=<seed> go test ./internal/chaos/ -run 'TestChaos/<scenario>' -count=1
+//
+// CHAOS_ITERS widens the sweep (seeds seed, seed+1, ...). The scenarios
+// share process-global faultnet hooks, so they run strictly serially.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios take tens of seconds; skipped with -short")
+	}
+	seed := envInt64(t, "CHAOS_SEED", 1)
+	iters := envInt64(t, "CHAOS_ITERS", 1)
+
+	for _, sc := range Scenarios() {
+		for it := int64(0); it < iters; it++ {
+			sd := seed + it
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, sd), func(t *testing.T) {
+				res, err := Run(sc, sd, t.TempDir())
+				if err != nil {
+					t.Fatalf("chaos %s seed=%d: %v", sc.Name, sd, err)
+				}
+				t.Logf("chaos %s seed=%d: %d commits (%d aftershock), %d aborts, %d raw txns, recovered workers %v, %d fault events",
+					sc.Name, sd, res.Commits, res.Aftershock, res.Aborts, res.RawTxns, res.Disturbed, len(res.Trace))
+				// A run where nothing committed during the fault era
+				// verifies nothing.
+				if res.Commits <= res.Aftershock {
+					t.Errorf("chaos %s seed=%d: no stream transaction committed; scenario is vacuous", sc.Name, sd)
+				}
+				if sc.Name == "coord-kill-3pc" && res.RawTxns == 0 {
+					t.Errorf("chaos %s seed=%d: no raw consensus transaction ran", sc.Name, sd)
+				}
+				for _, v := range res.Violations {
+					t.Error(v)
+				}
+				if t.Failed() {
+					t.Logf("reproduce with: CHAOS_SEED=%d go test ./internal/chaos/ -run 'TestChaos/%s' -count=1", sd, sc.Name)
+				}
+			})
+		}
+	}
+}
+
+func envInt64(t *testing.T, name string, def int64) int64 {
+	t.Helper()
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("%s=%q: %v", name, s, err)
+	}
+	return v
+}

@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"time"
+
+	"harbor/internal/comm"
+	"harbor/internal/faultnet"
+	"harbor/internal/testutil"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+)
+
+// Scenarios returns the standard chaos suite; each entry is run under every
+// seed the test chooses.
+func Scenarios() []Scenario {
+	return []Scenario{PartitionHeal(), CoordKill3PC(), StallRecover()}
+}
+
+// PartitionHeal partitions one worker at a time — sometimes one-way, so
+// requests arrive but replies vanish (§5.5's gray zone) — heals, repeats,
+// and finally fail-stops a worker for the remainder of the workload.
+func PartitionHeal() Scenario {
+	return Scenario{
+		Name:    "partition-heal",
+		Workers: 3,
+		Drive: func(h *Harness) {
+			h.RunWorkload(4, 40, func() {
+				dirs := []faultnet.Direction{faultnet.In, faultnet.Out, faultnet.Both}
+				for round := 0; round < 3; round++ {
+					w := h.rng.Intn(len(h.Cl.Workers))
+					h.Net.Partition(h.workerAddr(w), dirs[h.rng.Intn(len(dirs))])
+					h.sleepMS(120, 250)
+					h.Net.Heal(h.workerAddr(w))
+					h.sleepMS(30, 80)
+				}
+				// Fail-stop a worker, but never the last online replica: a
+				// crash beyond K-safety can lose unflushed state that no
+				// replica can restore, which is outside HARBOR's guarantee.
+				// Evictions, by contrast, keep the final survivor's state
+				// intact for §5.5 total-outage recovery.
+				var online []int
+				for i := range h.Cl.Workers {
+					if !h.Cl.Coord.SiteDown(testutil.WorkerSiteID(i)) {
+						online = append(online, i)
+					}
+				}
+				if len(online) >= 2 {
+					h.CrashWorker(online[h.rng.Intn(len(online))])
+				}
+				h.sleepMS(50, 100)
+			})
+		},
+	}
+}
+
+// CoordKill3PC drives raw 3PC transactions whose coordinator connections
+// are dropped mid-protocol — before PTC, after a subset of PTCs, after all
+// of them, and once with the designated backup crashed too — while client
+// streams keep the cluster busy. Message delay/jitter is armed throughout
+// and the backup's replay messages are delivered in duplicate, so worker
+// consensus (Table 4.1) must resolve each transaction under exactly the
+// delayed-and-duplicated conditions §4.3.4 worries about.
+func CoordKill3PC() Scenario {
+	return Scenario{
+		Name:    "coord-kill-3pc",
+		Workers: 3,
+		Drive: func(h *Harness) {
+			for i := range h.Cl.Workers {
+				h.Net.SetDelay(h.workerAddr(i), time.Millisecond, 3*time.Millisecond)
+			}
+			h.RunWorkload(2, 30, func() {
+				ids := txn.NewIDSource(7)
+				cases := []struct {
+					ptcTo       []int
+					crashBackup bool
+				}{
+					{ptcTo: []int{0, 1, 2}},                    // row 5: all in PTC → commit
+					{ptcTo: nil},                               // row 3: all merely prepared → abort
+					{ptcTo: []int{0}},                          // backup itself holds PTC → commit
+					{ptcTo: []int{2}},                          // backup merely prepared → abort all
+					{ptcTo: []int{0, 1, 2}, crashBackup: true}, // backup dead → next rank commits
+				}
+				for k, tc := range cases {
+					h.RunRawConsensus(ids.Next(), int64(100+k), int64(k+1), tc.ptcTo, tc.crashBackup)
+					h.sleepMS(20, 60)
+				}
+			})
+		},
+	}
+}
+
+// StallRecover freezes one worker's outbound traffic past the fan-out round
+// timeout — the coordinator evicts it while its late replies land on pooled
+// connections — throttles another's bandwidth, and abruptly drops every
+// connection of a third (fail-stop as seen from TCP, §5.5).
+func StallRecover() Scenario {
+	return Scenario{
+		Name:    "stall-recover",
+		Workers: 3,
+		Drive: func(h *Harness) {
+			h.RunWorkload(4, 40, func() {
+				for round := 0; round < 5; round++ {
+					w := h.rng.Intn(len(h.Cl.Workers))
+					d := time.Duration(300+h.rng.Intn(300)) * time.Millisecond
+					h.Net.Stall(h.workerAddr(w), d, faultnet.Out)
+					h.sleepMS(100, 250)
+				}
+				bw := h.rng.Intn(len(h.Cl.Workers))
+				h.Net.SetBandwidth(h.workerAddr(bw), 64<<10)
+				h.sleepMS(100, 200)
+				h.Net.SetBandwidth(h.workerAddr(bw), 0)
+				h.Net.DropConns(h.workerAddr(h.rng.Intn(len(h.Cl.Workers))))
+				h.sleepMS(50, 150)
+			})
+		},
+	}
+}
+
+// RunRawConsensus plays coordinator for one 3PC transaction on the
+// consensus table and then "dies" (drops its connections), leaving the
+// workers' Table 4.1 consensus to finish it. ptcTo lists the worker
+// indexes that receive PREPARE-TO-COMMIT before the death; the expected
+// outcome is commit iff the backup coordinator — the lowest-ranked live
+// participant — is among them. With crashBackup the lowest worker is
+// fail-stopped after its PTC, forcing backup promotion. Duplicate delivery
+// is armed on every worker for the consensus window, so the backup's
+// replayed PTC/COMMIT/ABORT messages each arrive twice.
+func (h *Harness) RunRawConsensus(id txn.ID, key, val int64, ptcTo []int, crashBackup bool) {
+	rec := rawRec{id: id, key: key, val: val}
+	var conns []*comm.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	var sites []int32
+	for i := range h.Cl.Workers {
+		sites = append(sites, int32(testutil.WorkerSiteID(i)))
+	}
+
+	ok := true
+	for i := range h.Cl.Workers {
+		c, err := comm.Dial(h.workerAddr(i))
+		if err != nil {
+			ok = false
+			break
+		}
+		conns = append(conns, c)
+		if _, err := c.Call(&wire.Msg{Type: wire.MsgBegin, Txn: id}); err != nil {
+			ok = false
+			break
+		}
+		resp, err := c.Call(&wire.Msg{Type: wire.MsgInsert, Txn: id,
+			Table: tableConsensus, Tuple: wire.TupleValues(mkT(key, val))})
+		if err != nil || resp.Type != wire.MsgOK {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, c := range conns {
+			resp, err := c.Call(&wire.Msg{Type: wire.MsgPrepare, Txn: id, Sites: sites})
+			if err != nil || resp.Type != wire.MsgVote || !resp.Yes() {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		ts := h.Cl.Coord.Authority.Issue()
+		defer h.Cl.Coord.Authority.Complete(ts)
+		rec.ts = ts
+		delivered := map[int]bool{}
+		for _, i := range ptcTo {
+			resp, err := conns[i].Call(&wire.Msg{Type: wire.MsgPrepareToCommit, Txn: id, TS: ts})
+			if err == nil && resp.Type == wire.MsgOK {
+				delivered[i] = true
+			}
+		}
+		// The backup (lowest live participant) decides from its own state.
+		backup := 0
+		if crashBackup {
+			backup = 1
+		}
+		rec.expectCommit = delivered[backup]
+	}
+
+	// Duplicate the backup's consensus dials for this window. Existing
+	// connections (ours, the coordinator's pooled ones) are unaffected.
+	for i := range h.Cl.Workers {
+		h.Net.SetDupOnDial(h.workerAddr(i), true)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	conns = nil
+	if ok && crashBackup {
+		h.CrashWorker(0)
+	}
+
+	h.awaitRawOutcome(&rec)
+	for i := range h.Cl.Workers {
+		h.Net.SetDupOnDial(h.workerAddr(i), false)
+	}
+	h.mu.Lock()
+	h.raws = append(h.raws, rec)
+	h.mu.Unlock()
+}
+
+// awaitRawOutcome polls every live worker until it reports a terminal (or
+// forgotten) state for the raw transaction, checking the outcome against
+// Table 4.1 and the commit timestamp against the one the "coordinator"
+// issued.
+func (h *Harness) awaitRawOutcome(rec *rawRec) {
+	deadline := time.Now().Add(10 * time.Second)
+	for i, w := range h.Cl.Workers {
+		h.mu.Lock()
+		dead := h.crashed[i]
+		h.mu.Unlock()
+		if dead || w.Crashed() {
+			continue
+		}
+		for {
+			st, ts, known := w.TxnState(rec.id)
+			if rec.expectCommit {
+				if known && st == txn.StateCommitted {
+					if ts != rec.ts {
+						h.violatef("invariant 4: consensus committed txn %d on worker %d at ts %d, want the coordinator-issued %d", rec.id, i, ts, rec.ts)
+					}
+					break
+				}
+				if known && st == txn.StateAborted {
+					h.violatef("invariant 1: consensus aborted txn %d on worker %d although the backup held PREPARE-TO-COMMIT (Table 4.1 requires commit)", rec.id, i)
+					break
+				}
+			} else {
+				if !known || st == txn.StateAborted {
+					break
+				}
+				if st == txn.StateCommitted {
+					h.violatef("invariant 2: consensus committed txn %d on worker %d although the backup was not in PREPARE-TO-COMMIT (Table 4.1 requires abort)", rec.id, i)
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				h.violatef("invariant 1: raw txn %d still unresolved on worker %d (state=%v known=%v)", rec.id, i, st, known)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}

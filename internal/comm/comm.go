@@ -18,6 +18,33 @@ import (
 	"harbor/internal/wire"
 )
 
+// DefaultDialTimeout bounds connection establishment when the caller gives
+// no explicit timeout.
+const DefaultDialTimeout = 5 * time.Second
+
+// Transport hooks. Every outbound connection (Dial, DialTimeout, pool
+// dials, Ping, EvictWorker's crash message) goes through Dialer, and every
+// Listen'ed listener is passed through WrapListener before it starts
+// accepting. The defaults are plain TCP; the faultnet package installs
+// fault-injecting implementations so that coordinator fan-out, worker
+// consensus, recovery streaming, and join replay can all be exercised under
+// partitions, delay, and message loss with zero call-site changes. Both
+// hooks must be swapped only while no cluster traffic is in flight (they
+// are read without locks).
+var (
+	Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		return nc, nil
+	}
+	WrapListener = func(ln net.Listener) net.Listener { return ln }
+)
+
 // Conn wraps one TCP connection with buffered framed-message IO. Each
 // direction owns a scratch buffer (wire.Encoder / wire.Decoder) so the
 // steady state sends and receives without per-message allocations.
@@ -31,6 +58,14 @@ type Conn struct {
 	enc wire.Encoder // guarded by wmu
 
 	callmu sync.Mutex // serialises request/response exchanges (Reserve)
+
+	// reused is set by Pool.Get when the conn comes from the idle list
+	// rather than a fresh dial; borrowers use it to decide whether a
+	// transport failure on the first exchange means "site down" (fresh
+	// conn) or possibly just "peer restarted since Put" (stale idle conn,
+	// worth one retry on a fresh dial). Only meaningful between a Get and
+	// the first exchange; written under the pool lock.
+	reused bool
 }
 
 // NewConn wraps an established net.Conn.
@@ -60,6 +95,32 @@ func (c *Conn) Flush() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.w.Flush()
+}
+
+// SendTimeout writes and flushes one message under a write deadline. A
+// wedged peer whose socket buffer is full blocks a plain Send forever; the
+// deadline converts that into ErrTimeout. The deadline pass leaves the
+// connection's write stream in an unknown state, so callers must close the
+// conn on ErrTimeout rather than reuse it.
+func (c *Conn) SendTimeout(m *wire.Msg, d time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	defer c.nc.SetWriteDeadline(time.Time{})
+	err := c.enc.WriteMsg(c.w, m)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return ErrTimeout
+		}
+		return err
+	}
+	return nil
 }
 
 // Recv reads one message (blocking).
@@ -99,6 +160,10 @@ func (c *Conn) Reserve() { c.callmu.Lock() }
 
 // Release ends a Reserve claim.
 func (c *Conn) Release() { c.callmu.Unlock() }
+
+// Reused reports whether the connection came from a pool's idle list
+// rather than a fresh dial (see the field comment).
+func (c *Conn) Reused() bool { return c.reused }
 
 // Close closes the connection.
 func (c *Conn) Close() error { return c.nc.Close() }
@@ -140,14 +205,20 @@ func (c *Conn) CallRawTimeout(m *wire.Msg, d time.Duration) (*wire.Msg, error) {
 	return c.RecvTimeout(d)
 }
 
-// Dial connects to a site address.
+// Dial connects to a site address with the default dial timeout.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a site address, bounding connection
+// establishment, through the package Dialer hook.
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	nc, err := Dialer(addr, timeout)
 	if err != nil {
 		return nil, err
-	}
-	if tc, ok := nc.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
 	}
 	return NewConn(nc), nil
 }
@@ -182,6 +253,7 @@ func Listen(addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	ln = WrapListener(ln)
 	s := &Server{ln: ln, handler: h, conns: map[*Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -264,10 +336,11 @@ type PoolStats struct {
 type Pool struct {
 	addr string
 
-	mu      sync.Mutex
-	idle    []*Conn
-	maxIdle int
-	stats   PoolStats
+	mu          sync.Mutex
+	idle        []*Conn
+	maxIdle     int
+	dialTimeout time.Duration
+	stats       PoolStats
 }
 
 // NewPool creates a pool for one address.
@@ -275,6 +348,14 @@ func NewPool(addr string) *Pool { return &Pool{addr: addr, maxIdle: DefaultMaxId
 
 // Addr returns the pool's target address.
 func (p *Pool) Addr() string { return p.addr }
+
+// SetDialTimeout bounds the pool's connection establishment (0 uses
+// DefaultDialTimeout).
+func (p *Pool) SetDialTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.dialTimeout = d
+	p.mu.Unlock()
+}
 
 // SetMaxIdle changes the idle-connection cap (n < 1 disables pooling).
 func (p *Pool) SetMaxIdle(n int) {
@@ -290,19 +371,34 @@ func (p *Pool) Stats() PoolStats {
 	return p.stats
 }
 
-// Get returns an idle connection or dials a new one.
+// Get returns an idle connection (marked Reused) or dials a new one. A
+// reused conn's peer may have restarted since Put — the §5.5 fail-stop
+// signal then fires on the first exchange even though the site is live —
+// so borrowers should treat a first-exchange transport error on a reused
+// conn as "stale conn", retry once on Fresh, and only then conclude the
+// site is down.
 func (p *Pool) Get() (*Conn, error) {
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
 		c := p.idle[n-1]
 		p.idle = p.idle[:n-1]
+		c.reused = true
 		p.stats.Reuses++
 		p.mu.Unlock()
 		return c, nil
 	}
-	p.stats.Dials++
 	p.mu.Unlock()
-	return Dial(p.addr)
+	return p.Fresh()
+}
+
+// Fresh always dials a new connection, bypassing the idle list (the stale-
+// conn retry path).
+func (p *Pool) Fresh() (*Conn, error) {
+	p.mu.Lock()
+	p.stats.Dials++
+	d := p.dialTimeout
+	p.mu.Unlock()
+	return DialTimeout(p.addr, d)
 }
 
 // Put returns a healthy connection for reuse; over the idle cap it is
@@ -338,15 +434,16 @@ func (p *Pool) CloseAll() {
 	}
 }
 
-// Ping checks liveness of a site.
+// Ping checks liveness of a site. Both directions are bounded: a wedged
+// peer that accepts but never drains its socket would otherwise block the
+// write side forever.
 func Ping(addr string, timeout time.Duration) bool {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	c, err := DialTimeout(addr, timeout)
 	if err != nil {
 		return false
 	}
-	c := NewConn(nc)
 	defer c.Close()
-	if err := c.Send(&wire.Msg{Type: wire.MsgPing}); err != nil {
+	if err := c.SendTimeout(&wire.Msg{Type: wire.MsgPing}, timeout); err != nil {
 		return false
 	}
 	resp, err := c.RecvTimeout(timeout)

@@ -44,6 +44,9 @@ type Config struct {
 	// the coordinator may "crash" a bottlenecking worker and proceed with
 	// K-1 safety). 0 waits forever.
 	RoundTimeout time.Duration
+	// DialTimeout bounds each worker dial (threaded to every site pool).
+	// 0 uses comm.DefaultDialTimeout.
+	DialTimeout time.Duration
 }
 
 // outcomeRec is the coordinator's memory of a finished transaction.
@@ -91,6 +94,14 @@ type Coordinator struct {
 	// §5.4.2 join protocol.
 	objectOnline map[int32]map[catalog.SiteID]bool
 	siteDown     map[catalog.SiteID]bool
+	// finalSurvivor[table]: when every replica of a table has left the
+	// update set (K-safety exceeded), the site whose departure completed
+	// the outage. Commits to the table require a live replica, so none can
+	// postdate that departure: the final survivor's local state is a
+	// complete copy, and recovery is allowed to rejoin it from its own
+	// data even though no online buddy exists. Cleared as soon as any
+	// replica comes back online.
+	finalSurvivor map[int32]catalog.SiteID
 
 	// counters for the evaluation
 	msgsSent atomic.Int64
@@ -110,8 +121,9 @@ func New(cfg Config) (*Coordinator, error) {
 		pools:        map[catalog.SiteID]*comm.Pool{},
 		txns:         map[txn.ID]*ctxn{},
 		outcomes:     map[txn.ID]outcomeRec{},
-		objectOnline: map[int32]map[catalog.SiteID]bool{},
-		siteDown:     map[catalog.SiteID]bool{},
+		objectOnline:  map[int32]map[catalog.SiteID]bool{},
+		siteDown:      map[catalog.SiteID]bool{},
+		finalSurvivor: map[int32]catalog.SiteID{},
 	}
 	if cfg.Protocol.CoordinatorLogs() {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -204,8 +216,42 @@ func (co *Coordinator) pool(site catalog.SiteID) (*comm.Pool, error) {
 		go p.CloseAll()
 	}
 	p := comm.NewPool(addr)
+	p.SetDialTimeout(co.cfg.DialTimeout)
 	co.pools[site] = p
 	return p, nil
+}
+
+// borrow takes a connection from p and runs the first exchange on it via
+// do. A transport error on the first exchange of a pooled (reused)
+// connection usually means the conn went stale while idle — the peer
+// restarted or closed it since Put — not that the site is down, so borrow
+// retries exactly once on a fresh dial before reporting failure. Errors on
+// a fresh conn (or on the retry) propagate: those are real site failures.
+// On success the returned conn has completed do; on error no conn is
+// returned and any borrowed conns are closed.
+func (co *Coordinator) borrow(p *comm.Pool, do func(*comm.Conn) error) (*comm.Conn, error) {
+	conn, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	err = do(conn)
+	if err == nil {
+		return conn, nil
+	}
+	if !conn.Reused() {
+		conn.Close()
+		return nil, err
+	}
+	conn.Close()
+	conn, err = p.Fresh()
+	if err != nil {
+		return nil, err
+	}
+	if err := do(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
 }
 
 // MarkDown records a site failure (connection-drop detection, §5.5). All
@@ -224,6 +270,18 @@ func (co *Coordinator) MarkDown(site catalog.SiteID) {
 			co.objectOnline[r.Table] = m
 		}
 		m[site] = false
+		// If this departure took the table's last replica offline, remember
+		// the site: it alone holds every commit (see finalSurvivor).
+		anyOnline := false
+		for _, o := range co.cfg.Catalog.Replicas(r.Table) {
+			if o.Site != site && co.objectIsOnlineLocked(r.Table, o.Site) {
+				anyOnline = true
+				break
+			}
+		}
+		if !anyOnline {
+			co.finalSurvivor[r.Table] = site
+		}
 	}
 	// Idle connections to the dead incarnation are useless.
 	if p, ok := co.pools[site]; ok {
@@ -275,12 +333,25 @@ func (co *Coordinator) SiteDown(site catalog.SiteID) bool {
 func (co *Coordinator) objectIsOnline(table int32, site catalog.SiteID) bool {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	return co.objectIsOnlineLocked(table, site)
+}
+
+func (co *Coordinator) objectIsOnlineLocked(table int32, site catalog.SiteID) bool {
 	if m, ok := co.objectOnline[table]; ok {
 		if v, ok := m[site]; ok {
 			return v
 		}
 	}
 	return !co.siteDown[site]
+}
+
+// objectFinalSurvivor reports whether site is the table's final survivor
+// (last replica out of the update set while the table is fully offline).
+func (co *Coordinator) objectFinalSurvivor(table int32, site catalog.SiteID) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s, ok := co.finalSurvivor[table]
+	return ok && s == site
 }
 
 // markObjectOnline restores a replica to the update set.
@@ -293,8 +364,10 @@ func (co *Coordinator) markObjectOnline(table int32, site catalog.SiteID) {
 		co.objectOnline[table] = m
 	}
 	m[site] = true
-	// The site itself is reachable again once any object announces.
+	// The site itself is reachable again once any object announces, and
+	// the table is no longer fully offline.
 	co.siteDown[site] = false
+	delete(co.finalSurvivor, table)
 }
 
 // Outcome returns the recorded outcome of a transaction. ok=false means the
@@ -338,8 +411,19 @@ func (co *Coordinator) serveConn(c *comm.Conn) {
 		case wire.MsgTxnOutcome:
 			committed, ts, ok := co.Outcome(m.Txn)
 			resp = &wire.Msg{Type: wire.MsgTxnState, TS: ts}
-			if ok && committed {
+			if ok {
+				resp.Flags = wire.FlagKnown
+				if committed {
+					resp.Flags |= wire.FlagYes
+				}
+			}
+		case wire.MsgObjectStatus:
+			resp = &wire.Msg{Type: wire.MsgOK}
+			if co.objectIsOnline(m.Table, catalog.SiteID(m.Site)) {
 				resp.Flags = wire.FlagYes
+			}
+			if co.objectFinalSurvivor(m.Table, catalog.SiteID(m.Site)) {
+				resp.Flags |= wire.FlagSurvivor
 			}
 		case wire.MsgObjectOnline:
 			if err := co.handleObjectOnline(catalog.SiteID(m.Site), m.Table); err != nil {
@@ -436,19 +520,19 @@ func (co *Coordinator) dialWorkerForTxn(t *ctxn, site catalog.SiteID) (*comm.Con
 	if err != nil {
 		return nil, err
 	}
-	conn, err := p.Get()
+	var resp *wire.Msg
+	conn, err := co.borrow(p, func(c *comm.Conn) error {
+		r, err := c.Call(&wire.Msg{Type: wire.MsgBegin, Txn: t.id})
+		co.msgsSent.Add(1)
+		resp = r
+		return err
+	})
 	if err != nil {
 		co.MarkDown(site)
 		return nil, err
 	}
-	resp, err := conn.Call(&wire.Msg{Type: wire.MsgBegin, Txn: t.id})
-	co.msgsSent.Add(1)
-	if err != nil || resp.Type != wire.MsgOK {
+	if resp.Type != wire.MsgOK {
 		conn.Close()
-		if err != nil {
-			co.MarkDown(site)
-			return nil, err
-		}
 		return nil, fmt.Errorf("coord: begin rejected: %v", resp.Text)
 	}
 	t.workers[site] = conn

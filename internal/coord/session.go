@@ -522,11 +522,6 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 	if err != nil {
 		return nil, err
 	}
-	conn, err := p.Get()
-	if err != nil {
-		co.MarkDown(site)
-		return nil, err
-	}
 	m := &wire.Msg{
 		Type: wire.MsgScan, Txn: id, Table: table,
 		Vis: uint8(vis), TS: asOf, Pred: pred.Terms,
@@ -534,21 +529,25 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 	if locked {
 		m.Flags |= wire.FlagYes
 	}
-	err = conn.Send(m)
-	co.msgsSent.Add(1) // counted per attempted send (see Counters)
+	// The send plus first receive is the borrowed conn's first exchange:
+	// a transport error there on a pooled conn retries once on a fresh
+	// dial (stale idle conn) before declaring the site down.
+	var first *wire.Msg
+	conn, err := co.borrow(p, func(c *comm.Conn) error {
+		err := c.Send(m)
+		co.msgsSent.Add(1) // counted per attempted send (see Counters)
+		if err != nil {
+			return err
+		}
+		first, err = c.Recv()
+		return err
+	})
 	if err != nil {
 		co.MarkDown(site)
-		conn.Close()
 		return nil, err
 	}
 	var rows []tuple.Tuple
-	for {
-		resp, err := conn.Recv()
-		if err != nil {
-			co.MarkDown(site)
-			conn.Close()
-			return nil, err
-		}
+	for resp := first; ; {
 		if resp.Type == wire.MsgErr {
 			p.Put(conn)
 			return nil, resp.Err()
@@ -557,6 +556,12 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 			break
 		}
 		rows = append(rows, wire.ToTuple(resp.Tuple))
+		resp, err = conn.Recv()
+		if err != nil {
+			co.MarkDown(site)
+			conn.Close()
+			return nil, err
+		}
 	}
 	if locked {
 		// Release the read transaction's locks (§4.3: "for read
@@ -584,20 +589,20 @@ func (co *Coordinator) CreateTable(spec *catalog.TableSpec, replicas ...catalog.
 		if err != nil {
 			return err
 		}
-		conn, err := p.Get()
-		if err != nil {
-			return err
-		}
 		segPages := r.SegPages
 		if segPages == 0 {
 			segPages = spec.SegPages
 		}
-		resp, err := conn.Call(&wire.Msg{
-			Type: wire.MsgCreateTable, Table: spec.ID, Desc: spec.Desc, SegPages: segPages,
+		var resp *wire.Msg
+		conn, err := co.borrow(p, func(c *comm.Conn) error {
+			rr, err := c.Call(&wire.Msg{
+				Type: wire.MsgCreateTable, Table: spec.ID, Desc: spec.Desc, SegPages: segPages,
+			})
+			co.msgsSent.Add(1)
+			resp = rr
+			return err
 		})
-		co.msgsSent.Add(1)
 		if err != nil {
-			conn.Close()
 			return err
 		}
 		if resp.Type != wire.MsgOK {

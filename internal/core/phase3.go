@@ -17,13 +17,19 @@ import (
 // (non-historical) SEE DELETED queries, announce "rec coming online" to the
 // coordinator so pending transactions are joined (Figure 5-4), then release
 // the remote locks. It returns the object's final consistent time.
-func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Timestamp, st *ObjectStats) (tuple.Timestamp, error) {
+func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Timestamp, st *ObjectStats, survivor bool) (tuple.Timestamp, error) {
 	recTxn := r.ids.Next()
 
-	// Recompute the plan against currently-live buddies.
-	plan, err := r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLive)
-	if err != nil {
-		return 0, err
+	// Recompute the plan against currently-live buddies. The final
+	// survivor of a total outage has no buddies and nothing to fetch — it
+	// proceeds straight to the §5.4.2 join with an empty plan.
+	var plan []catalog.RecoverySource
+	if !survivor {
+		var err error
+		plan, err = r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLiveFor(rep.Table))
+		if err != nil {
+			return 0, err
+		}
 	}
 
 	// ACQUIRE REMOTELY READ LOCK ON recovery_object — all of them, retrying

@@ -223,9 +223,18 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 		ckpt = objCkpt
 	}
 
+	// §5.5 total outage: when every replica of the table left the update
+	// set, the coordinator names the last one out the "final survivor" —
+	// commits need a live replica, so none can postdate its departure and
+	// its local state is complete. If that is us, rewinding to the
+	// checkpoint would destroy committed tuples no buddy can restore:
+	// Phase 1 instead only discards uncommitted debris, and Phases 2–3 run
+	// against an empty buddy plan (there is nothing newer to fetch).
+	survivor := r.selfIsFinalSurvivor(rep.Table)
+
 	// ---- Phase 1: restore local state to the checkpoint (§5.2) ----
 	p1 := time.Now()
-	del, undel, err := r.phase1(tb, ckpt, opt.DisablePruning)
+	del, undel, err := r.phase1(tb, ckpt, opt.DisablePruning, survivor)
 	if err != nil {
 		return st, 0, err
 	}
@@ -243,9 +252,12 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 			break
 		}
 		st.Rounds++
-		plan, err := r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLive)
-		if err != nil {
-			return st, 0, err
+		var plan []catalog.RecoverySource
+		if !survivor {
+			plan, err = r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLiveFor(rep.Table))
+			if err != nil {
+				return st, 0, err
+			}
 		}
 		for _, src := range plan {
 			du, di, nDel, nIns, err := r.copyWindow(tb, src, cur, hwm, true, 0)
@@ -270,7 +282,7 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 
 	// ---- Phase 3: locked catch-up + join pending transactions (§5.4) ----
 	p3 := time.Now()
-	finalT, err := r.phase3(tb, rep, cur, &st)
+	finalT, err := r.phase3(tb, rep, cur, &st, survivor)
 	if err != nil {
 		return st, 0, err
 	}
@@ -279,8 +291,11 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	return st, finalT, nil
 }
 
-// phase1 runs the two local queries of §5.2.
-func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune bool) (deleted, undeleted int, err error) {
+// phase1 runs the two local queries of §5.2. With survivor=true (this site
+// is the table's final survivor of a total outage) the committed rewind is
+// skipped — every committed stamp postdating the checkpoint is legitimate
+// and irreplaceable — and only uncommitted in-flight debris is discarded.
+func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune, survivor bool) (deleted, undeleted int, err error) {
 	heap := tb.Heap
 	desc := heap.Desc()
 	insOff := desc.Offset(tuple.FieldInsTS)
@@ -289,9 +304,21 @@ func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune bool
 
 	// DELETE LOCALLY FROM rec SEE DELETED
 	//   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+	// (final survivor: WHERE insertion_time = uncommitted only)
 	plan := heap.SegmentPlan(nil, &ckpt, nil, true)
 	if noPrune {
 		plan = heap.AllSegments()
+	}
+	if survivor {
+		// Only segments that may hold uncommitted tuples matter.
+		plan = nil
+		if mu := heap.MinUncommittedSeg(); mu >= 0 {
+			for _, si := range heap.AllSegments() {
+				if si >= mu {
+					plan = append(plan, si)
+				}
+			}
+		}
 	}
 	for _, si := range plan {
 		for _, pno := range heap.SegmentPages(si) {
@@ -311,7 +338,7 @@ func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune bool
 					err = err2
 					break
 				}
-				if ins > ckpt || ins == tuple.Uncommitted {
+				if ins == tuple.Uncommitted || (!survivor && ins > ckpt) {
 					key, err2 := f.Page.ReadInt64At(slot, desc.Offset(desc.Key))
 					if err2 != nil {
 						err = err2
@@ -335,6 +362,13 @@ func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune bool
 		}
 	}
 	heap.ClearUncommittedBound()
+
+	if survivor {
+		// Deletions are intent-only until commit stamps them, so every
+		// on-page deletion timestamp is committed — and for the final
+		// survivor, legitimate. Nothing to revert.
+		return deleted, undeleted, nil
+	}
 
 	// UPDATE LOCALLY rec SET deletion_time = 0 SEE DELETED
 	//   WHERE deletion_time > T_checkpoint
@@ -599,6 +633,67 @@ func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
 		return false
 	}
 	return comm.Ping(addr, time.Second)
+}
+
+// buddyLiveFor refines buddyLive for one object: besides answering pings,
+// a recovery source must still be in the coordinator's update set for the
+// table. An evicted-but-reachable buddy (itself crashed or partitioned
+// earlier and not yet rejoined) is missing every commit since its eviction
+// — seeding catch-up from it would silently lose committed data when two
+// replicas are down at once. If the coordinator is unreachable the check
+// degrades to ping-only (recovery can still make progress; Phase 2's HWM
+// query will fail loudly anyway if the coordinator stays gone).
+func (r *Recoverer) buddyLiveFor(table int32) func(catalog.SiteID) bool {
+	return func(s catalog.SiteID) bool {
+		if !r.buddyLive(s) {
+			return false
+		}
+		online, err := r.objectOnlineAt(s, table)
+		if err != nil {
+			return true
+		}
+		return online
+	}
+}
+
+// selfIsFinalSurvivor asks the coordinator whether this site is the
+// table's final survivor — the last replica out of the update set while no
+// replica is online (§5.5 total outage). Errors degrade to false, leaving
+// the normal buddy planning (and its K-safety refusal) in charge.
+func (r *Recoverer) selfIsFinalSurvivor(table int32) bool {
+	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
+	if !ok {
+		return false
+	}
+	c, err := comm.Dial(addr)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgObjectStatus, Site: int32(r.Site.Cfg.Site), Table: table})
+	if err != nil {
+		return false
+	}
+	return resp.Type == wire.MsgOK && resp.Flags&wire.FlagSurvivor != 0
+}
+
+// objectOnlineAt asks the coordinator whether a site's replica of a table
+// participates in updates.
+func (r *Recoverer) objectOnlineAt(site catalog.SiteID, table int32) (bool, error) {
+	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
+	if !ok {
+		return false, fmt.Errorf("core: coordinator address unknown")
+	}
+	c, err := comm.Dial(addr)
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgObjectStatus, Site: int32(site), Table: table})
+	if err != nil {
+		return false, err
+	}
+	return resp.Type == wire.MsgOK && resp.Flags&wire.FlagYes != 0, nil
 }
 
 func removeIfExists(path string) error {

@@ -1,0 +1,571 @@
+// Package faultnet is a deterministic network fault injector for the comm
+// layer. The thesis assumes fail-stop failures detected through abruptly
+// closed TCP connections (§5.5); the hard bugs live in the gray zone that
+// assumption elides — slow links, stalled peers, partitions that heal,
+// messages that arrive late or twice. faultnet makes that gray zone a
+// first-class, scriptable input: a Network wraps every connection the comm
+// package dials or accepts (via the comm.Dialer / comm.WrapListener hooks)
+// and applies per-site fault state to each read and write, so coordinator
+// fan-out, worker consensus, recovery streaming, and join replay all run
+// under injected faults with zero call-site changes.
+//
+// Faults are keyed by site address (the listener address every peer dials):
+//
+//	Partition   – In: data toward the site is silently discarded (the
+//	              sender's small writes still "succeed", as with real
+//	              packet loss and kernel buffering); Out: data from the
+//	              site blocks at the receiver. Healing closes every conn
+//	              that lost data (TCP would have died of retransmission
+//	              timeout) and unblocks dials.
+//	Stall       – like a partition but time-bounded and lossless: IO in
+//	              the stalled direction blocks until the deadline, then
+//	              the bytes flow — producing exactly the "evicted worker
+//	              with a late response in flight" hazard.
+//	Delay       – fixed plus seeded-jitter latency per IO on the link.
+//	Throttle    – bandwidth cap in bytes/second.
+//	DropConns   – abruptly closes every conn of the site: the pure §5.5
+//	              fail-stop signal while the site itself stays alive.
+//	DupOnDial   – while armed, each new conn to the site delivers its
+//	              first write twice: duplicate delivery at reconnect, the
+//	              classic retry ambiguity of message-passing protocols.
+//
+// All randomness (jitter) derives from the Network's seed and a per-conn
+// sequence number, so a fault schedule replays identically for a given
+// seed regardless of goroutine interleaving.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harbor/internal/comm"
+)
+
+// Direction selects which data flow a partition or stall affects, relative
+// to the faulted site.
+type Direction uint8
+
+const (
+	// In faults data flowing into the site (requests toward a worker).
+	In Direction = 1 << iota
+	// Out faults data flowing out of the site (its responses).
+	Out
+	// Both faults the two directions.
+	Both = In | Out
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case Both:
+		return "both"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// gatePoll is how often blocked IO re-checks fault state; small enough that
+// heals and deadlines are observed promptly, large enough to stay cheap.
+const gatePoll = time.Millisecond
+
+// siteState is the fault configuration of one site (listener address).
+type siteState struct {
+	addr string
+	name string
+
+	dialBlocked   bool
+	partIn        bool
+	partOut       bool
+	stallInUntil  time.Time
+	stallOutUntil time.Time
+	delay         time.Duration
+	jitter        time.Duration
+	bytesPerSec   int64
+	dupOnDial     bool
+}
+
+// label names the site for traces.
+func (st *siteState) label() string {
+	if st.name != "" {
+		return st.name
+	}
+	return st.addr
+}
+
+// Network is one fault-injection fabric. Zero faults means transparent
+// passthrough; faults are toggled per site while traffic runs.
+type Network struct {
+	seed int64
+
+	mu        sync.Mutex
+	sites     map[string]*siteState
+	conns     map[*Conn]struct{}
+	connSeq   int64
+	installed bool
+	prevDial  func(string, time.Duration) (net.Conn, error)
+	prevWrap  func(net.Listener) net.Listener
+	t0        time.Time
+	trace     []string
+}
+
+// New creates a Network whose jitter streams derive from seed.
+func New(seed int64) *Network {
+	return &Network{
+		seed:  seed,
+		sites: map[string]*siteState{},
+		conns: map[*Conn]struct{}{},
+		t0:    time.Now(),
+	}
+}
+
+// Seed returns the network's seed (printed with every violation so a chaos
+// failure reproduces).
+func (nw *Network) Seed() int64 { return nw.seed }
+
+// Install routes the comm package's transport through this network.
+// Install before any listener or dial the faults should cover (cluster
+// construction included) and Uninstall only after all traffic quiesced.
+func (nw *Network) Install() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.installed {
+		return
+	}
+	nw.installed = true
+	nw.prevDial, nw.prevWrap = comm.Dialer, comm.WrapListener
+	comm.Dialer = nw.dial
+	comm.WrapListener = nw.wrapListener
+}
+
+// Uninstall restores the transport hooks Install replaced.
+func (nw *Network) Uninstall() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.installed {
+		return
+	}
+	nw.installed = false
+	comm.Dialer, comm.WrapListener = nw.prevDial, nw.prevWrap
+}
+
+// Name attaches a human-readable name to a site address for traces.
+func (nw *Network) Name(addr, name string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.siteLocked(addr).name = name
+}
+
+// Trace returns the fault-event log (each entry stamped with the offset
+// from New), for attaching to invariant-violation reports.
+func (nw *Network) Trace() []string {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return append([]string(nil), nw.trace...)
+}
+
+func (nw *Network) siteLocked(addr string) *siteState {
+	st, ok := nw.sites[addr]
+	if !ok {
+		st = &siteState{addr: addr}
+		nw.sites[addr] = st
+	}
+	return st
+}
+
+func (nw *Network) tracefLocked(format string, args ...any) {
+	nw.trace = append(nw.trace,
+		fmt.Sprintf("t=+%s ", time.Since(nw.t0).Round(time.Millisecond))+fmt.Sprintf(format, args...))
+}
+
+// Partition cuts the given direction(s) of a site's links until Heal: dials
+// fail, writes toward the site are discarded, reads from it block.
+func (nw *Network) Partition(addr string, dir Direction) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := nw.siteLocked(addr)
+	st.dialBlocked = true
+	st.partIn = st.partIn || dir&In != 0
+	st.partOut = st.partOut || dir&Out != 0
+	nw.tracefLocked("partition %s dir=%s", st.label(), dir)
+}
+
+// Heal lifts a site's partition. Connections that lost data while
+// partitioned are closed abruptly (a real partition of that length would
+// have killed them by retransmission timeout); idle connections survive.
+func (nw *Network) Heal(addr string) {
+	nw.mu.Lock()
+	st := nw.siteLocked(addr)
+	st.dialBlocked, st.partIn, st.partOut = false, false, false
+	var poisoned []*Conn
+	for c := range nw.conns {
+		if c.site == st && c.poisoned.Load() {
+			poisoned = append(poisoned, c)
+		}
+	}
+	nw.tracefLocked("heal %s (%d poisoned conns closed)", st.label(), len(poisoned))
+	nw.mu.Unlock()
+	for _, c := range poisoned {
+		c.Close()
+	}
+}
+
+// HealAll lifts every fault on every site (partitions, stalls, delay,
+// throttle, duplication) and closes poisoned connections.
+func (nw *Network) HealAll() {
+	nw.mu.Lock()
+	var poisoned []*Conn
+	for _, st := range nw.sites {
+		*st = siteState{addr: st.addr, name: st.name}
+	}
+	for c := range nw.conns {
+		if c.poisoned.Load() {
+			poisoned = append(poisoned, c)
+		}
+	}
+	nw.tracefLocked("heal all (%d poisoned conns closed)", len(poisoned))
+	nw.mu.Unlock()
+	for _, c := range poisoned {
+		c.Close()
+	}
+}
+
+// Stall blocks the given direction(s) of a site's links for d, then lets
+// the buffered bytes flow. Unlike a partition nothing is lost: responses
+// arrive late — after any round deadline has already evicted the site.
+func (nw *Network) Stall(addr string, d time.Duration, dir Direction) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := nw.siteLocked(addr)
+	until := time.Now().Add(d)
+	if dir&In != 0 {
+		st.stallInUntil = until
+	}
+	if dir&Out != 0 {
+		st.stallOutUntil = until
+	}
+	nw.tracefLocked("stall %s dir=%s for %s", st.label(), dir, d)
+}
+
+// SetDelay adds fixed-plus-jitter latency to each IO on the site's links
+// (jitter uniform in [0, jitter), drawn from the conn's seeded stream).
+func (nw *Network) SetDelay(addr string, delay, jitter time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := nw.siteLocked(addr)
+	st.delay, st.jitter = delay, jitter
+	nw.tracefLocked("delay %s %s±%s", st.label(), delay, jitter)
+}
+
+// SetBandwidth throttles the site's links to n bytes/second (0 removes the
+// throttle).
+func (nw *Network) SetBandwidth(addr string, n int64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := nw.siteLocked(addr)
+	st.bytesPerSec = n
+	nw.tracefLocked("throttle %s %dB/s", st.label(), n)
+}
+
+// SetDupOnDial arms (or disarms) duplicate delivery at reconnect: while
+// armed, every new connection to the site writes its first message twice.
+func (nw *Network) SetDupOnDial(addr string, on bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := nw.siteLocked(addr)
+	st.dupOnDial = on
+	nw.tracefLocked("dup-on-dial %s %v", st.label(), on)
+}
+
+// DropConns abruptly closes every connection of a site — the §5.5
+// fail-stop signal without the site actually failing.
+func (nw *Network) DropConns(addr string) {
+	nw.mu.Lock()
+	st := nw.siteLocked(addr)
+	var drop []*Conn
+	for c := range nw.conns {
+		if c.site == st {
+			drop = append(drop, c)
+		}
+	}
+	nw.tracefLocked("drop %d conns of %s", len(drop), st.label())
+	nw.mu.Unlock()
+	for _, c := range drop {
+		c.Close()
+	}
+}
+
+// partitionErr is the dial-time error of a partitioned site.
+type partitionErr struct{ addr string }
+
+func (e *partitionErr) Error() string   { return "faultnet: " + e.addr + " unreachable (partitioned)" }
+func (e *partitionErr) Timeout() bool   { return false }
+func (e *partitionErr) Temporary() bool { return true }
+
+// dial is the comm.Dialer implementation.
+func (nw *Network) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	nw.mu.Lock()
+	st := nw.siteLocked(addr)
+	if st.dialBlocked {
+		nw.mu.Unlock()
+		return nil, &partitionErr{addr: addr}
+	}
+	dup := st.dupOnDial
+	nw.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return nw.newConn(nc, st, true, dup), nil
+}
+
+// wrapListener is the comm.WrapListener implementation.
+func (nw *Network) wrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, nw: nw}
+}
+
+type listener struct {
+	net.Listener
+	nw *Network
+}
+
+// Accept wraps each accepted conn so faults and drops reach the server
+// half too. Delay/throttle apply only on the dialed half (applying on both
+// would double the simulated latency).
+func (l *listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	l.nw.mu.Lock()
+	st := l.nw.siteLocked(l.Listener.Addr().String())
+	l.nw.mu.Unlock()
+	return l.nw.newConn(nc, st, false, false), nil
+}
+
+func (nw *Network) newConn(nc net.Conn, st *siteState, dialed, dup bool) *Conn {
+	nw.mu.Lock()
+	nw.connSeq++
+	// splitmix-style stream derivation: one independent deterministic
+	// jitter stream per conn, independent of goroutine interleaving.
+	src := rand.NewSource(nw.seed ^ (nw.connSeq * int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
+	c := &Conn{nc: nc, nw: nw, site: st, dialed: dialed, dupFirstWrite: dup, rng: rand.New(src)}
+	nw.conns[c] = struct{}{}
+	nw.mu.Unlock()
+	return c
+}
+
+func (nw *Network) forget(c *Conn) {
+	nw.mu.Lock()
+	delete(nw.conns, c)
+	nw.mu.Unlock()
+}
+
+// timeoutErr satisfies net.Error with Timeout()==true so comm.RecvTimeout
+// converts gated-past-deadline reads into comm.ErrTimeout.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "faultnet: i/o timeout (gated)" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// errClosed mirrors a read/write on a conn the injector closed.
+type errClosed struct{}
+
+func (errClosed) Error() string   { return "faultnet: connection closed by fault injector" }
+func (errClosed) Timeout() bool   { return false }
+func (errClosed) Temporary() bool { return false }
+
+// Conn is one fault-injected connection half, keyed to the site whose
+// address was dialed (client half) or listened on (server half).
+type Conn struct {
+	nc     net.Conn
+	nw     *Network
+	site   *siteState
+	dialed bool
+
+	closed   atomic.Bool
+	poisoned atomic.Bool // lost data during a partition; closed at heal
+
+	rdDeadline atomic.Int64 // unix nanos; 0 = none
+	wrDeadline atomic.Int64
+
+	wmu           sync.Mutex // guards dup-delivery state
+	dupFirstWrite bool
+	wroteOnce     bool
+
+	rngmu sync.Mutex // guards rng, drawn from by both the read and write paths
+	rng   *rand.Rand
+}
+
+// direction of an IO op relative to the conn's site.
+func (c *Conn) dir(isWrite bool) Direction {
+	if c.dialed == isWrite {
+		return In // writes on the dialed half and reads on the server half carry data INTO the site
+	}
+	return Out
+}
+
+// snapshot reads the site's fault state under the network lock.
+func (c *Conn) snapshot() siteState {
+	c.nw.mu.Lock()
+	st := *c.site
+	c.nw.mu.Unlock()
+	return st
+}
+
+// gate enforces partitions and stalls for one IO op. It returns
+// (discard=true) when a partitioned write should be swallowed, or an error
+// when the conn closed or the op's deadline passed while gated.
+func (c *Conn) gate(isWrite bool) (discard bool, err error) {
+	dir := c.dir(isWrite)
+	deadline := c.rdDeadline.Load()
+	if isWrite {
+		deadline = c.wrDeadline.Load()
+	}
+	for {
+		if c.closed.Load() {
+			return false, errClosed{}
+		}
+		st := c.snapshot()
+		now := time.Now()
+		partitioned := (dir == In && st.partIn) || (dir == Out && st.partOut)
+		if partitioned {
+			if isWrite {
+				// Swallow the bytes; the stream has now lost data and
+				// must die when the partition heals.
+				c.poisoned.Store(true)
+				return true, nil
+			}
+			c.poisoned.Store(true)
+			if deadline != 0 && now.UnixNano() > deadline {
+				return false, timeoutErr{}
+			}
+			time.Sleep(gatePoll)
+			continue
+		}
+		stallUntil := st.stallInUntil
+		if dir == Out {
+			stallUntil = st.stallOutUntil
+		}
+		if now.Before(stallUntil) {
+			if deadline != 0 && now.UnixNano() > deadline {
+				return false, timeoutErr{}
+			}
+			time.Sleep(gatePoll)
+			continue
+		}
+		return false, nil
+	}
+}
+
+// pace applies delay, jitter, and bandwidth to n transferred bytes.
+// Applied on the dialed half only; the server half passes through.
+func (c *Conn) pace(n int) {
+	if !c.dialed || n <= 0 {
+		return
+	}
+	st := c.snapshot()
+	d := st.delay
+	if st.jitter > 0 {
+		c.rngmu.Lock()
+		d += time.Duration(c.rng.Int63n(int64(st.jitter)))
+		c.rngmu.Unlock()
+	}
+	if st.bytesPerSec > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / st.bytesPerSec)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if _, err := c.gate(false); err != nil {
+		return 0, err
+	}
+	n, err := c.nc.Read(p)
+	c.pace(n)
+	return n, err
+}
+
+// Write implements net.Conn. A write during an inbound partition reports
+// success and discards the bytes (kernel-buffer semantics of packet loss);
+// while dup-on-dial is armed the conn's first write is delivered twice.
+func (c *Conn) Write(p []byte) (int, error) {
+	discard, err := c.gate(true)
+	if err != nil {
+		return 0, err
+	}
+	if discard {
+		return len(p), nil
+	}
+	c.pace(len(p))
+	c.wmu.Lock()
+	dup := c.dupFirstWrite && !c.wroteOnce
+	c.wroteOnce = true
+	c.wmu.Unlock()
+	n, err := c.nc.Write(p)
+	if err == nil && dup && n == len(p) {
+		if _, derr := c.nc.Write(p); derr == nil {
+			c.nw.mu.Lock()
+			c.nw.tracefLocked("duplicated first frame to %s (%dB)", c.site.label(), n)
+			c.nw.mu.Unlock()
+		}
+	}
+	return n, err
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	c.nw.forget(c)
+	return c.nc.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.storeDeadline(&c.rdDeadline, t)
+	c.storeDeadline(&c.wrDeadline, t)
+	return c.nc.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn; the deadline also bounds time spent
+// gated on a partition or stall.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.storeDeadline(&c.rdDeadline, t)
+	return c.nc.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.storeDeadline(&c.wrDeadline, t)
+	return c.nc.SetWriteDeadline(t)
+}
+
+func (c *Conn) storeDeadline(dst *atomic.Int64, t time.Time) {
+	if t.IsZero() {
+		dst.Store(0)
+		return
+	}
+	dst.Store(t.UnixNano())
+}

@@ -1,0 +1,284 @@
+package faultnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"harbor/internal/comm"
+	"harbor/internal/wire"
+)
+
+// startEcho starts an echo server with nw installed, so both halves of
+// every connection are fault-wrapped.
+func startEcho(t *testing.T, nw *Network) *comm.Server {
+	t.Helper()
+	nw.Install()
+	t.Cleanup(nw.Uninstall)
+	s, err := comm.Listen("127.0.0.1:0", comm.HandlerFunc(func(c *comm.Conn) {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(&wire.Msg{Type: wire.MsgOK, Text: m.Text}); err != nil {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustDial(t *testing.T, addr string) *comm.Conn {
+	t.Helper()
+	c, err := comm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPassthrough(t *testing.T) {
+	nw := New(1)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "hello"})
+	if err != nil || resp.Text != "hello" {
+		t.Fatalf("echo through faultnet: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestPartitionBlocksThenHealCloses(t *testing.T) {
+	nw := New(2)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	nw.Partition(s.Addr(), Both)
+
+	// Requests toward the site are swallowed: Send "succeeds", the reply
+	// never comes, and the deadline converts the gated read to ErrTimeout.
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Text: "lost"}); err != nil {
+		t.Fatalf("partitioned send should be swallowed, got %v", err)
+	}
+	if _, err := c.RecvTimeout(100 * time.Millisecond); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("recv during partition: want ErrTimeout, got %v", err)
+	}
+
+	// New dials fail while partitioned.
+	if _, err := comm.DialTimeout(s.Addr(), 100*time.Millisecond); err == nil {
+		t.Fatal("dial succeeded into partition")
+	}
+
+	// Heal closes the conn that lost data; a fresh dial works.
+	nw.Heal(s.Addr())
+	if _, err := c.RecvTimeout(200 * time.Millisecond); err == nil || errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("poisoned conn should be dead after heal, got %v", err)
+	}
+	c2 := mustDial(t, s.Addr())
+	if resp, err := c2.Call(&wire.Msg{Type: wire.MsgScan, Text: "b"}); err != nil || resp.Text != "b" {
+		t.Fatalf("post-heal call: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestOneWayPartitionOutDeliversRequestBlocksReply(t *testing.T) {
+	nw := New(3)
+	nw.Install()
+	t.Cleanup(nw.Uninstall)
+	got := make(chan string, 4)
+	s, err := comm.Listen("127.0.0.1:0", comm.HandlerFunc(func(c *comm.Conn) {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			got <- m.Text
+			if err := c.Send(&wire.Msg{Type: wire.MsgOK}); err != nil {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	c := mustDial(t, s.Addr())
+	nw.Partition(s.Addr(), Out)
+
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Text: "oneway"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case txt := <-got:
+		if txt != "oneway" {
+			t.Fatalf("server got %q", txt)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("request never reached server through Out-only partition")
+	}
+	if _, err := c.RecvTimeout(100 * time.Millisecond); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("reply should be blocked, got %v", err)
+	}
+	nw.HealAll()
+}
+
+func TestStallDelaysButDelivers(t *testing.T) {
+	nw := New(4)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+
+	const stall = 150 * time.Millisecond
+	nw.Stall(s.Addr(), stall, Out)
+	start := time.Now()
+	resp, err := c.CallRawTimeout(&wire.Msg{Type: wire.MsgScan, Text: "late"}, 2*time.Second)
+	if err != nil || resp.Text != "late" {
+		t.Fatalf("stalled call: resp=%v err=%v", resp, err)
+	}
+	if el := time.Since(start); el < stall-10*time.Millisecond {
+		t.Fatalf("stalled reply arrived after %v, want >= %v", el, stall)
+	}
+}
+
+// TestStallProducesLateResponse is the PR 1 hazard in miniature: the round
+// deadline fires first (ErrTimeout), then the response arrives late on the
+// same conn — exactly why timed-out conns must be dropped, not pooled.
+func TestStallProducesLateResponse(t *testing.T) {
+	nw := New(5)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+
+	nw.Stall(s.Addr(), 200*time.Millisecond, Out)
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Text: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvTimeout(50 * time.Millisecond); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("want round timeout, got %v", err)
+	}
+	// The stalled response is still in flight and lands afterwards.
+	resp, err := c.RecvTimeout(time.Second)
+	if err != nil || resp.Text != "stale" {
+		t.Fatalf("late response: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	nw := New(6)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+
+	const d = 40 * time.Millisecond
+	nw.SetDelay(s.Addr(), d, 0)
+	start := time.Now()
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	// Delay applies to the request write and the reply read.
+	if el := time.Since(start); el < 2*d-10*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= %v", el, 2*d)
+	}
+}
+
+func TestBandwidthThrottle(t *testing.T) {
+	nw := New(7)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+
+	payload := strings.Repeat("x", 20<<10)
+	nw.SetBandwidth(s.Addr(), 200<<10) // 20KB each way at 200KB/s ≈ 200ms round trip
+	start := time.Now()
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: payload})
+	if err != nil || resp.Text != payload {
+		t.Fatalf("throttled call failed: err=%v", err)
+	}
+	if el := time.Since(start); el < 150*time.Millisecond {
+		t.Fatalf("throttled round trip took %v, want >= 150ms", el)
+	}
+}
+
+func TestDupOnDialDeliversFirstMessageTwice(t *testing.T) {
+	nw := New(8)
+	nw.Install()
+	t.Cleanup(nw.Uninstall)
+	got := make(chan string, 8)
+	s, err := comm.Listen("127.0.0.1:0", comm.HandlerFunc(func(c *comm.Conn) {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			got <- m.Text
+			if err := c.Send(&wire.Msg{Type: wire.MsgOK, Text: m.Text}); err != nil {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	nw.SetDupOnDial(s.Addr(), true)
+	c := mustDial(t, s.Addr())
+	resp, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "dup"})
+	if err != nil || resp.Text != "dup" {
+		t.Fatalf("call with dup: resp=%v err=%v", resp, err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case txt := <-got:
+			if txt != "dup" {
+				t.Fatalf("server got %q", txt)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("server saw %d copies, want 2 (duplicate delivery at reconnect)", i)
+		}
+	}
+	// The duplicate's extra reply stays queued; the conn is intentionally
+	// desynced — exactly why dup only arms on fresh dials used Call-once.
+	nw.SetDupOnDial(s.Addr(), false)
+	c2 := mustDial(t, s.Addr())
+	if resp, err := c2.Call(&wire.Msg{Type: wire.MsgScan, Text: "clean"}); err != nil || resp.Text != "clean" {
+		t.Fatalf("post-dup fresh conn: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestDropConnsIsFailStopSignal(t *testing.T) {
+	nw := New(9)
+	s := startEcho(t, nw)
+	c := mustDial(t, s.Addr())
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgScan, Text: "up"}); err != nil {
+		t.Fatal(err)
+	}
+	nw.DropConns(s.Addr())
+	if _, err := c.CallRawTimeout(&wire.Msg{Type: wire.MsgScan, Text: "down"}, time.Second); err == nil {
+		t.Fatal("call succeeded on dropped conn")
+	}
+	// The site itself is alive: reconnect works immediately.
+	c2 := mustDial(t, s.Addr())
+	if _, err := c2.Call(&wire.Msg{Type: wire.MsgScan, Text: "again"}); err != nil {
+		t.Fatalf("reconnect after DropConns: %v", err)
+	}
+}
+
+func TestTraceRecordsSchedule(t *testing.T) {
+	nw := New(10)
+	s := startEcho(t, nw)
+	nw.Name(s.Addr(), "site1")
+	nw.Partition(s.Addr(), In)
+	nw.Heal(s.Addr())
+	tr := strings.Join(nw.Trace(), "\n")
+	for _, want := range []string{"partition site1 dir=in", "heal site1"} {
+		if !strings.Contains(tr, want) {
+			t.Fatalf("trace missing %q:\n%s", want, tr)
+		}
+	}
+}

@@ -32,6 +32,8 @@ type ClusterConfig struct {
 	// RoundTimeout bounds each per-replica call of a coordinator fan-out
 	// round (0 = wait forever).
 	RoundTimeout time.Duration
+	// DialTimeout bounds each coordinator→worker dial (0 = comm default).
+	DialTimeout time.Duration
 }
 
 // Cluster is a one-coordinator, N-worker deployment (the thesis used one
@@ -89,6 +91,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		GroupCommit:  cfg.GroupCommit,
 		SyncDelay:    cfg.SyncDelay,
 		RoundTimeout: cfg.RoundTimeout,
+		DialTimeout:  cfg.DialTimeout,
 	})
 	if err != nil {
 		cl.Close()

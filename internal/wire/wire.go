@@ -62,13 +62,20 @@ const (
 	// --- coordinator server (recovery + resolution) ---
 	MsgObjectOnline // Site, Table: "rec on S is coming online" (Fig 5-4)
 	MsgAllDone      // coordinator → recovering site
-	MsgTxnOutcome   // Txn → MsgTxnState (committed/aborted/unknown)
+	MsgTxnOutcome   // Txn → MsgTxnState (FlagKnown+FlagYes committed, FlagKnown aborted, else unknown)
 	MsgCurrentTime  // → OK with TS = authority's current time
 
 	// --- cluster management ---
 	MsgPing
 	MsgCrash  // test hook: fail-stop the site
 	MsgVacuum // Table (0 = all tables), TS = horizon → OK with Count = purged
+
+	// MsgObjectStatus asks the coordinator whether a replica participates
+	// in updates (Site, Table → OK, FlagYes = online). Recovery uses it to
+	// reject evicted-but-reachable buddies as sources: a site that missed
+	// commits since its eviction answers pings yet must not seed another
+	// site's catch-up.
+	MsgObjectStatus
 )
 
 var typeNames = map[Type]string{
@@ -84,6 +91,7 @@ var typeNames = map[Type]string{
 	MsgObjectOnline: "OBJECT-ONLINE", MsgAllDone: "ALL-DONE",
 	MsgTxnOutcome: "TXN-OUTCOME", MsgCurrentTime: "CURRENT-TIME",
 	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
+	MsgObjectStatus: "OBJECT-STATUS",
 }
 
 // String renders the message type.
@@ -108,6 +116,15 @@ const (
 	// FlagNoPrune disables segment pruning on a recovery scan (ablation
 	// benchmarks measuring the value of the §4.2 segment architecture).
 	FlagNoPrune
+	// FlagKnown on a TXN-STATE outcome reply marks the coordinator as
+	// actually having recorded the outcome; without it the transaction is
+	// unknown or still in flight and FlagYes carries no information.
+	FlagKnown
+	// FlagSurvivor on an OBJECT-STATUS reply marks the queried site as the
+	// last replica of the table to leave the update set while no replica
+	// is online. No commit can postdate its eviction, so its local state
+	// is complete and recovery may rejoin it from its own data.
+	FlagSurvivor
 )
 
 // Msg is the wire message union.

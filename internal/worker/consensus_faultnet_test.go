@@ -1,0 +1,131 @@
+package worker_test
+
+import (
+	"testing"
+	"time"
+
+	"harbor/internal/exec"
+	"harbor/internal/faultnet"
+	"harbor/internal/testutil"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// The TestConsensus* family above exercises Table 4.1 over a quiet network.
+// These variants rerun the interesting rows behind a seeded faultnet with
+// per-message delay+jitter on every worker and duplicate delivery armed on
+// the fresh dials the backup coordinator makes — exactly the conditions
+// §4.3.4 worries about: consensus messages that arrive late and more than
+// once must not change the outcome or the commit timestamp.
+
+// newFaultnetCluster installs a seeded fault network before the cluster is
+// built (so every listener and dial is shaped) and arms a small delay with
+// jitter on each worker.
+func newFaultnetCluster(t *testing.T, seed int64, workers int) (*testutil.Cluster, *faultnet.Network) {
+	t.Helper()
+	nw := faultnet.New(seed)
+	nw.Install()
+	t.Cleanup(nw.Uninstall)
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     workers,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		GroupCommit: true,
+		LockTimeout: 500 * time.Millisecond,
+		BaseDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.CreateReplicatedTable(1, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cl.Workers {
+		nw.SetDelay(cl.Workers[i].Addr(), time.Millisecond, 3*time.Millisecond)
+	}
+	return cl, nw
+}
+
+// dupConsensusDials turns on duplicate delivery for fresh dials to every
+// worker. Armed after the test's own protocol connections exist, it affects
+// only the connections the backup coordinator opens for its Table 4.1
+// broadcast — each replayed PTC/COMMIT/ABORT then lands twice.
+func dupConsensusDials(cl *testutil.Cluster, nw *faultnet.Network, on bool) {
+	for i := range cl.Workers {
+		nw.SetDupOnDial(cl.Workers[i].Addr(), on)
+	}
+}
+
+// TestConsensusCommitsUnderDelayAndDuplication replays Table 4.1 row 5 —
+// coordinator dies after PREPARE-TO-COMMIT everywhere — with delayed,
+// duplicated consensus traffic. All workers must still commit with the
+// original coordinator-issued timestamp.
+func TestConsensusCommitsUnderDelayAndDuplication(t *testing.T) {
+	cl, nw := newFaultnetCluster(t, 1, 3)
+	rt := beginRaw(t, cl, 43001, 0, 1, 2)
+	rt.insert(t, 1)
+	rt.prepare(t)
+	rt.prepareToCommit(t, 777)
+	dupConsensusDials(cl, nw, true)
+	defer dupConsensusDials(cl, nw, false)
+	rt.dropConns()
+
+	for i, w := range cl.Workers {
+		awaitCount(t, w, 1, 8*time.Second)
+		rows, err := exec.Drain(exec.NewSeqScan(w.Store, exec.ScanSpec{Table: 1, Vis: exec.Current}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[0].InsTS() != 777 {
+			t.Fatalf("worker %d committed with ts %d, want the original 777", i, rows[0].InsTS())
+		}
+	}
+}
+
+// TestConsensusAbortsUnderDelayAndDuplication replays Table 4.1 row 3 —
+// coordinator dies with every site merely prepared — under the same
+// conditions. The duplicated ABORT broadcast must leave every worker
+// cleanly rolled back, not wedged or half-applied.
+func TestConsensusAbortsUnderDelayAndDuplication(t *testing.T) {
+	cl, nw := newFaultnetCluster(t, 2, 3)
+	rt := beginRaw(t, cl, 43002, 0, 1, 2)
+	rt.insert(t, 1)
+	rt.prepare(t)
+	dupConsensusDials(cl, nw, true)
+	defer dupConsensusDials(cl, nw, false)
+	rt.dropConns()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for i, w := range cl.Workers {
+		for {
+			if countRows(t, w, exec.SeeDeleted) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d did not roll back via consensus", i)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// TestConsensusBackupDeadUnderDelay crashes the designated backup together
+// with the coordinator (as in TestConsensusBackupDeadPromotesNext) while
+// all surviving traffic is delayed and duplicated: the next-ranked worker
+// must detect the dead backup, take over, and still commit.
+func TestConsensusBackupDeadUnderDelay(t *testing.T) {
+	cl, nw := newFaultnetCluster(t, 3, 3)
+	rt := beginRaw(t, cl, 43003, 0, 1, 2)
+	rt.insert(t, 1)
+	rt.prepare(t)
+	rt.prepareToCommit(t, 888)
+	dupConsensusDials(cl, nw, true)
+	defer dupConsensusDials(cl, nw, false)
+	cl.Workers[0].Crash()
+	rt.dropConns()
+
+	for _, i := range []int{1, 2} {
+		awaitCount(t, cl.Workers[i], 1, 10*time.Second)
+	}
+}

@@ -86,7 +86,10 @@ func (s *Site) awaitCoordinatorOutcome(id txn.ID) {
 		if err == nil {
 			resp, err := c.Call(&wire.Msg{Type: wire.MsgTxnOutcome, Txn: id})
 			c.Close()
-			if err == nil {
+			// Apply only a recorded outcome; an undecided reply means the
+			// transaction is still in flight (we may merely be evicted) and
+			// a prepared 2PC worker must keep blocking (§4.3.2).
+			if err == nil && resp.Flags&wire.FlagKnown != 0 {
 				if resp.Yes() {
 					s.applyLocal(id, wire.MsgCommit, resp.TS)
 				} else {
@@ -124,6 +127,18 @@ func (s *Site) runConsensus(id txn.ID) {
 	if w == nil {
 		return
 	}
+	// §5.5: a worker whose transaction connection died cannot tell a dead
+	// coordinator from its own eviction (§4.3.5's K-1 commit drops a slow
+	// worker and finishes the transaction without it). Ask the coordinator
+	// first: if it is reachable it either has the recorded outcome — the
+	// transaction went on without us; apply its decision — or will record
+	// one shortly, in which case racing it with a backup-coordinator abort
+	// could kill a transaction the client was already promised. Only an
+	// unreachable coordinator, or one that never ran this transaction,
+	// leaves resolution to the consensus protocol below.
+	if s.askCoordinatorOutcome(id) {
+		return
+	}
 	s.mu.Lock()
 	parts := append([]int32(nil), w.participants...)
 	s.mu.Unlock()
@@ -156,6 +171,51 @@ func (s *Site) runConsensus(id txn.ID) {
 		}
 		// Backup candidate dead: next rank takes over.
 	}
+}
+
+// askCoordinatorOutcome polls the coordinator's outcome service for a
+// bounded window. It returns true when the transaction was resolved — from
+// the coordinator's recorded outcome, or concurrently by someone else —
+// and false when the coordinator is unreachable or has no record of the
+// transaction after the window (a genuinely dead coordinator; §4.3.3
+// consensus takes over).
+func (s *Site) askCoordinatorOutcome(id txn.ID) bool {
+	if s.Cfg.Catalog == nil {
+		return false
+	}
+	coordAddr, ok := s.Cfg.Catalog.SiteAddr(s.Cfg.Catalog.Coordinator())
+	if !ok {
+		return false
+	}
+	for i := 0; i < 10; i++ {
+		if s.crashed.Load() {
+			return true
+		}
+		if st, _, ok := s.TxnState(id); !ok || st.Terminal() {
+			return true
+		}
+		c, err := comm.Dial(coordAddr)
+		if err != nil {
+			return false
+		}
+		resp, err := c.Call(&wire.Msg{Type: wire.MsgTxnOutcome, Txn: id})
+		c.Close()
+		if err != nil {
+			return false
+		}
+		if resp.Flags&wire.FlagKnown != 0 {
+			if resp.Yes() {
+				s.applyLocal(id, wire.MsgCommit, resp.TS)
+			} else {
+				s.applyLocal(id, wire.MsgAbort, 0)
+			}
+			return true
+		}
+		// Reachable but undecided: the transaction may still be mid-round
+		// at a live coordinator. Stay out of its way and re-poll.
+		time.Sleep(150 * time.Millisecond)
+	}
+	return false
 }
 
 // actAsBackupCoordinator implements Table 4.1. The backup decides from its
