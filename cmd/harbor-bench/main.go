@@ -4,6 +4,7 @@
 // Usage:
 //
 //	harbor-bench table42
+//	harbor-bench protocols [-txns 200] [-conc 1,4,16]
 //	harbor-bench fig62 [-txns 200] [-conc 1,2,5,10,20]
 //	harbor-bench fig63 [-txns 100]
 //	harbor-bench fig64 [-segments 20] [-segpages 64]
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +52,12 @@ func main() {
 		err = runTable42()
 	case "table41":
 		runTable41()
+	case "protocols":
+		conc := parseInts(*concList)
+		if *concList == "1,2,5,10,20" { // flag default is fig62's ladder
+			conc = []int{1, 4, 16}
+		}
+		err = runProtocols(conc, *txns)
 	case "fig62":
 		err = runFig62(parseInts(*concList), *txns)
 	case "fig63":
@@ -75,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|fig62|fig63|fig64|fig65|fig66|fig67|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|all> [flags]`)
 }
 
 func parseInts(s string) []int {
@@ -124,20 +132,11 @@ func runAll(conc []int, txns, segments int, segPages int32, timeline time.Durati
 func runTable42() error {
 	fmt.Println("== Table 4.2: Overhead of commit protocols ==")
 	fmt.Printf("%-18s %10s %14s %14s\n", "Protocol", "Msgs/wkr", "Coord FWs", "Worker FWs")
-	cases := []struct {
-		protocol txn.Protocol
-		mode     worker.RecoveryMode
-	}{
-		{txn.TwoPC, worker.ARIES},
-		{txn.OptTwoPC, worker.HARBOR},
-		{txn.ThreePC, worker.ARIES},
-		{txn.OptThreePC, worker.HARBOR},
-	}
 	desc := sim.BenchDesc()
-	for _, c := range cases {
+	for _, protocol := range txn.Protocols() {
 		dir := tmp()
 		cl, err := testutil.NewCluster(testutil.ClusterConfig{
-			Workers: 2, Protocol: c.protocol, Mode: c.mode, GroupCommit: true, BaseDir: dir,
+			Workers: 2, Protocol: protocol, Mode: modeFor(protocol), GroupCommit: true, BaseDir: dir,
 		})
 		if err != nil {
 			return err
@@ -168,15 +167,86 @@ func runTable42() error {
 			workerFW += float64(w.ForcedWrites())
 		}
 		workerFW /= 2 * n
-		want := c.protocol.ExpectedCost()
-		fmt.Printf("%-18s %10d %14.1f %14.1f   (paper: %d / %d / %d)\n",
-			c.protocol, want.MessagesPerWorker, coordFW, workerFW,
+		want := protocol.ExpectedCost()
+		fmt.Printf("%-18s %10d %14.1f %14.1f   (plan: %d / %d / %d)\n",
+			protocol, want.MessagesPerWorker, coordFW, workerFW,
 			want.MessagesPerWorker, want.CoordForcedWrites, want.WorkerForcedWrites)
 		cl.Close()
 		os.RemoveAll(dir)
 	}
 	fmt.Println()
 	return nil
+}
+
+// modeFor pairs a protocol with its natural recovery mode: plans with
+// worker force points keep a WAL and recover with ARIES; logless plans
+// recover from replicas.
+func modeFor(p txn.Protocol) worker.RecoveryMode {
+	if p.Plan().WorkerForces() {
+		return worker.ARIES
+	}
+	return worker.HARBOR
+}
+
+// protoResult is one data point of the protocols baseline.
+type protoResult struct {
+	Protocol     string  `json:"protocol"`
+	Concurrency  int     `json:"concurrency"`
+	Txns         int     `json:"txns"`
+	TPS          float64 `json:"tps"`
+	AvgLatencyUS float64 `json:"avg_latency_us"`
+	MsgsPerWkr   int     `json:"messages_per_worker"`
+	CoordFW      int     `json:"coord_forced_writes"`
+	WorkerFW     int     `json:"worker_forced_writes"`
+}
+
+// runProtocols measures per-protocol commit latency/throughput at a few
+// concurrency levels and emits JSON — the commit-path perf baseline
+// (BENCH_protocols.json) future changes are compared against.
+func runProtocols(conc []int, txns int) error {
+	out := struct {
+		Bench         string        `json:"bench"`
+		Workers       int           `json:"workers"`
+		SyncDelayMS   float64       `json:"sync_delay_ms"`
+		TxnsPerStream int           `json:"txns_per_stream"`
+		Results       []protoResult `json:"results"`
+	}{
+		Bench:         "protocols",
+		Workers:       2,
+		SyncDelayMS:   sim.SimulatedDiskLatency.Seconds() * 1000,
+		TxnsPerStream: txns,
+	}
+	for _, protocol := range txn.Protocols() {
+		cfg := sim.ProtoConfig{
+			Name:        protocol.String(),
+			Protocol:    protocol,
+			Mode:        modeFor(protocol),
+			GroupCommit: true,
+			Workers:     2,
+		}
+		cost := protocol.ExpectedCost()
+		for _, c := range conc {
+			dir := tmp()
+			res, err := sim.RunCommitBench(dir, cfg, c, txns, 0)
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+			out.Results = append(out.Results, protoResult{
+				Protocol:     protocol.String(),
+				Concurrency:  c,
+				Txns:         res.Txns,
+				TPS:          res.TPS,
+				AvgLatencyUS: float64(res.AvgLatency.Microseconds()),
+				MsgsPerWkr:   cost.MessagesPerWorker,
+				CoordFW:      cost.CoordForcedWrites,
+				WorkerFW:     cost.WorkerForcedWrites,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runTable41 prints the backup-coordinator action table, which is verified

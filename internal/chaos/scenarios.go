@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"time"
 
 	"harbor/internal/comm"
@@ -10,19 +11,63 @@ import (
 	"harbor/internal/wire"
 )
 
-// Scenarios returns the standard chaos suite; each entry is run under every
-// seed the test chooses.
+// recoveryProtocols lists the commit protocols the chaos matrix runs the
+// generic scenarios under: the worker-logless plans, which pair with the
+// Chapter 5 replica-based recovery the harness performs after healing.
+// The logging variants — traditional 2PC and canonical 3PC — are excluded:
+// their workers keep a WAL and restart with ARIES (§6.1), which the
+// replica-recovery harness does not drive; pairing them with HARBOR
+// recovery would discard their logs mid-experiment rather than test
+// anything §4.3 claims about them.
+func recoveryProtocols() []txn.Protocol {
+	var out []txn.Protocol
+	for _, p := range txn.Protocols() {
+		if !p.Plan().WorkerForces() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// protoTag is the short scenario-name tag for a protocol.
+func protoTag(p txn.Protocol) string {
+	switch p {
+	case txn.OptTwoPC:
+		return "2pc"
+	case txn.OptThreePC:
+		return "3pc"
+	case txn.EarlyVote1PC:
+		return "1pc"
+	default:
+		return fmt.Sprintf("p%d", uint8(p))
+	}
+}
+
+// Scenarios returns the standard chaos suite — the protocol × scenario
+// matrix; each entry is run under every seed the test chooses.
 func Scenarios() []Scenario {
-	return []Scenario{PartitionHeal(), CoordKill3PC(), StallRecover()}
+	var out []Scenario
+	for _, p := range recoveryProtocols() {
+		out = append(out, PartitionHeal(p), StallRecover(p))
+	}
+	// coord-kill drives raw Table 4.1 transactions that a backup
+	// coordinator must finish by worker consensus, which requires the
+	// prepared-to-commit state (§4.3.3). The 2PC family blocks on the
+	// coordinator instead (§4.3.2), and the early-vote 1PC plan never
+	// creates the PTC state (Plan.EarlyVote re-introduces blocking), so
+	// only the 3PC plan runs this scenario.
+	out = append(out, CoordKill3PC(txn.OptThreePC))
+	return out
 }
 
 // PartitionHeal partitions one worker at a time — sometimes one-way, so
 // requests arrive but replies vanish (§5.5's gray zone) — heals, repeats,
 // and finally fail-stops a worker for the remainder of the workload.
-func PartitionHeal() Scenario {
+func PartitionHeal(p txn.Protocol) Scenario {
 	return Scenario{
-		Name:    "partition-heal",
-		Workers: 3,
+		Name:     "partition-heal-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
 		Drive: func(h *Harness) {
 			h.RunWorkload(4, 40, func() {
 				dirs := []faultnet.Direction{faultnet.In, faultnet.Out, faultnet.Both}
@@ -60,10 +105,11 @@ func PartitionHeal() Scenario {
 // and the backup's replay messages are delivered in duplicate, so worker
 // consensus (Table 4.1) must resolve each transaction under exactly the
 // delayed-and-duplicated conditions §4.3.4 worries about.
-func CoordKill3PC() Scenario {
+func CoordKill3PC(p txn.Protocol) Scenario {
 	return Scenario{
-		Name:    "coord-kill-3pc",
-		Workers: 3,
+		Name:     "coord-kill-3pc",
+		Protocol: p,
+		Workers:  3,
 		Drive: func(h *Harness) {
 			for i := range h.Cl.Workers {
 				h.Net.SetDelay(h.workerAddr(i), time.Millisecond, 3*time.Millisecond)
@@ -93,15 +139,18 @@ func CoordKill3PC() Scenario {
 // timeout — the coordinator evicts it while its late replies land on pooled
 // connections — throttles another's bandwidth, and abruptly drops every
 // connection of a third (fail-stop as seen from TCP, §5.5).
-func StallRecover() Scenario {
+func StallRecover(p txn.Protocol) Scenario {
 	return Scenario{
-		Name:    "stall-recover",
-		Workers: 3,
+		Name:     "stall-recover-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
 		Drive: func(h *Harness) {
 			h.RunWorkload(4, 40, func() {
+				// Stalls must out-last the harness's RoundTimeout (800ms) or
+				// the coordinator just waits them out instead of evicting.
 				for round := 0; round < 5; round++ {
 					w := h.rng.Intn(len(h.Cl.Workers))
-					d := time.Duration(300+h.rng.Intn(300)) * time.Millisecond
+					d := time.Duration(900+h.rng.Intn(600)) * time.Millisecond
 					h.Net.Stall(h.workerAddr(w), d, faultnet.Out)
 					h.sleepMS(100, 250)
 				}

@@ -42,7 +42,10 @@ type Config struct {
 	// RoundTimeout bounds each per-replica call of a fan-out round; a
 	// replica that misses the deadline is treated as fail-stopped (§4.3.5:
 	// the coordinator may "crash" a bottlenecking worker and proceed with
-	// K-1 safety). 0 waits forever.
+	// K-1 safety). It must exceed the workers' lock-wait bound: an update
+	// may legally wait a full lock timeout at a healthy replica before it
+	// answers, and evicting on that wait mistakes contention for a crash.
+	// 0 waits forever.
 	RoundTimeout time.Duration
 	// DialTimeout bounds each worker dial (threaded to every site pool).
 	// 0 uses comm.DefaultDialTimeout.
@@ -79,6 +82,7 @@ type ctxn struct {
 // Coordinator is one coordinator site.
 type Coordinator struct {
 	cfg       Config
+	plan      *txn.Plan // the protocol's phase plan; drives Txn.Commit
 	Authority *Authority
 	ids       *txn.IDSource
 	log       *wal.Manager // nil unless the protocol logs at the coordinator
@@ -114,8 +118,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
+	plan := cfg.Protocol.Plan()
+	if plan == nil {
+		return nil, fmt.Errorf("coord: protocol %v has no phase plan", cfg.Protocol)
+	}
 	co := &Coordinator{
 		cfg:          cfg,
+		plan:         plan,
 		Authority:    NewAuthority(),
 		ids:          txn.NewIDSource(int32(cfg.Site)),
 		pools:        map[catalog.SiteID]*comm.Pool{},
@@ -125,7 +134,7 @@ func New(cfg Config) (*Coordinator, error) {
 		siteDown:      map[catalog.SiteID]bool{},
 		finalSurvivor: map[int32]catalog.SiteID{},
 	}
-	if cfg.Protocol.CoordinatorLogs() {
+	if plan.CoordLogs {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err
 		}

@@ -314,3 +314,67 @@ func TestCommitRoundTimeoutClosesStalledConn(t *testing.T) {
 			len(rows), ids(rows))
 	}
 }
+
+// TestAbortRoundTimeoutClosesStalledConn is the abort-path twin of the test
+// above: the abort round runs through the engine's same sweepRound eviction
+// path, so a replica that stalls during ABORT must have its conn closed —
+// not recycled into the pool with the late ABORT ack still queued on it,
+// where the next borrower would read that stale reply as its own response.
+func TestAbortRoundTimeoutClosesStalledConn(t *testing.T) {
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:      2,
+		Protocol:     txn.OptThreePC,
+		Mode:         worker.HARBOR,
+		GroupCommit:  true,
+		LockTimeout:  time.Second,
+		BaseDir:      t.TempDir(),
+		RoundTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.CreateReplicatedTable(1, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stall worker 1 from here on: the insert already went through, so the
+	// first round to time out is the ABORT itself.
+	cl.Workers[1].SetSimMsgDelay(300 * time.Millisecond)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Coord.SiteDown(testutil.WorkerSiteID(1)) {
+		t.Fatal("replica stalled during the abort round was not marked down")
+	}
+	// Let the stalled replica drain its queue; its late ack lands on the
+	// dropped conn (closed by the shared eviction path, recycled by the bug).
+	cl.Workers[1].SetSimMsgDelay(0)
+	time.Sleep(time.Second)
+
+	c, err := comm.Dial(cl.Coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(&wire.Msg{
+		Type: wire.MsgObjectOnline, Site: int32(testutil.WorkerSiteID(1)), Table: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.MsgAllDone {
+		t.Fatalf("object-online announce answered %v", resp.Type)
+	}
+	rows, err := cl.Coord.Scan(1, coord.QueryOptions{PreferSite: testutil.WorkerSiteID(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("aborted transaction left %d visible rows on the rejoined replica (stale-response desync): %v",
+			len(rows), ids(rows))
+	}
+}

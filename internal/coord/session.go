@@ -207,9 +207,29 @@ func (tx *Txn) finish() {
 	co.mu.Unlock()
 }
 
-// Commit runs the configured commit protocol (§4.3) and returns the commit
-// time on success. A vote of NO or a protocol failure aborts the
-// transaction and returns an error.
+// sweepRound drives one protocol round: fan one message out to every
+// target and collect the responses. Any target whose exchange failed is
+// evicted through the single dropWorker path — close the conn, never
+// recycle it, because on a RoundTimeout the replica may still be alive
+// with its late response queued, and a recycled conn would feed that
+// stale reply to the next borrower. Commit, abort, and every plan round
+// share this one eviction path. The returned results are the successful
+// exchanges only.
+func (tx *Txn) sweepRound(targets []fanTarget, m *wire.Msg) []fanResult {
+	ok := make([]fanResult, 0, len(targets))
+	for _, r := range tx.co.round(targets, func(fanTarget) *wire.Msg { return m }) {
+		if r.err != nil {
+			tx.dropWorker(r.site, r.conn)
+			continue
+		}
+		ok = append(ok, r)
+	}
+	return ok
+}
+
+// Commit executes the configured protocol's phase plan (§4.3, Table 4.2)
+// and returns the commit time on success. A vote of NO or a protocol
+// failure aborts the transaction and returns an error.
 func (tx *Txn) Commit() (tuple.Timestamp, error) {
 	co := tx.co
 	t := tx.t
@@ -267,72 +287,78 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 		return 0, nil
 	}
 
+	plan := co.plan
 	var participants []int32
-	if co.cfg.Protocol.ThreePhase() {
+	if plan.NeedsParticipants() {
 		for _, w := range workers {
 			participants = append(participants, int32(w.site))
 		}
 	}
 
-	// --- Phase 1: PREPARE / votes, all workers concurrently ---
-	allYes := true
-	prepared := make([]fanTarget, 0, len(workers))
-	prepareMsg := &wire.Msg{Type: wire.MsgPrepare, Txn: t.id, Sites: participants}
-	for _, r := range co.round(workers, func(fanTarget) *wire.Msg { return prepareMsg }) {
-		if r.err != nil {
-			// No response ⇒ assume NO vote (§4.3.2 failure rule). The conn
-			// must be closed, not merely marked down: on a RoundTimeout the
-			// replica may still be alive and its late response queued, so a
-			// recycled conn would feed that stale reply to the next borrower.
-			tx.dropWorker(r.site, r.conn)
-			allYes = false
-			continue
+	// The commit timestamp is issued once the last voting round has
+	// passed — only then is the transaction decided. Plans without a vote
+	// round (early-vote 1PC) issue it before their first round.
+	var ts tuple.Timestamp
+	issued := false
+	defer func() {
+		if issued {
+			co.Authority.Complete(ts)
 		}
-		if r.resp.Type == wire.MsgVote && r.resp.Yes() {
-			prepared = append(prepared, fanTarget{r.site, r.conn})
-		} else {
-			allYes = false
+	}()
+
+	prepared := workers
+	for _, r := range plan.Rounds {
+		if !r.Vote && !issued {
+			ts = co.Authority.Issue()
+			issued = true
 		}
-	}
-
-	if !allYes {
-		tx.abortAll()
-		return 0, fmt.Errorf("coord: transaction %d aborted by vote", t.id)
-	}
-
-	ts := co.Authority.Issue()
-	defer co.Authority.Complete(ts)
-
-	if co.cfg.Protocol.ThreePhase() {
-		// --- 3PC Phase 2: PREPARE-TO-COMMIT carries the commit time ---
-		p2c := &wire.Msg{Type: wire.MsgPrepareToCommit, Txn: t.id, TS: ts}
-		for _, r := range co.round(prepared, func(fanTarget) *wire.Msg { return p2c }) {
-			if r.err != nil {
-				// A dead worker will learn the outcome through recovery or
-				// consensus; the commit point is all *live* acks.
-				tx.dropWorker(r.site, r.conn)
-			}
-		}
-		// Commit point reached (§4.3.3): the round barrier above means every
-		// live worker acked before the outcome is recorded.
-		co.recordOutcome(t.id, true, ts)
-	} else {
-		// --- 2PC commit point: force-write COMMIT at the coordinator ---
-		if co.log != nil {
+		if r.CoordForce {
+			// The 2PC commit point: force-write COMMIT at the coordinator.
 			lsn := co.log.Append(&wal.Record{Type: wal.RecCommit, Txn: t.id, CommitTS: ts})
 			if err := co.log.Force(lsn, true); err != nil {
 				tx.abortAll()
 				return 0, err
 			}
 		}
-		co.recordOutcome(t.id, true, ts)
-	}
-
-	// --- final phase: COMMIT, all prepared workers concurrently ---
-	commitMsg := &wire.Msg{Type: wire.MsgCommit, Txn: t.id, TS: ts}
-	for _, r := range co.round(prepared, func(fanTarget) *wire.Msg { return commitMsg }) {
-		if r.err != nil {
-			tx.dropWorker(r.site, r.conn)
+		if r.CommitBefore {
+			co.recordOutcome(t.id, true, ts)
+		}
+		m := &wire.Msg{Type: r.Msg, Txn: t.id, Sites: participants}
+		if r.CarryTS {
+			m.TS = ts
+		}
+		results := tx.sweepRound(prepared, m)
+		if r.Vote {
+			// §4.3.2 failure rule: no response ⇒ NO vote. Any NO — silent
+			// or explicit — aborts.
+			allYes := len(results) == len(prepared)
+			next := make([]fanTarget, 0, len(results))
+			for _, res := range results {
+				if res.resp.Type == wire.MsgVote && res.resp.Yes() {
+					next = append(next, fanTarget{res.site, res.conn})
+				} else {
+					allYes = false
+				}
+			}
+			if !allYes {
+				tx.abortAll()
+				return 0, fmt.Errorf("coord: transaction %d aborted by vote", t.id)
+			}
+			prepared = next
+		} else {
+			// A dead worker will learn the outcome through recovery or
+			// consensus; it leaves the round set but not the transaction's
+			// fate.
+			next := make([]fanTarget, 0, len(results))
+			for _, res := range results {
+				next = append(next, fanTarget{res.site, res.conn})
+			}
+			prepared = next
+		}
+		if r.CommitAfter {
+			// Commit point reached (§4.3.3): the round barrier above means
+			// every live worker acked before the outcome is recorded.
+			co.recordOutcome(t.id, true, ts)
 		}
 	}
 	if co.log != nil {
@@ -350,9 +376,11 @@ func (tx *Txn) Abort() error {
 	return nil
 }
 
-// abortAll drives the abort path: force ABORT at the coordinator log (2PC
-// protocols; 3PC coordinators never log, §4.3.3), send ABORT to every live
-// worker connection of the transaction, then write the unforced END.
+// abortAll drives the abort path, uniform across plans: force ABORT at the
+// coordinator log (plans with CoordLogs; 3PC coordinators never log,
+// §4.3.3), send ABORT to every live worker connection of the transaction
+// through the same sweepRound eviction path the commit rounds use, then
+// write the unforced END.
 func (tx *Txn) abortAll() {
 	co := tx.co
 	t := tx.t
@@ -368,12 +396,7 @@ func (tx *Txn) abortAll() {
 	}
 	t.mu.Unlock()
 	sort.Slice(targets, func(i, j int) bool { return targets[i].site < targets[j].site })
-	abortMsg := &wire.Msg{Type: wire.MsgAbort, Txn: t.id}
-	for _, r := range co.round(targets, func(fanTarget) *wire.Msg { return abortMsg }) {
-		if r.err != nil {
-			tx.dropWorker(r.site, r.conn)
-		}
-	}
+	tx.sweepRound(targets, &wire.Msg{Type: wire.MsgAbort, Txn: t.id})
 	if co.log != nil {
 		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
 	}

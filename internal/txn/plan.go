@@ -1,0 +1,262 @@
+// Commit-protocol phase plans. §4.3 presents the four commit protocols as
+// variations of one structure — rounds of coordinator→worker messages that
+// differ only in their force-write points, lock-release points, and where
+// the commit point lands (Table 4.2). A Plan captures exactly that
+// structure declaratively: the coordinator executes the rounds generically
+// over its fan-out layer, workers dispatch per-message handlers whose force
+// decisions come from the plan, and the Table 4.2 cost profile is *derived*
+// from the rounds, so the cost model cannot drift from the implementation.
+//
+// Adding a protocol is: one Protocol constant, one Plan literal registered
+// here, and (only if it introduces a new wire message) one worker handler.
+package txn
+
+import (
+	"fmt"
+
+	"harbor/internal/wire"
+)
+
+// Round is one coordinator-driven message round of a commit protocol: the
+// coordinator fans Msg out to every (still live) participant and collects
+// one response per worker. The flags place the protocol's force-writes and
+// its commit point relative to the round, per Figures 4-2/4-3/4-4.
+type Round struct {
+	// Msg is the wire message kind the round sends.
+	Msg wire.Type
+	// Vote marks a voting round: responses are votes, and any NO — or any
+	// silent/failed worker, per the §4.3.2 failure rule — aborts the
+	// transaction. The commit timestamp is issued only after the last
+	// voting round, since only then is the transaction decided.
+	Vote bool
+	// CarryTS attaches the commit timestamp to the request.
+	CarryTS bool
+	// Participants attaches the participant site list (the 3PC worker set
+	// that seeds the §4.3.3 consensus building protocol).
+	Participants bool
+	// WorkerForce makes workers force-write their log on receipt (before
+	// answering). Zero across a plan ⇒ the protocol is worker-logless.
+	WorkerForce bool
+	// CoordForce makes the coordinator force-write its COMMIT record
+	// before sending the round (the 2PC commit point, Figure 4-2).
+	CoordForce bool
+	// CommitBefore records the transaction outcome at the coordinator
+	// before the round is sent: the commit point precedes the round.
+	CommitBefore bool
+	// CommitAfter records the outcome after the round's barrier: the
+	// commit point is "every live worker acked this round" (3PC's
+	// prepared-to-commit round, §4.3.3).
+	CommitAfter bool
+	// NextState is the worker state the round transitions a participant to
+	// (Figure 4-5). Terminal states release the transaction's locks.
+	NextState State
+}
+
+// Plan is the declarative description of one commit protocol. The zero
+// Plan is invalid; obtain plans through PlanFor or Protocol.Plan.
+type Plan struct {
+	Protocol Protocol
+	// Rounds run in order on the commit path. The abort path is uniform
+	// across protocols — force an ABORT record iff CoordLogs, send one
+	// ABORT round, write the unforced END — so it needs no declaration.
+	Rounds []Round
+	// CoordLogs: the coordinator keeps a WAL and its commit point is a
+	// forced log record (the 2PC protocols; 3PC coordinators never log,
+	// §4.3.3 footnote 1).
+	CoordLogs bool
+	// Consensus: workers resolve a dead coordinator through the §4.3.3
+	// consensus building protocol (requires the prepared-to-commit state;
+	// plans without it block on the coordinator's outcome service).
+	Consensus bool
+	// EarlyVote: worker YES votes are implicit in the per-operation acks
+	// (the 1PC fast path of Zhu et al., "To Vote Before Decide"). A
+	// pending worker that did writes may then NOT unilaterally abort when
+	// orphaned — the commit point may already have passed without any
+	// prepare round — so orphan resolution must block on the coordinator
+	// outcome. This is the fast path's documented caveat vs §4.3.3: it
+	// re-introduces blocking and forfeits worker-side consensus.
+	EarlyVote bool
+}
+
+// plans is the protocol registry. Extending the system with a new commit
+// protocol means appending here (see EarlyVote1PC for the template).
+var plans = map[Protocol]*Plan{
+	// Traditional 2PC (Figure 4-2): workers force PREPARE and COMMIT, the
+	// coordinator forces COMMIT at the commit point.
+	TwoPC: {
+		Protocol:  TwoPC,
+		CoordLogs: true,
+		Rounds: []Round{
+			{Msg: wire.MsgPrepare, Vote: true, WorkerForce: true, NextState: StatePreparedYes},
+			{Msg: wire.MsgCommit, CarryTS: true, CoordForce: true, CommitBefore: true,
+				WorkerForce: true, NextState: StateCommitted},
+		},
+	},
+	// Optimized 2PC (Figure 4-3): worker logging eliminated; only the
+	// coordinator's forced COMMIT/ABORT remains.
+	OptTwoPC: {
+		Protocol:  OptTwoPC,
+		CoordLogs: true,
+		Rounds: []Round{
+			{Msg: wire.MsgPrepare, Vote: true, NextState: StatePreparedYes},
+			{Msg: wire.MsgCommit, CarryTS: true, CoordForce: true, CommitBefore: true,
+				NextState: StateCommitted},
+		},
+	},
+	// Canonical 3PC with logging (§4.3.3 footnote 1): workers force all
+	// three records, the coordinator never logs, and the commit point is
+	// the prepared-to-commit round's barrier.
+	ThreePC: {
+		Protocol:  ThreePC,
+		Consensus: true,
+		Rounds: []Round{
+			{Msg: wire.MsgPrepare, Vote: true, Participants: true, WorkerForce: true,
+				NextState: StatePreparedYes},
+			{Msg: wire.MsgPrepareToCommit, CarryTS: true, WorkerForce: true, CommitAfter: true,
+				NextState: StatePreparedToCommit},
+			{Msg: wire.MsgCommit, CarryTS: true, WorkerForce: true, NextState: StateCommitted},
+		},
+	},
+	// HARBOR's logless 3PC (Figure 4-4): the same rounds with every
+	// force-write removed.
+	OptThreePC: {
+		Protocol:  OptThreePC,
+		Consensus: true,
+		Rounds: []Round{
+			{Msg: wire.MsgPrepare, Vote: true, Participants: true, NextState: StatePreparedYes},
+			{Msg: wire.MsgPrepareToCommit, CarryTS: true, CommitAfter: true,
+				NextState: StatePreparedToCommit},
+			{Msg: wire.MsgCommit, CarryTS: true, NextState: StateCommitted},
+		},
+	},
+	// Early-vote logless 1PC (Zhu et al., "To Vote Before Decide"): the
+	// YES votes arrived piggybacked on the per-operation acks, so commit
+	// is a single round that both fixes the commit time and applies it.
+	// Logless like HARBOR's 3PC, but blocking (see Plan.EarlyVote) —
+	// experiment-gated, not a paper protocol.
+	EarlyVote1PC: {
+		Protocol:  EarlyVote1PC,
+		EarlyVote: true,
+		Rounds: []Round{
+			{Msg: wire.MsgCommitFast, CarryTS: true, CommitBefore: true,
+				NextState: StateCommitted},
+		},
+	},
+}
+
+// PlanFor returns the phase plan of a protocol, or nil for an unknown one.
+func PlanFor(p Protocol) *Plan { return plans[p] }
+
+// Plan returns the protocol's phase plan (nil for unknown protocols).
+func (p Protocol) Plan() *Plan { return plans[p] }
+
+// Protocols lists every registered protocol in ascending order.
+func Protocols() []Protocol {
+	out := make([]Protocol, 0, len(plans))
+	for p := Protocol(0); p < Protocol(64); p++ {
+		if _, ok := plans[p]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Round returns the plan's round for a message kind (nil if the plan has
+// no such round) — the worker-side lookup for per-phase force decisions.
+func (pl *Plan) Round(t wire.Type) *Round {
+	for i := range pl.Rounds {
+		if pl.Rounds[i].Msg == t {
+			return &pl.Rounds[i]
+		}
+	}
+	return nil
+}
+
+// WorkerForce reports whether workers force-write on receiving the given
+// message kind under this plan.
+func (pl *Plan) WorkerForce(t wire.Type) bool {
+	r := pl.Round(t)
+	return r != nil && r.WorkerForce
+}
+
+// WorkerForces reports whether any round forces at the workers — i.e.
+// whether the protocol requires a worker-side WAL at all.
+func (pl *Plan) WorkerForces() bool {
+	for _, r := range pl.Rounds {
+		if r.WorkerForce {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsParticipants reports whether any round ships the participant list.
+func (pl *Plan) NeedsParticipants() bool {
+	for _, r := range pl.Rounds {
+		if r.Participants {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpectedCost derives the Table 4.2 row from the plan: each round is one
+// request plus one response per worker, and the forced-write columns count
+// the rounds' force points. Because the executor and the worker handlers
+// consume the same rounds, this figure cannot drift from the
+// implementation (enforced by the cost-parity test).
+func (pl *Plan) ExpectedCost() Cost {
+	c := Cost{MessagesPerWorker: 2 * len(pl.Rounds)}
+	for _, r := range pl.Rounds {
+		if r.CoordForce {
+			c.CoordForcedWrites++
+		}
+		if r.WorkerForce {
+			c.WorkerForcedWrites++
+		}
+	}
+	return c
+}
+
+// Validate checks the structural invariants every plan must satisfy; the
+// executor relies on them. It is exercised over the registry by tests.
+func (pl *Plan) Validate() error {
+	if len(pl.Rounds) == 0 {
+		return fmt.Errorf("plan %v: no rounds", pl.Protocol)
+	}
+	commitPoints := 0
+	sawNonVote := false
+	for i, r := range pl.Rounds {
+		if r.CommitBefore {
+			commitPoints++
+		}
+		if r.CommitAfter {
+			commitPoints++
+		}
+		if r.Vote && sawNonVote {
+			return fmt.Errorf("plan %v: vote round %d after the decision point", pl.Protocol, i)
+		}
+		if !r.Vote {
+			sawNonVote = true
+		}
+		if r.Vote && r.CarryTS {
+			return fmt.Errorf("plan %v: round %d carries a timestamp before one is issued", pl.Protocol, i)
+		}
+		if r.CoordForce && !pl.CoordLogs {
+			return fmt.Errorf("plan %v: round %d forces a coordinator log the plan does not keep", pl.Protocol, i)
+		}
+		if r.CoordForce && !r.CommitBefore {
+			return fmt.Errorf("plan %v: round %d forces COMMIT without recording the outcome", pl.Protocol, i)
+		}
+	}
+	if commitPoints != 1 {
+		return fmt.Errorf("plan %v: %d commit points, want exactly 1", pl.Protocol, commitPoints)
+	}
+	if pl.Consensus && pl.Round(wire.MsgPrepareToCommit) == nil {
+		return fmt.Errorf("plan %v: consensus requires a prepared-to-commit round (§4.3.3)", pl.Protocol)
+	}
+	if last := pl.Rounds[len(pl.Rounds)-1]; last.NextState != StateCommitted {
+		return fmt.Errorf("plan %v: final round leaves workers in %v", pl.Protocol, last.NextState)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package txn
+
+import (
+	"testing"
+
+	"harbor/internal/wire"
+)
+
+func TestPlansValidate(t *testing.T) {
+	ps := Protocols()
+	if len(ps) != 5 {
+		t.Fatalf("registry has %d protocols, want 5", len(ps))
+	}
+	for _, p := range ps {
+		pl := p.Plan()
+		if pl == nil {
+			t.Fatalf("%v: nil plan", p)
+		}
+		if pl.Protocol != p {
+			t.Errorf("%v: plan registered under wrong protocol %v", p, pl.Protocol)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestPlanDerivedCostsMatchTable42(t *testing.T) {
+	// Table 4.2, plus the early-vote 1PC extension's profile.
+	want := map[Protocol]Cost{
+		TwoPC:        {MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 2},
+		OptTwoPC:     {MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 0},
+		ThreePC:      {MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 3},
+		OptThreePC:   {MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 0},
+		EarlyVote1PC: {MessagesPerWorker: 2, CoordForcedWrites: 0, WorkerForcedWrites: 0},
+	}
+	for p, w := range want {
+		if got := p.ExpectedCost(); got != w {
+			t.Errorf("%v: derived cost %+v, want %+v", p, got, w)
+		}
+	}
+}
+
+func TestPlanDerivedFlags(t *testing.T) {
+	cases := []struct {
+		p                                 Protocol
+		workerLogs, coordLogs, threePhase bool
+	}{
+		{TwoPC, true, true, false},
+		{OptTwoPC, false, true, false},
+		{ThreePC, true, false, true},
+		{OptThreePC, false, false, true},
+		{EarlyVote1PC, false, false, false},
+	}
+	for _, c := range cases {
+		if c.p.WorkerLogs() != c.workerLogs {
+			t.Errorf("%v.WorkerLogs() = %v", c.p, c.p.WorkerLogs())
+		}
+		if c.p.CoordinatorLogs() != c.coordLogs {
+			t.Errorf("%v.CoordinatorLogs() = %v", c.p, c.p.CoordinatorLogs())
+		}
+		if c.p.ThreePhase() != c.threePhase {
+			t.Errorf("%v.ThreePhase() = %v", c.p, c.p.ThreePhase())
+		}
+	}
+}
+
+func TestPlanValidateRejectsBrokenPlans(t *testing.T) {
+	broken := []Plan{
+		{Protocol: Protocol(90)}, // no rounds
+		{Protocol: Protocol(91), Rounds: []Round{ // two commit points
+			{Msg: wire.MsgCommit, CommitBefore: true, CommitAfter: true, NextState: StateCommitted},
+		}},
+		{Protocol: Protocol(92), Rounds: []Round{ // vote after decision
+			{Msg: wire.MsgCommit, CommitBefore: true, NextState: StateCommitted},
+			{Msg: wire.MsgPrepare, Vote: true, NextState: StateCommitted},
+		}},
+		{Protocol: Protocol(93), Rounds: []Round{ // ts before issue
+			{Msg: wire.MsgPrepare, Vote: true, CarryTS: true, NextState: StatePreparedYes},
+			{Msg: wire.MsgCommit, CommitBefore: true, NextState: StateCommitted},
+		}},
+		{Protocol: Protocol(94), Rounds: []Round{ // forces a log it does not keep
+			{Msg: wire.MsgCommit, CoordForce: true, CommitBefore: true, NextState: StateCommitted},
+		}},
+		{Protocol: Protocol(95), Consensus: true, Rounds: []Round{ // consensus without PTC
+			{Msg: wire.MsgCommit, CommitBefore: true, NextState: StateCommitted},
+		}},
+		{Protocol: Protocol(96), Rounds: []Round{ // final round not committed
+			{Msg: wire.MsgPrepare, CommitBefore: true, NextState: StatePreparedYes},
+		}},
+	}
+	for _, pl := range broken {
+		pl := pl
+		if err := pl.Validate(); err == nil {
+			t.Errorf("%v: Validate accepted a broken plan", pl.Protocol)
+		}
+	}
+}

@@ -7,6 +7,8 @@ package txn
 import (
 	"fmt"
 	"sync/atomic"
+
+	"harbor/internal/wire"
 )
 
 // ID is a globally unique transaction id. Coordinators allocate ids from an
@@ -87,6 +89,11 @@ const (
 	// OptThreePC is HARBOR's logless 3PC: no forced-writes anywhere
 	// (Figure 4-4).
 	OptThreePC
+	// EarlyVote1PC is the experiment-gated early-vote logless one-phase
+	// fast path (Zhu et al., "To Vote Before Decide"): worker YES votes
+	// piggyback on the per-operation acks, so commit is one round. Not a
+	// paper protocol; see Plan.EarlyVote for its blocking caveat.
+	EarlyVote1PC
 )
 
 // String renders the protocol name as used in the evaluation figures.
@@ -100,19 +107,31 @@ func (p Protocol) String() string {
 		return "canonical 3PC"
 	case OptThreePC:
 		return "optimized 3PC"
+	case EarlyVote1PC:
+		return "early-vote 1PC"
 	default:
 		return fmt.Sprintf("Protocol(%d)", uint8(p))
 	}
 }
 
 // WorkerLogs reports whether workers maintain a WAL under this protocol.
-func (p Protocol) WorkerLogs() bool { return p == TwoPC || p == ThreePC }
+// Derived from the phase plan: any round with a worker force point.
+func (p Protocol) WorkerLogs() bool {
+	pl := p.Plan()
+	return pl != nil && pl.WorkerForces()
+}
 
 // CoordinatorLogs reports whether the coordinator maintains a log.
-func (p Protocol) CoordinatorLogs() bool { return p == TwoPC || p == OptTwoPC }
+func (p Protocol) CoordinatorLogs() bool {
+	pl := p.Plan()
+	return pl != nil && pl.CoordLogs
+}
 
 // ThreePhase reports whether the protocol has the prepared-to-commit round.
-func (p Protocol) ThreePhase() bool { return p == ThreePC || p == OptThreePC }
+func (p Protocol) ThreePhase() bool {
+	pl := p.Plan()
+	return pl != nil && pl.Round(wire.MsgPrepareToCommit) != nil
+}
 
 // Cost is the Table 4.2 overhead profile of a protocol.
 type Cost struct {
@@ -121,18 +140,12 @@ type Cost struct {
 	WorkerForcedWrites int
 }
 
-// ExpectedCost returns the Table 4.2 row for a protocol.
+// ExpectedCost returns the Table 4.2 row for a protocol, derived from its
+// phase plan (zero Cost for unknown protocols).
 func (p Protocol) ExpectedCost() Cost {
-	switch p {
-	case TwoPC:
-		return Cost{MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 2}
-	case OptTwoPC:
-		return Cost{MessagesPerWorker: 4, CoordForcedWrites: 1, WorkerForcedWrites: 0}
-	case ThreePC:
-		return Cost{MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 3}
-	case OptThreePC:
-		return Cost{MessagesPerWorker: 6, CoordForcedWrites: 0, WorkerForcedWrites: 0}
-	default:
+	pl := p.Plan()
+	if pl == nil {
 		return Cost{}
 	}
+	return pl.ExpectedCost()
 }

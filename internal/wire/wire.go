@@ -76,6 +76,12 @@ const (
 	// commits since its eviction answers pings yet must not seed another
 	// site's catch-up.
 	MsgObjectStatus
+
+	// MsgCommitFast is the early-vote 1PC fast path's single round (Txn,
+	// TS = commit time): the worker's YES vote was implicit in its
+	// per-operation acks, so this one message both fixes the commit time
+	// and applies the commit.
+	MsgCommitFast
 )
 
 var typeNames = map[Type]string{
@@ -91,7 +97,7 @@ var typeNames = map[Type]string{
 	MsgObjectOnline: "OBJECT-ONLINE", MsgAllDone: "ALL-DONE",
 	MsgTxnOutcome: "TXN-OUTCOME", MsgCurrentTime: "CURRENT-TIME",
 	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
-	MsgObjectStatus: "OBJECT-STATUS",
+	MsgObjectStatus: "OBJECT-STATUS", MsgCommitFast: "COMMIT-FAST",
 }
 
 // String renders the message type.

@@ -16,12 +16,16 @@ import (
 //
 //   - pending or voted-NO transactions abort ("a worker site can safely
 //     abort the transaction if ... still pending, or ... has voted NO",
-//     §4.3.2);
-//   - under the 2PC protocols a prepared(YES) worker must wait for the
-//     coordinator to recover (blocking), implemented as a background poll
-//     of the coordinator's transaction-outcome service;
-//   - under the 3PC protocols the workers run the consensus building
-//     protocol (§4.3.3) led by a backup coordinator.
+//     §4.3.2) — except under an early-vote plan, where a pending writer's
+//     YES was implicit in its operation acks and the commit point may
+//     already have passed without any prepare round, so it must block on
+//     the coordinator's outcome instead (Plan.EarlyVote);
+//   - a prepared(YES) worker under a plan without consensus (the 2PC
+//     family and the 1PC fast path) must wait for the coordinator to
+//     recover (blocking), implemented as a background poll of the
+//     coordinator's transaction-outcome service;
+//   - under consensus plans (the 3PC family) the workers run the consensus
+//     building protocol (§4.3.3) led by a backup coordinator.
 func (s *Site) handleOrphan(id txn.ID) {
 	if s.crashed.Load() {
 		return
@@ -43,25 +47,24 @@ func (s *Site) handleOrphan(id txn.ID) {
 		s.forget(id)
 		return
 	}
-	switch state {
-	case txn.StatePending, txn.StatePreparedNo:
+	switch {
+	case state == txn.StatePreparedNo,
+		state == txn.StatePending && !s.plan.EarlyVote:
 		_ = s.Store.Abort(lockmgr.TxnID(id))
 		s.setState(w, txn.StateAborted)
 		s.aborts.Add(1)
-	default: // prepared(YES) or prepared-to-commit
-		if s.Cfg.Protocol.ThreePhase() {
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.runConsensus(id)
-			}()
-		} else {
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.awaitCoordinatorOutcome(id)
-			}()
-		}
+	case s.plan.Consensus: // prepared(YES) or prepared-to-commit
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runConsensus(id)
+		}()
+	default: // prepared(YES), or an early-vote pending writer: block
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.awaitCoordinatorOutcome(id)
+		}()
 	}
 }
 
@@ -109,9 +112,11 @@ func (s *Site) applyLocal(id txn.ID, typ wire.Type, ts int64) {
 	case wire.MsgPrepare:
 		s.handlePrepare(&wire.Msg{Type: typ, Txn: id}, owned)
 	case wire.MsgPrepareToCommit:
-		s.handlePrepareToCommit(&wire.Msg{Type: typ, Txn: id, TS: ts})
+		s.handlePrepareToCommit(&wire.Msg{Type: typ, Txn: id, TS: ts}, owned)
 	case wire.MsgCommit:
 		s.handleCommit(&wire.Msg{Type: typ, Txn: id, TS: ts}, owned)
+	case wire.MsgCommitFast:
+		s.handleCommitFast(&wire.Msg{Type: typ, Txn: id, TS: ts}, owned)
 	case wire.MsgAbort:
 		s.handleAbort(&wire.Msg{Type: typ, Txn: id}, owned)
 	}

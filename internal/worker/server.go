@@ -50,9 +50,26 @@ func errMsg(err error) *wire.Msg {
 	return &wire.Msg{Type: wire.MsgErr, Text: err.Error()}
 }
 
+// phaseHandlers is the worker half of the commit-protocol engine: the
+// per-phase handlers keyed by wire message kind. Which of these a worker
+// ever receives is decided entirely by the coordinator's phase plan; the
+// handlers themselves take their force decisions from the same plan
+// (Site.plan), so no protocol conditionals appear on this path. A new
+// protocol that introduces a new wire message adds exactly one entry here.
+var phaseHandlers = map[wire.Type]func(*Site, *wire.Msg, map[txn.ID]bool) *wire.Msg{
+	wire.MsgPrepare:         (*Site).handlePrepare,
+	wire.MsgPrepareToCommit: (*Site).handlePrepareToCommit,
+	wire.MsgCommit:          (*Site).handleCommit,
+	wire.MsgCommitFast:      (*Site).handleCommitFast,
+	wire.MsgAbort:           (*Site).handleAbort,
+}
+
 // dispatch handles one request, returning the response (nil if already
 // streamed).
 func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
+	if h, ok := phaseHandlers[m.Type]; ok {
+		return h(s, m, owned)
+	}
 	switch m.Type {
 	case wire.MsgPing:
 		return okMsg()
@@ -166,18 +183,6 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		s.Locks.Release(lockmgr.TxnID(m.Txn), lockmgr.TableTarget(m.Table))
 		return okMsg()
 
-	case wire.MsgPrepare:
-		return s.handlePrepare(m, owned)
-
-	case wire.MsgPrepareToCommit:
-		return s.handlePrepareToCommit(m)
-
-	case wire.MsgCommit:
-		return s.handleCommit(m, owned)
-
-	case wire.MsgAbort:
-		return s.handleAbort(m, owned)
-
 	case wire.MsgVacuum:
 		// §3.3's configurable-history background process, triggered
 		// remotely: purge versions deleted at or before the horizon.
@@ -244,7 +249,7 @@ func (s *Site) handlePrepare(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 		s.aborts.Add(1)
 		return &wire.Msg{Type: wire.MsgVote}
 	}
-	force := s.Cfg.Protocol.WorkerLogs()
+	force := s.plan.WorkerForce(m.Type)
 	if err := s.Store.Prepare(lockmgr.TxnID(m.Txn), force); err != nil {
 		return errMsg(err)
 	}
@@ -257,7 +262,7 @@ func (s *Site) handlePrepare(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 }
 
 // handlePrepareToCommit is 3PC's second phase: record the commit time.
-func (s *Site) handlePrepareToCommit(m *wire.Msg) *wire.Msg {
+func (s *Site) handlePrepareToCommit(m *wire.Msg, _ map[txn.ID]bool) *wire.Msg {
 	w := s.getTxn(m.Txn, false)
 	if w == nil {
 		return errMsg(errUnknownTxn)
@@ -265,7 +270,7 @@ func (s *Site) handlePrepareToCommit(m *wire.Msg) *wire.Msg {
 	if w.state == txn.StatePreparedToCommit || w.state == txn.StateCommitted {
 		return okMsg() // duplicate
 	}
-	force := s.Cfg.Protocol == txn.ThreePC
+	force := s.plan.WorkerForce(m.Type)
 	if err := s.Store.PrepareToCommit(lockmgr.TxnID(m.Txn), m.TS, force); err != nil {
 		return errMsg(err)
 	}
@@ -294,7 +299,7 @@ func (s *Site) handleCommit(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 		ts = w.commitTS // consensus replay of the third phase
 	}
 	s.ts.commitTSKnown(m.Txn, ts)
-	logIt := s.Cfg.Protocol.WorkerLogs()
+	logIt := s.plan.WorkerForce(wire.MsgCommit)
 	if err := s.Store.Commit(lockmgr.TxnID(m.Txn), ts, logIt, logIt); err != nil {
 		return errMsg(err)
 	}
@@ -305,6 +310,23 @@ func (s *Site) handleCommit(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 	delete(owned, m.Txn)
 	s.forgetLater(m.Txn)
 	return okMsg()
+}
+
+// handleCommitFast is the early-vote 1PC fast path (Plan.EarlyVote): the
+// YES vote was implicit in the per-operation acks, so a single round both
+// fixes the commit time and applies it. A pending transaction is promoted
+// straight through prepared(YES) so the timestamp tracker takes its
+// checkpoint barrier before the commit stamps land.
+func (s *Site) handleCommitFast(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
+	w := s.getTxn(m.Txn, false)
+	if w == nil {
+		return errMsg(errUnknownTxn)
+	}
+	if w.state == txn.StatePending {
+		s.ts.prepared(m.Txn)
+		s.setState(w, txn.StatePreparedYes)
+	}
+	return s.handleCommit(m, owned)
 }
 
 // handleAbort rolls back.

@@ -80,10 +80,12 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// workerLogs reports whether this configuration keeps a WAL: logging
-// commit protocols need one, and ARIES recovery requires one.
+// workerLogs reports whether this configuration keeps a WAL: a protocol
+// whose phase plan has worker force points needs one, and ARIES recovery
+// requires one regardless of protocol.
 func (c *Config) workerLogs() bool {
-	return c.Protocol.WorkerLogs() || c.Mode == ARIES
+	pl := c.Protocol.Plan()
+	return (pl != nil && pl.WorkerForces()) || c.Mode == ARIES
 }
 
 // wtxn is the worker-side distributed transaction record (Figure 4-5).
@@ -102,6 +104,7 @@ type wtxn struct {
 // Site is one worker process.
 type Site struct {
 	Cfg   Config
+	plan  *txn.Plan // the protocol's phase plan; drives handler force points
 	Mgr   *storage.Manager
 	Log   *wal.Manager // nil when the configuration is logless
 	Locks *lockmgr.Manager
@@ -139,6 +142,10 @@ type Site struct {
 // responsible for running Recover (the benches time it separately).
 func Open(cfg Config) (*Site, error) {
 	cfg = cfg.withDefaults()
+	plan := cfg.Protocol.Plan()
+	if plan == nil {
+		return nil, fmt.Errorf("worker: protocol %v has no phase plan", cfg.Protocol)
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -161,6 +168,7 @@ func Open(cfg Config) (*Site, error) {
 	store := version.NewStore(mgr, pool, locks, log)
 	s := &Site{
 		Cfg:   cfg,
+		plan:  plan,
 		Mgr:   mgr,
 		Log:   log,
 		Locks: locks,

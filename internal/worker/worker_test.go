@@ -370,21 +370,26 @@ func TestSimWorkBurnsCPU(t *testing.T) {
 	}
 }
 
-func TestForcedWriteCountersPerProtocol(t *testing.T) {
-	// Table 4.2 verification: forced-writes per protocol for one committed
-	// single-insert transaction with two workers.
-	cases := []struct {
-		protocol txn.Protocol
-		mode     worker.RecoveryMode
-	}{
-		{txn.TwoPC, worker.ARIES},
-		{txn.OptTwoPC, worker.HARBOR},
-		{txn.ThreePC, worker.ARIES},
-		{txn.OptThreePC, worker.HARBOR},
+// modeFor pairs each protocol with its natural recovery mode: plans with
+// worker force points keep a WAL and recover with ARIES; logless plans
+// recover from replicas (HARBOR).
+func modeFor(p txn.Protocol) worker.RecoveryMode {
+	if p.Plan().WorkerForces() {
+		return worker.ARIES
 	}
-	for _, c := range cases {
-		t.Run(c.protocol.String(), func(t *testing.T) {
-			cl := newCluster(t, c.protocol, c.mode, 2)
+	return worker.HARBOR
+}
+
+// TestCostParity is the enforced Table 4.2 invariant: for every registered
+// protocol, one committed single-insert transaction with two workers must
+// measure exactly the messages/worker and coordinator/worker forced writes
+// that the protocol's phase plan derives in ExpectedCost(). Because the
+// executor, the worker handlers, and ExpectedCost() all consume the same
+// plan rounds, a drift in any of them fails here.
+func TestCostParity(t *testing.T) {
+	for _, protocol := range txn.Protocols() {
+		t.Run(protocol.String(), func(t *testing.T) {
+			cl := newCluster(t, protocol, modeFor(protocol), 2)
 			cl.Coord.ResetCounters()
 			for _, w := range cl.Workers {
 				w.ResetCounters()
@@ -396,7 +401,7 @@ func TestForcedWriteCountersPerProtocol(t *testing.T) {
 			if _, err := tx.Commit(); err != nil {
 				t.Fatal(err)
 			}
-			want := c.protocol.ExpectedCost()
+			want := protocol.ExpectedCost()
 			if got := cl.Coord.ForcedWrites(); got != int64(want.CoordForcedWrites) {
 				t.Errorf("coordinator forced-writes = %d, want %d", got, want.CoordForcedWrites)
 			}
