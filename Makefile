@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench chaos
+.PHONY: all build test race vet check bench chaos smoke
 
 all: check
 
@@ -28,3 +28,8 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 2000x -run xxx .
+
+# Boots a standalone worker with -debug-addr and validates the
+# /debug/harbor observability endpoint's JSON shape.
+smoke:
+	./scripts/smoke_debug.sh

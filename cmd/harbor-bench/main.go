@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"harbor/internal/obs"
 	"harbor/internal/sim"
 	"harbor/internal/testutil"
 	"harbor/internal/txn"
@@ -188,16 +189,23 @@ func modeFor(p txn.Protocol) worker.RecoveryMode {
 	return worker.HARBOR
 }
 
-// protoResult is one data point of the protocols baseline.
+// protoResult is one data point of the protocols baseline. The latency
+// percentiles and histogram come from the coordinator's obs registry
+// (coord.commit.latency.ns), not from wall-clock division, so tail behaviour
+// is visible in the baseline.
 type protoResult struct {
-	Protocol     string  `json:"protocol"`
-	Concurrency  int     `json:"concurrency"`
-	Txns         int     `json:"txns"`
-	TPS          float64 `json:"tps"`
-	AvgLatencyUS float64 `json:"avg_latency_us"`
-	MsgsPerWkr   int     `json:"messages_per_worker"`
-	CoordFW      int     `json:"coord_forced_writes"`
-	WorkerFW     int     `json:"worker_forced_writes"`
+	Protocol     string            `json:"protocol"`
+	Concurrency  int               `json:"concurrency"`
+	Txns         int               `json:"txns"`
+	TPS          float64           `json:"tps"`
+	AvgLatencyUS float64           `json:"avg_latency_us"`
+	P50US        float64           `json:"p50_latency_us,omitempty"`
+	P95US        float64           `json:"p95_latency_us,omitempty"`
+	P99US        float64           `json:"p99_latency_us,omitempty"`
+	MsgsPerWkr   int               `json:"messages_per_worker"`
+	CoordFW      int               `json:"coord_forced_writes"`
+	WorkerFW     int               `json:"worker_forced_writes"`
+	CommitHist   *obs.HistSnapshot `json:"commit_latency_ns,omitempty"`
 }
 
 // runProtocols measures per-protocol commit latency/throughput at a few
@@ -232,7 +240,7 @@ func runProtocols(conc []int, txns int) error {
 			if err != nil {
 				return err
 			}
-			out.Results = append(out.Results, protoResult{
+			pr := protoResult{
 				Protocol:     protocol.String(),
 				Concurrency:  c,
 				Txns:         res.Txns,
@@ -241,7 +249,14 @@ func runProtocols(conc []int, txns int) error {
 				MsgsPerWkr:   cost.MessagesPerWorker,
 				CoordFW:      cost.CoordForcedWrites,
 				WorkerFW:     cost.WorkerForcedWrites,
-			})
+				CommitHist:   res.CommitLatency,
+			}
+			if h := res.CommitLatency; h != nil {
+				pr.P50US = float64(h.P50) / 1000
+				pr.P95US = float64(h.P95) / 1000
+				pr.P99US = float64(h.P99) / 1000
+			}
+			out.Results = append(out.Results, pr)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -24,6 +26,7 @@ import (
 	"harbor/internal/catalog"
 	"harbor/internal/coord"
 	"harbor/internal/expr"
+	"harbor/internal/obs"
 	"harbor/internal/sim"
 	"harbor/internal/txn"
 )
@@ -35,6 +38,7 @@ func main() {
 	protocol := flag.String("protocol", "opt3pc", "commit protocol: 2pc|opt2pc|3pc|opt3pc")
 	demo := flag.Bool("demo", false, "create a demo table and run an insert workload")
 	demoTxns := flag.Int("demo-txns", 1000, "transactions for -demo")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/harbor metrics+traces and pprof on this address (empty disables)")
 	flag.Parse()
 
 	var p txn.Protocol
@@ -80,6 +84,12 @@ func main() {
 	}
 	cat.AddSite(0, co.Addr())
 	fmt.Printf("harbor-coord: serving on %s (protocol %s, %d workers)\n", co.Addr(), p, len(workerIDs))
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr, obs.DebugMux(co.Obs(), co.Trace())); err != nil {
+			fmt.Fprintln(os.Stderr, "harbor-coord:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *demo {
 		if err := runDemo(co, cat, workerIDs, *demoTxns); err != nil {
@@ -128,5 +138,17 @@ func runDemo(co *coord.Coordinator, cat *catalog.Catalog, workers []catalog.Site
 		return err
 	}
 	fmt.Printf("harbor-coord: demo table holds %d rows\n", len(rows))
+	return nil
+}
+
+// serveDebug starts the observability endpoint, printing the bound address
+// so callers using :0 can find it.
+func serveDebug(addr string, mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	fmt.Printf("debug: /debug/harbor on http://%s/debug/harbor\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
 	return nil
 }

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"harbor/internal/catalog"
+	"harbor/internal/obs"
 	"harbor/internal/txn"
 	"harbor/internal/worker"
 )
@@ -37,6 +40,7 @@ func main() {
 	checkpoint := flag.Duration("checkpoint", time.Second, "checkpoint interval (0 disables)")
 	groupCommit := flag.Bool("group-commit", true, "enable group commit")
 	doRecover := flag.Bool("recover", false, "run ARIES restart recovery before serving (aries mode)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/harbor metrics+traces and pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -69,6 +73,12 @@ func main() {
 	}
 	fmt.Printf("harbor-worker: site %d serving on %s (protocol %s, mode %s)\n",
 		*site, w.Addr(), p, m)
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr, obs.DebugMux(w.Obs(), w.Trace())); err != nil {
+			fmt.Fprintln(os.Stderr, "harbor-worker:", err)
+			os.Exit(1)
+		}
+	}
 	if *doRecover && m == worker.ARIES {
 		stats, err := w.RecoverARIES()
 		if err != nil {
@@ -127,5 +137,17 @@ func parseSites(cat *catalog.Catalog, spec string) error {
 		}
 		cat.AddSite(catalog.SiteID(id), kv[1])
 	}
+	return nil
+}
+
+// serveDebug starts the observability endpoint, printing the bound address
+// so callers using :0 can find it.
+func serveDebug(addr string, mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	fmt.Printf("debug: /debug/harbor on http://%s/debug/harbor\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
 	return nil
 }

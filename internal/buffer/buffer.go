@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"harbor/internal/lockmgr"
+	"harbor/internal/obs"
 	"harbor/internal/page"
 	"harbor/internal/wal"
 )
@@ -118,8 +119,9 @@ type Pool struct {
 	capacity int
 	rng      *rand.Rand
 
-	// counters
-	hits, misses, evictions, flushes int64
+	// Registry-backed counters (buffer.hits, buffer.misses,
+	// buffer.evictions, buffer.flushes); rebindable via Instrument.
+	hits, misses, evictions, flushes *obs.Counter
 }
 
 // New creates a pool of the given capacity (frames). locks may be nil for
@@ -129,7 +131,7 @@ func New(store Store, locks *lockmgr.Manager, capacity int, policy Policy) *Pool
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
+	bp := &Pool{
 		store:    store,
 		locks:    locks,
 		policy:   policy,
@@ -137,6 +139,18 @@ func New(store Store, locks *lockmgr.Manager, capacity int, policy Policy) *Pool
 		capacity: capacity,
 		rng:      rand.New(rand.NewSource(0x9E3779B9)),
 	}
+	bp.Instrument(obs.NewRegistry())
+	return bp
+}
+
+// Instrument rebinds the pool's counters to reg (call before concurrent
+// use); the owning Site passes its registry so buffer.* metrics appear in
+// its /debug/harbor snapshot.
+func (bp *Pool) Instrument(reg *obs.Registry) {
+	bp.hits = reg.Counter("buffer.hits")
+	bp.misses = reg.Counter("buffer.misses")
+	bp.evictions = reg.Counter("buffer.evictions")
+	bp.flushes = reg.Counter("buffer.flushes")
 }
 
 // Policy returns the pool's paging policy.
@@ -171,11 +185,11 @@ func (bp *Pool) GetPageNoLock(pid page.ID) (*Frame, error) {
 		f.mu.Lock()
 		f.pins++
 		f.mu.Unlock()
-		bp.hits++
+		bp.hits.Inc()
 		bp.mu.Unlock()
 		return f, nil
 	}
-	bp.misses++
+	bp.misses.Inc()
 	if len(bp.frames) >= bp.capacity {
 		if err := bp.evictLocked(); err != nil {
 			bp.mu.Unlock()
@@ -275,9 +289,9 @@ func (bp *Pool) evictLocked() error {
 		if err := bp.store.WritePage(victimID, victim.Page.Bytes()); err != nil {
 			return err
 		}
-		bp.flushes++
+		bp.flushes.Inc()
 	}
-	bp.evictions++
+	bp.evictions.Inc()
 	delete(bp.frames, victimID)
 	return nil
 }
@@ -330,7 +344,7 @@ func (bp *Pool) FlushPage(pid page.ID) error {
 	f.recLSN = 0
 	f.mu.Unlock()
 	bp.mu.Lock()
-	bp.flushes++
+	bp.flushes.Inc()
 	bp.mu.Unlock()
 	return nil
 }
@@ -363,11 +377,10 @@ func (bp *Pool) DiscardAll() {
 	bp.frames = make(map[page.ID]*Frame, bp.capacity)
 }
 
-// Stats returns (hits, misses, evictions, flushes).
+// Stats returns (hits, misses, evictions, flushes) — a compatibility shim
+// over the registry-backed counters.
 func (bp *Pool) Stats() (hits, misses, evictions, flushes int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses, bp.evictions, bp.flushes
+	return bp.hits.Load(), bp.misses.Load(), bp.evictions.Load(), bp.flushes.Load()
 }
 
 // NumFrames returns the number of resident frames.

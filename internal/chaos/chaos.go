@@ -150,10 +150,10 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 		mode = worker.ARIES
 	}
 	cl, err := testutil.NewCluster(testutil.ClusterConfig{
-		Workers:      sc.Workers,
-		Protocol:     protocol,
-		Mode:         mode,
-		GroupCommit:  true,
+		Workers:     sc.Workers,
+		Protocol:    protocol,
+		Mode:        mode,
+		GroupCommit: true,
 		// RoundTimeout must exceed LockTimeout: a healthy worker may
 		// legally sit on a contended page lock for a full lock wait before
 		// answering an update, and a fan-out timeout is read as fail-stop
@@ -215,6 +215,36 @@ func (h *Harness) violatef(format string, args ...any) {
 	defer h.mu.Unlock()
 	h.violations = append(h.violations,
 		fmt.Sprintf("chaos %s seed=%d: ", h.Name, h.Seed)+fmt.Sprintf(format, args...))
+}
+
+// violateTxnf is violatef for violations that implicate one transaction: the
+// message additionally carries the offending transaction's trace timeline
+// from every site (coordinator protocol rounds, worker phase handling), so a
+// failure report is self-contained — the seed replays the run, the timelines
+// say where the protocol went wrong.
+func (h *Harness) violateTxnf(id txn.ID, format string, args ...any) {
+	msg := fmt.Sprintf("chaos %s seed=%d: ", h.Name, h.Seed) +
+		fmt.Sprintf(format, args...) + "\n" + h.txnTimelines(id)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.violations = append(h.violations, msg)
+}
+
+// txnTimelines renders one transaction's trace from the coordinator and
+// every live worker, indented for inclusion in a violation message.
+func (h *Harness) txnTimelines(id txn.ID) string {
+	var b strings.Builder
+	write := func(site, dump string) {
+		b.WriteString("  " + site + " " + strings.ReplaceAll(strings.TrimRight(dump, "\n"), "\n", "\n  ") + "\n")
+	}
+	write("coordinator", h.Cl.Coord.Trace().Dump(int64(id)))
+	for i, w := range h.Cl.Workers {
+		if w.Crashed() {
+			continue
+		}
+		write(fmt.Sprintf("worker %d", i), w.Trace().Dump(int64(id)))
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // workerAddr returns the current listen address of worker i.
@@ -381,7 +411,7 @@ func (h *Harness) aftershock(res *Result) {
 				continue
 			}
 			if !h.retryOp(r) {
-				h.violatef("aftershock: txn %d (%s key=%d) failed on the healed cluster and on retry", r.id, r.kind, r.key)
+				h.violateTxnf(r.id, "aftershock: txn %d (%s key=%d) failed on the healed cluster and on retry", r.id, r.kind, r.key)
 			}
 		}
 	}
@@ -543,6 +573,7 @@ func (h *Harness) checkInvariants(res *Result) {
 
 	// --- resolve outcomes and build the expected state -----------------
 	expected := map[tkey]repRow{}
+	writer := map[tkey]txn.ID{} // which txn wrote the expected row (for timeline dumps)
 	seenTS := map[tuple.Timestamp]txn.ID{}
 	h.mu.Lock()
 	ops, raws := h.ops, h.raws
@@ -555,16 +586,16 @@ func (h *Harness) checkInvariants(res *Result) {
 			if rec.clientOK {
 				res.Commits++
 				if !known || !committed {
-					h.violatef("invariant 1: txn %d (%s key=%d) was confirmed to the client but the coordinator records it aborted", rec.id, rec.kind, rec.key)
+					h.violateTxnf(rec.id, "invariant 1: txn %d (%s key=%d) was confirmed to the client but the coordinator records it aborted", rec.id, rec.kind, rec.key)
 					continue
 				}
 				if ts != rec.clientTS {
-					h.violatef("invariant 4: txn %d returned commit ts %d to the client but recorded %d", rec.id, rec.clientTS, ts)
+					h.violateTxnf(rec.id, "invariant 4: txn %d returned commit ts %d to the client but recorded %d", rec.id, rec.clientTS, ts)
 				}
 			} else {
 				res.Aborts++
 				if known && committed {
-					h.violatef("invariant 2: txn %d (%s key=%d) errored at the client but the coordinator recorded a commit", rec.id, rec.kind, rec.key)
+					h.violateTxnf(rec.id, "invariant 2: txn %d (%s key=%d) errored at the client but the coordinator recorded a commit", rec.id, rec.kind, rec.key)
 				}
 			}
 			if !(known && committed) {
@@ -572,22 +603,24 @@ func (h *Harness) checkInvariants(res *Result) {
 			}
 			// invariant 4: per-stream monotone, globally unique commit times.
 			if ts <= lastTS {
-				h.violatef("invariant 4: stream %d commit ts not monotone: %d after %d (txn %d)", rec.stream, ts, lastTS, rec.id)
+				h.violateTxnf(rec.id, "invariant 4: stream %d commit ts not monotone: %d after %d (txn %d)", rec.stream, ts, lastTS, rec.id)
 			}
 			lastTS = ts
 			if prev, dup := seenTS[ts]; dup {
-				h.violatef("invariant 4: commit ts %d issued to both txn %d and txn %d", ts, prev, rec.id)
+				h.violateTxnf(rec.id, "invariant 4: commit ts %d issued to both txn %d and txn %d", ts, prev, rec.id)
 			}
 			seenTS[ts] = rec.id
 			if ts > hwm {
-				h.violatef("invariant 4: txn %d committed at ts %d above the final HWM %d", rec.id, ts, hwm)
+				h.violateTxnf(rec.id, "invariant 4: txn %d committed at ts %d above the final HWM %d", rec.id, ts, hwm)
 			}
 			k := tkey{tableStreams, rec.key}
 			switch rec.kind {
 			case opInsert, opUpdate:
 				expected[k] = repRow{val: rec.val, ts: ts}
+				writer[k] = rec.id
 			case opDelete:
 				delete(expected, k)
+				delete(writer, k)
 			}
 		}
 	}
@@ -601,6 +634,7 @@ func (h *Harness) checkInvariants(res *Result) {
 		}
 		seenTS[rec.ts] = rec.id
 		expected[tkey{tableConsensus, rec.key}] = repRow{val: rec.val, ts: rec.ts}
+		writer[tkey{tableConsensus, rec.key}] = rec.id
 	}
 
 	// --- scan every replica and compare --------------------------------

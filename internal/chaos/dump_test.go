@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"harbor/internal/testutil"
+	"harbor/internal/txn"
+)
+
+// TestViolationCarriesTxnTimeline demonstrates the failure-report contract:
+// when an invariant violation implicates a transaction, the recorded message
+// carries the seed plus that transaction's trace timeline from the
+// coordinator and every live worker — enough to replay and localize the
+// failure without re-instrumenting anything.
+func TestViolationCarriesTxnTimeline(t *testing.T) {
+	base := t.TempDir()
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:      2,
+		Protocol:     txn.OptTwoPC,
+		LockTimeout:  500 * time.Millisecond,
+		RoundTimeout: 800 * time.Millisecond,
+		BaseDir:      base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.CreateReplicatedTable(tableStreams, chaosDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := cl.Coord.Begin()
+	id := tx.ID()
+	if err := tx.Insert(tableStreams, mkT(1, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := &Harness{Seed: 1234, Name: "demo", Cl: cl, crashed: map[int]bool{}}
+	h.violateTxnf(id, "invariant 1: synthetic violation for txn %d", id)
+
+	if len(h.violations) != 1 {
+		t.Fatalf("expected 1 violation, got %d", len(h.violations))
+	}
+	v := h.violations[0]
+	t.Logf("violation message:\n%s", v)
+	for _, want := range []string{
+		"seed=1234",       // replayable
+		"coordinator txn", // coordinator timeline present
+		"worker 0 txn",    // each worker's timeline present
+		"worker 1 txn",
+		"commit-point", // the coordinator reached its commit point
+		"vote",         // workers voted
+		"begin",        // lifecycle start recorded
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("violation message missing %q", want)
+		}
+	}
+}

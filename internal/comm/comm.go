@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"harbor/internal/obs"
 	"harbor/internal/wire"
 )
 
@@ -340,11 +341,32 @@ type Pool struct {
 	idle        []*Conn
 	maxIdle     int
 	dialTimeout time.Duration
-	stats       PoolStats
+
+	// Registry-backed counters (comm.dials, comm.reuses, comm.discards,
+	// optionally labelled {site=N}); rebindable via Instrument. Stats() is a
+	// compatibility shim over them.
+	dials, reuses, discards *obs.Counter
 }
 
 // NewPool creates a pool for one address.
-func NewPool(addr string) *Pool { return &Pool{addr: addr, maxIdle: DefaultMaxIdle} }
+func NewPool(addr string) *Pool {
+	p := &Pool{addr: addr, maxIdle: DefaultMaxIdle}
+	p.Instrument(obs.NewRegistry(), "")
+	return p
+}
+
+// Instrument rebinds the pool's counters to reg, labelled {site=<site>} when
+// site is non-empty (a coordinator labels each worker's pool so the fan-out
+// accounting stays per-replica). Call before concurrent use.
+func (p *Pool) Instrument(reg *obs.Registry, site string) {
+	var labels []string
+	if site != "" {
+		labels = []string{"site", site}
+	}
+	p.dials = reg.Counter(obs.Name("comm.dials", labels...))
+	p.reuses = reg.Counter(obs.Name("comm.reuses", labels...))
+	p.discards = reg.Counter(obs.Name("comm.discards", labels...))
+}
 
 // Addr returns the pool's target address.
 func (p *Pool) Addr() string { return p.addr }
@@ -366,9 +388,7 @@ func (p *Pool) SetMaxIdle(n int) {
 
 // Stats returns the pool's connection accounting.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return PoolStats{Dials: p.dials.Load(), Reuses: p.reuses.Load(), Discards: p.discards.Load()}
 }
 
 // Get returns an idle connection (marked Reused) or dials a new one. A
@@ -383,7 +403,7 @@ func (p *Pool) Get() (*Conn, error) {
 		c := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		c.reused = true
-		p.stats.Reuses++
+		p.reuses.Inc()
 		p.mu.Unlock()
 		return c, nil
 	}
@@ -395,7 +415,7 @@ func (p *Pool) Get() (*Conn, error) {
 // conn retry path).
 func (p *Pool) Fresh() (*Conn, error) {
 	p.mu.Lock()
-	p.stats.Dials++
+	p.dials.Inc()
 	d := p.dialTimeout
 	p.mu.Unlock()
 	return DialTimeout(p.addr, d)
@@ -406,7 +426,7 @@ func (p *Pool) Fresh() (*Conn, error) {
 func (p *Pool) Put(c *Conn) {
 	p.mu.Lock()
 	if len(p.idle) >= p.maxIdle {
-		p.stats.Discards++
+		p.discards.Inc()
 		p.mu.Unlock()
 		c.Close()
 		return
@@ -418,7 +438,7 @@ func (p *Pool) Put(c *Conn) {
 // Discard closes a broken connection.
 func (p *Pool) Discard(c *Conn) {
 	p.mu.Lock()
-	p.stats.Discards++
+	p.discards.Inc()
 	p.mu.Unlock()
 	c.Close()
 }

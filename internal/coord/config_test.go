@@ -1,0 +1,59 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/txn"
+)
+
+// TestRoundTimeoutMustExceedLockTimeout covers the §4.3.5 margin: a healthy
+// replica can legally sit a full lock wait before answering a round, so a
+// RoundTimeout inside that window reads contention as fail-stop. The
+// constructor must reject it; 0 on either side disables the bound and the
+// check.
+func TestRoundTimeoutMustExceedLockTimeout(t *testing.T) {
+	mk := func(round, lock time.Duration) error {
+		co, err := New(Config{
+			Protocol:     txn.TwoPC,
+			Dir:          t.TempDir(),
+			Catalog:      catalog.New(0),
+			RoundTimeout: round,
+			LockTimeout:  lock,
+		})
+		if co != nil {
+			co.Close()
+		}
+		return err
+	}
+
+	// RoundTimeout <= LockTimeout: rejected.
+	err := mk(500*time.Millisecond, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("RoundTimeout == LockTimeout must be rejected")
+	}
+	if !strings.Contains(err.Error(), "RoundTimeout") || !strings.Contains(err.Error(), "LockTimeout") {
+		t.Fatalf("error should name both knobs: %v", err)
+	}
+	if err := mk(100*time.Millisecond, 2*time.Second); err == nil {
+		t.Fatal("RoundTimeout < LockTimeout must be rejected")
+	}
+
+	// Healthy margin: accepted.
+	if err := mk(3*time.Second, 2*time.Second); err != nil {
+		t.Fatalf("RoundTimeout > LockTimeout rejected: %v", err)
+	}
+
+	// 0 = disabled on either side: accepted (no bound to violate).
+	if err := mk(0, 2*time.Second); err != nil {
+		t.Fatalf("RoundTimeout=0 (wait forever) rejected: %v", err)
+	}
+	if err := mk(100*time.Millisecond, 0); err != nil {
+		t.Fatalf("LockTimeout=0 (unknown at coordinator) rejected: %v", err)
+	}
+	if err := mk(0, 0); err != nil {
+		t.Fatalf("both disabled rejected: %v", err)
+	}
+}

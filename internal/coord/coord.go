@@ -11,12 +11,13 @@ package coord
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/obs"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/wal"
@@ -47,6 +48,11 @@ type Config struct {
 	// answers, and evicting on that wait mistakes contention for a crash.
 	// 0 waits forever.
 	RoundTimeout time.Duration
+	// LockTimeout is the workers' deadlock-detection window (informational
+	// at the coordinator, but enforced against RoundTimeout: New rejects a
+	// configuration with 0 < RoundTimeout <= LockTimeout, which would read
+	// a healthy replica's legal lock wait as fail-stop). 0 skips the check.
+	LockTimeout time.Duration
 	// DialTimeout bounds each worker dial (threaded to every site pool).
 	// 0 uses comm.DefaultDialTimeout.
 	DialTimeout time.Duration
@@ -107,10 +113,16 @@ type Coordinator struct {
 	// replica comes back online.
 	finalSurvivor map[int32]catalog.SiteID
 
-	// counters for the evaluation
-	msgsSent atomic.Int64
-	commits  atomic.Int64
-	aborts   atomic.Int64
+	// Observability: every coordinator owns a registry (coord.*, wal.*, and
+	// per-site comm.* metrics) and a per-transaction tracer; cmds mount them
+	// at /debug/harbor, benches snapshot them, and the chaos harness dumps
+	// timelines from them on invariant failures.
+	reg      *obs.Registry
+	trace    *obs.Tracer
+	msgsSent *obs.Counter   // coord.msgs_sent (counting rule on Counters)
+	commits  *obs.Counter   // coord.commits
+	aborts   *obs.Counter   // coord.aborts
+	commitNS *obs.Histogram // coord.commit.latency.ns (successful commits)
 }
 
 // New starts a coordinator (and its recovery server).
@@ -122,18 +134,29 @@ func New(cfg Config) (*Coordinator, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("coord: protocol %v has no phase plan", cfg.Protocol)
 	}
+	if cfg.RoundTimeout > 0 && cfg.LockTimeout > 0 && cfg.RoundTimeout <= cfg.LockTimeout {
+		return nil, fmt.Errorf(
+			"coord: RoundTimeout (%v) must exceed LockTimeout (%v): an update may legally wait a full lock timeout at a healthy replica, and a round deadline inside that window mistakes contention for a crash (set either to 0 to disable its bound)",
+			cfg.RoundTimeout, cfg.LockTimeout)
+	}
 	co := &Coordinator{
-		cfg:          cfg,
-		plan:         plan,
-		Authority:    NewAuthority(),
-		ids:          txn.NewIDSource(int32(cfg.Site)),
-		pools:        map[catalog.SiteID]*comm.Pool{},
-		txns:         map[txn.ID]*ctxn{},
-		outcomes:     map[txn.ID]outcomeRec{},
+		cfg:           cfg,
+		plan:          plan,
+		Authority:     NewAuthority(),
+		ids:           txn.NewIDSource(int32(cfg.Site)),
+		pools:         map[catalog.SiteID]*comm.Pool{},
+		txns:          map[txn.ID]*ctxn{},
+		outcomes:      map[txn.ID]outcomeRec{},
 		objectOnline:  map[int32]map[catalog.SiteID]bool{},
 		siteDown:      map[catalog.SiteID]bool{},
 		finalSurvivor: map[int32]catalog.SiteID{},
+		reg:           obs.NewRegistry(),
+		trace:         obs.NewTracer(),
 	}
+	co.msgsSent = co.reg.Counter("coord.msgs_sent")
+	co.commits = co.reg.Counter("coord.commits")
+	co.aborts = co.reg.Counter("coord.aborts")
+	co.commitNS = co.reg.Histogram("coord.commit.latency.ns")
 	if plan.CoordLogs {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err
@@ -144,6 +167,7 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		log.SetNoGroup(!cfg.GroupCommit)
 		log.SetSyncDelay(cfg.SyncDelay)
+		log.Instrument(co.reg)
 		co.log = log
 	}
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(co.serveConn))
@@ -179,6 +203,12 @@ func (co *Coordinator) Close() error {
 // Protocol returns the configured commit protocol.
 func (co *Coordinator) Protocol() txn.Protocol { return co.cfg.Protocol }
 
+// Obs returns the coordinator's metrics registry (coord.*, wal.*, comm.*).
+func (co *Coordinator) Obs() *obs.Registry { return co.reg }
+
+// Trace returns the coordinator's per-transaction tracer.
+func (co *Coordinator) Trace() *obs.Tracer { return co.trace }
+
 // Counters returns (messages sent to workers, commits, aborts).
 //
 // Counting rule: msgsSent increments exactly once per *attempted* request
@@ -199,14 +229,10 @@ func (co *Coordinator) ForcedWrites() int64 {
 	return fc
 }
 
-// ResetCounters zeroes evaluation counters.
+// ResetCounters zeroes evaluation counters. The coordinator log and the
+// per-site comm pools share the registry, so their counters reset too.
 func (co *Coordinator) ResetCounters() {
-	co.msgsSent.Store(0)
-	co.commits.Store(0)
-	co.aborts.Store(0)
-	if co.log != nil {
-		co.log.ResetCounters()
-	}
+	co.reg.Reset()
 }
 
 // pool returns (creating) the connection pool for a site. A site that
@@ -226,6 +252,7 @@ func (co *Coordinator) pool(site catalog.SiteID) (*comm.Pool, error) {
 	}
 	p := comm.NewPool(addr)
 	p.SetDialTimeout(co.cfg.DialTimeout)
+	p.Instrument(co.reg, strconv.Itoa(int(site)))
 	co.pools[site] = p
 	return p, nil
 }
@@ -509,7 +536,7 @@ func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) 
 		conn.Reserve()
 		resp, err := conn.Call(q.msg)
 		conn.Release()
-		co.msgsSent.Add(1)
+		co.msgsSent.Inc()
 		if err == nil {
 			err = resp.Err()
 		}
@@ -532,7 +559,7 @@ func (co *Coordinator) dialWorkerForTxn(t *ctxn, site catalog.SiteID) (*comm.Con
 	var resp *wire.Msg
 	conn, err := co.borrow(p, func(c *comm.Conn) error {
 		r, err := c.Call(&wire.Msg{Type: wire.MsgBegin, Txn: t.id})
-		co.msgsSent.Add(1)
+		co.msgsSent.Inc()
 		resp = r
 		return err
 	})

@@ -12,9 +12,11 @@ package coord
 
 import (
 	"sync"
+	"time"
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/obs"
 	"harbor/internal/wire"
 )
 
@@ -94,13 +96,17 @@ func (co *Coordinator) fanoutLimit() int {
 // claim its request/response pair could interleave with ours and the two
 // exchanges would swap responses.
 func (co *Coordinator) round(targets []fanTarget, mk func(fanTarget) *wire.Msg) []fanResult {
+	start := time.Now()
+	var mtype wire.Type
 	out := make([]fanResult, len(targets))
 	// Send phase: claim each connection, then pipeline the request onto it.
 	for i, t := range targets {
 		out[i] = fanResult{site: t.site, conn: t.conn}
 		t.conn.Reserve()
-		co.msgsSent.Add(1)
-		out[i].err = t.conn.Send(mk(t))
+		co.msgsSent.Inc()
+		m := mk(t)
+		mtype = m.Type
+		out[i].err = t.conn.Send(m)
 	}
 	// Collect phase: responses arrive independently per connection; waiting
 	// on target 0 while target 1's response sits buffered costs nothing.
@@ -113,6 +119,11 @@ func (co *Coordinator) round(targets []fanTarget, mk func(fanTarget) *wire.Msg) 
 			}
 		}
 		t.conn.Release()
+	}
+	if len(targets) > 0 {
+		co.reg.Histogram(obs.Name("coord.round.latency",
+			"msg", mtype.String(), "proto", co.cfg.Protocol.String())).
+			Observe(time.Since(start).Nanoseconds())
 	}
 	return out
 }

@@ -205,11 +205,13 @@ func TestParallelFanoutConcurrentTransactions(t *testing.T) {
 func TestRoundTimeoutEvictsStalledReplica(t *testing.T) {
 	base := t.TempDir()
 	cl, err := testutil.NewCluster(testutil.ClusterConfig{
-		Workers:      2,
-		Protocol:     txn.OptThreePC,
-		Mode:         worker.HARBOR,
-		GroupCommit:  true,
-		LockTimeout:  time.Second,
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		GroupCommit: true,
+		// RoundTimeout must exceed LockTimeout (constructor-enforced); this
+		// workload is contention-free, so a short lock wait changes nothing.
+		LockTimeout:  50 * time.Millisecond,
 		BaseDir:      base,
 		RoundTimeout: 150 * time.Millisecond,
 	})
@@ -255,11 +257,12 @@ func TestRoundTimeoutEvictsStalledReplica(t *testing.T) {
 // silent protocol desync observable as phantom rows.
 func TestCommitRoundTimeoutClosesStalledConn(t *testing.T) {
 	cl, err := testutil.NewCluster(testutil.ClusterConfig{
-		Workers:      2,
-		Protocol:     txn.OptThreePC,
-		Mode:         worker.HARBOR,
-		GroupCommit:  true,
-		LockTimeout:  time.Second,
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		GroupCommit: true,
+		// Below RoundTimeout to satisfy the constructor bound; no contention.
+		LockTimeout:  50 * time.Millisecond,
 		BaseDir:      t.TempDir(),
 		RoundTimeout: 100 * time.Millisecond,
 	})
@@ -322,11 +325,12 @@ func TestCommitRoundTimeoutClosesStalledConn(t *testing.T) {
 // where the next borrower would read that stale reply as its own response.
 func TestAbortRoundTimeoutClosesStalledConn(t *testing.T) {
 	cl, err := testutil.NewCluster(testutil.ClusterConfig{
-		Workers:      2,
-		Protocol:     txn.OptThreePC,
-		Mode:         worker.HARBOR,
-		GroupCommit:  true,
-		LockTimeout:  time.Second,
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		GroupCommit: true,
+		// Below RoundTimeout to satisfy the constructor bound; no contention.
+		LockTimeout:  50 * time.Millisecond,
 		BaseDir:      t.TempDir(),
 		RoundTimeout: 100 * time.Millisecond,
 	})

@@ -3,11 +3,13 @@ package coord
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
 	"harbor/internal/exec"
 	"harbor/internal/expr"
+	"harbor/internal/obs"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/wal"
@@ -27,6 +29,7 @@ func (co *Coordinator) Begin() *Txn {
 	co.mu.Lock()
 	co.txns[id] = t
 	co.mu.Unlock()
+	co.trace.Recordf(int64(id), obs.EvBegin, "proto=%s", co.cfg.Protocol)
 	return &Txn{co: co, t: t}
 }
 
@@ -77,6 +80,7 @@ func (tx *Txn) distribute(m *wire.Msg, key int64) error {
 	}
 	t.mu.Unlock()
 
+	co.trace.Recordf(int64(t.id), obs.EvSend, "msg=%s table=%d targets=%d", m.Type, m.Table, len(targets))
 	sent := 0
 	var logical error
 	for _, r := range co.round(targets, func(fanTarget) *wire.Msg { return m }) {
@@ -108,6 +112,7 @@ func (tx *Txn) distribute(m *wire.Msg, key int64) error {
 // failure detector's live set, closing its dedicated connection. The conn
 // is compared so a replacement dialed by the join replay is never removed.
 func (tx *Txn) dropWorker(site catalog.SiteID, conn *comm.Conn) {
+	tx.co.trace.Recordf(int64(tx.t.id), obs.EvEvict, "site=%d", site)
 	tx.co.MarkDown(site)
 	t := tx.t
 	t.mu.Lock()
@@ -216,12 +221,15 @@ func (tx *Txn) finish() {
 // share this one eviction path. The returned results are the successful
 // exchanges only.
 func (tx *Txn) sweepRound(targets []fanTarget, m *wire.Msg) []fanResult {
+	trace := tx.co.trace
+	trace.Recordf(int64(tx.t.id), obs.EvSend, "msg=%s targets=%d", m.Type, len(targets))
 	ok := make([]fanResult, 0, len(targets))
 	for _, r := range tx.co.round(targets, func(fanTarget) *wire.Msg { return m }) {
 		if r.err != nil {
 			tx.dropWorker(r.site, r.conn)
 			continue
 		}
+		trace.Recordf(int64(tx.t.id), obs.EvAck, "site=%d resp=%s", r.site, r.resp.Type)
 		ok = append(ok, r)
 	}
 	return ok
@@ -231,6 +239,7 @@ func (tx *Txn) sweepRound(targets []fanTarget, m *wire.Msg) []fanResult {
 // and returns the commit time on success. A vote of NO or a protocol
 // failure aborts the transaction and returns an error.
 func (tx *Txn) Commit() (tuple.Timestamp, error) {
+	commitStart := time.Now()
 	co := tx.co
 	t := tx.t
 	t.mu.Lock()
@@ -319,9 +328,11 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 				tx.abortAll()
 				return 0, err
 			}
+			co.trace.Recordf(int64(t.id), obs.EvForce, "rec=COMMIT lsn=%d", lsn)
 		}
 		if r.CommitBefore {
 			co.recordOutcome(t.id, true, ts)
+			co.trace.Recordf(int64(t.id), obs.EvCommitPoint, "ts=%d (before %s round)", ts, r.Msg)
 		}
 		m := &wire.Msg{Type: r.Msg, Txn: t.id, Sites: participants}
 		if r.CarryTS {
@@ -359,13 +370,15 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 			// Commit point reached (§4.3.3): the round barrier above means
 			// every live worker acked before the outcome is recorded.
 			co.recordOutcome(t.id, true, ts)
+			co.trace.Recordf(int64(t.id), obs.EvCommitPoint, "ts=%d (after %s round)", ts, r.Msg)
 		}
 	}
 	if co.log != nil {
 		// W(END): a normal, unforced log write.
 		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
 	}
-	co.commits.Add(1)
+	co.commits.Inc()
+	co.commitNS.Observe(time.Since(commitStart).Nanoseconds())
 	tx.finish()
 	return ts, nil
 }
@@ -387,7 +400,9 @@ func (tx *Txn) abortAll() {
 	if co.log != nil {
 		lsn := co.log.Append(&wal.Record{Type: wal.RecAbort, Txn: t.id})
 		_ = co.log.Force(lsn, true)
+		co.trace.Recordf(int64(t.id), obs.EvForce, "rec=ABORT lsn=%d", lsn)
 	}
+	co.trace.Record(int64(t.id), obs.EvAbort, "")
 	co.recordOutcome(t.id, false, 0)
 	t.mu.Lock()
 	targets := make([]fanTarget, 0, len(t.workers))
@@ -400,7 +415,7 @@ func (tx *Txn) abortAll() {
 	if co.log != nil {
 		co.log.Append(&wal.Record{Type: wal.RecEnd, Txn: t.id})
 	}
-	co.aborts.Add(1)
+	co.aborts.Inc()
 	tx.finish()
 }
 

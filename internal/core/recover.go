@@ -26,6 +26,7 @@ import (
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/obs"
 	"harbor/internal/page"
 	"harbor/internal/storage"
 	"harbor/internal/tuple"
@@ -204,10 +205,16 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 // errBuddyFailed marks a recovery-buddy connection failure (§5.5.2).
 var errBuddyFailed = errors.New("core: recovery buddy failed")
 
-// recoverObject runs the three phases for one replica.
+// recoverObject runs the three phases for one replica. Progress is mirrored
+// into the site's metrics registry (recovery.* counters) and its tracer: the
+// whole object recovery runs under one trace id from the reserved recovery
+// band, so `?txn=<id>` on /debug/harbor replays the phase timeline.
 func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats, tuple.Timestamp, error) {
 	st := ObjectStats{Table: rep.Table}
 	t0 := time.Now()
+	reg, tr := r.Site.Obs(), r.Site.Trace()
+	traceID := int64(r.ids.Next())
+	tr.Recordf(traceID, obs.EvRecovery, "start table=%d", rep.Table)
 	tb, err := r.Site.Mgr.Get(rep.Table)
 	if err != nil {
 		return st, 0, err
@@ -240,6 +247,11 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	}
 	st.Phase1Deleted, st.Phase1Undeleted = del, undel
 	st.Phase1 = time.Since(p1)
+	reg.Counter("recovery.phase1.deleted").Add(int64(del))
+	reg.Counter("recovery.phase1.undeleted").Add(int64(undel))
+	reg.Histogram("recovery.phase1.ns").Observe(st.Phase1.Nanoseconds())
+	tr.Recordf(traceID, obs.EvRecovery,
+		"phase1 done table=%d deleted=%d undeleted=%d survivor=%v", rep.Table, del, undel, survivor)
 
 	// ---- Phase 2: lock-free historical catch-up (§5.3) ----
 	cur := ckpt
@@ -265,10 +277,14 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 			st.Phase2Insert += di
 			st.Phase2Deletes += nDel
 			st.Phase2Inserts += nIns
+			reg.Counter("recovery.phase2.tuples").Add(int64(nDel + nIns))
 			if err != nil {
 				return st, 0, err
 			}
 		}
+		reg.Counter("recovery.phase2.rounds").Inc()
+		tr.Recordf(traceID, obs.EvRecovery,
+			"phase2 round=%d table=%d window=(%d,%d] buddies=%d", st.Rounds, rep.Table, cur, hwm, len(plan))
 		// Record the finer-granularity per-object checkpoint (§5.3): make
 		// the copied state durable first.
 		if err := r.flushObject(tb); err != nil {
@@ -288,6 +304,11 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	}
 	st.Phase3 = time.Since(p3)
 	st.Total = time.Since(t0)
+	reg.Counter("recovery.phase3.tuples").Add(int64(st.Phase3Deletes + st.Phase3Inserts))
+	reg.Histogram("recovery.phase3.ns").Observe(st.Phase3.Nanoseconds())
+	reg.Counter("recovery.objects").Inc()
+	tr.Recordf(traceID, obs.EvRecovery,
+		"phase3 done table=%d deletes=%d inserts=%d finalT=%d", rep.Table, st.Phase3Deletes, st.Phase3Inserts, finalT)
 	return st, finalT, nil
 }
 

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"harbor/internal/obs"
 )
 
 // TxnID identifies a transaction; ids are issued by the coordinator and are
@@ -150,6 +152,12 @@ type Manager struct {
 	// held tracks, per transaction, everything it holds so ReleaseAll is
 	// O(locks held).
 	held map[TxnID]map[Target]Mode
+
+	// Registry-backed instrumentation: blocked-wait durations
+	// (lockmgr.wait.ns — fast-path grants are not observed) and deadlock
+	// timeouts (lockmgr.timeouts); rebindable via Instrument.
+	waitNS   *obs.Histogram
+	timeouts *obs.Counter
 }
 
 // DefaultTimeout is the deadlock-detection window.
@@ -161,12 +169,27 @@ func New(timeout time.Duration) *Manager {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Manager{
+	m := &Manager{
 		locks:   map[Target]*entry{},
 		timeout: timeout,
 		held:    map[TxnID]map[Target]Mode{},
 	}
+	m.Instrument(obs.NewRegistry())
+	return m
 }
+
+// Instrument rebinds the manager's metrics to reg (call before concurrent
+// use); the owning Site passes its registry so lockmgr.* metrics appear in
+// its /debug/harbor snapshot.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.waitNS = reg.Histogram("lockmgr.wait.ns")
+	m.timeouts = reg.Counter("lockmgr.timeouts")
+}
+
+// Timeout returns the configured deadlock-detection window — the bound a
+// healthy replica can legally stall before answering a coordinator round,
+// which the coordinator's RoundTimeout must exceed (§4.3.5).
+func (m *Manager) Timeout() time.Duration { return m.timeout }
 
 // Acquire blocks until tid holds mode on target or the deadlock timeout
 // fires. Acquiring a page lock implicitly acquires the matching intention
@@ -209,19 +232,23 @@ func (m *Manager) acquireOne(tid TxnID, target Target, mode Mode, deadline time.
 	e.queue = append(e.queue, w)
 	m.mu.Unlock()
 
+	waitStart := time.Now()
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case <-w.granted:
+		m.waitNS.Observe(time.Since(waitStart).Nanoseconds())
 		return nil
 	case <-timer.C:
 		m.mu.Lock()
 		if w.done {
 			// Granted concurrently with the timeout; keep the lock.
 			m.mu.Unlock()
+			m.waitNS.Observe(time.Since(waitStart).Nanoseconds())
 			return nil
 		}
 		w.done = true
+		m.timeouts.Inc()
 		for i, q := range e.queue {
 			if q == w {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)

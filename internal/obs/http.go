@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves a registry snapshot (and, when a tracer is given, the known
+// transaction ids) as JSON at its mount point — the expvar-style
+// /debug/harbor endpoint.
+//
+//	GET /debug/harbor           → {"counters":…, "gauges":…, "histograms":…, "txns":[…]}
+//	GET /debug/harbor?txn=7     → {"txn":7, "events":[{"at":…,"kind":"send",…}]}
+//	GET /debug/harbor?txn=7&format=text → the same timeline as plain text
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("txn"); q != "" {
+			id, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad txn id", http.StatusBadRequest)
+				return
+			}
+			if r.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_, _ = w.Write([]byte(tr.Dump(id)))
+				return
+			}
+			writeJSON(w, map[string]any{"txn": id, "events": tr.Timeline(id)})
+			return
+		}
+		out := map[string]any{}
+		if reg != nil {
+			snap := reg.Snapshot()
+			out["counters"] = snap.Counters
+			out["gauges"] = snap.Gauges
+			out["histograms"] = snap.Histograms
+		}
+		if tr != nil {
+			out["txns"] = tr.Txns()
+			out["dropped_txns"] = tr.Dropped()
+		}
+		writeJSON(w, out)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// DebugMux returns a mux with /debug/harbor and the pprof endpoints mounted,
+// ready for cmd/harbor-worker and cmd/harbor-coord's -debug-addr listener.
+func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/harbor", Handler(reg, tr))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

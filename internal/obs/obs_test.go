@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestName(t *testing.T) {
+	cases := []struct {
+		base   string
+		labels []string
+		want   string
+	}{
+		{"wal.fsyncs", nil, "wal.fsyncs"},
+		{"coord.round.latency", []string{"msg", "COMMIT", "proto", "harbor"},
+			"coord.round.latency{msg=COMMIT,proto=harbor}"},
+		// Labels sort by key regardless of call order.
+		{"coord.round.latency", []string{"proto", "harbor", "msg", "COMMIT"},
+			"coord.round.latency{msg=COMMIT,proto=harbor}"},
+		{"x", []string{"dangling"}, "x"},
+	}
+	for _, c := range cases {
+		if got := Name(c.base, c.labels...); got != c.want {
+			t.Errorf("Name(%q, %v) = %q, want %q", c.base, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestRegistryCountersAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("a.b").Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter must return the same instance for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("h")
+	h.Observe(1500)
+	r.Reset()
+	snap := r.Snapshot()
+	if snap.Counters["a.b"] != 0 || snap.Gauges["g"] != 0 || snap.Histograms["h"].Count != 0 {
+		t.Fatalf("Reset left non-zero values: %+v", snap)
+	}
+	// Pointers stay valid after Reset.
+	c.Inc()
+	if got := r.Snapshot().Counters["a.b"]; got != 1 {
+		t.Fatalf("post-reset counter = %d, want 1", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	for i := 0; i < 50; i++ {
+		h.Observe(5) // bucket 0
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(50) // bucket 1
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(5000) // overflow
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Counts[0] != 50 || s.Counts[1] != 45 || s.Counts[3] != 5 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	if got := s.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10", got)
+	}
+	if got := s.Quantile(0.9); got != 100 {
+		t.Errorf("p90 = %d, want 100", got)
+	}
+	if s.Mean() != (50*5+45*50+5*5000)/100 {
+		t.Errorf("mean = %d", s.Mean())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i) * 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestTracerTimelineAndDump(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(7, EvBegin, "proto=harbor sites=[1 2]")
+	tr.Record(7, EvSend, "msg=PREPARE site=1")
+	tr.Recordf(7, EvAck, "site=%d vote=yes", 1)
+	tr.Record(7, EvCommitPoint, "ts=41")
+	tl := tr.Timeline(7)
+	if len(tl) != 4 {
+		t.Fatalf("timeline has %d events, want 4", len(tl))
+	}
+	if tl[0].Kind != EvBegin || tl[3].Kind != EvCommitPoint {
+		t.Fatalf("wrong order: %v … %v", tl[0].Kind, tl[3].Kind)
+	}
+	d := tr.Dump(7)
+	for _, want := range []string{"txn 7 timeline (4 events)", "begin", "send", "ack", "commit-point", "ts=41"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+	if got := tr.Dump(99); !strings.Contains(got, "no trace recorded") {
+		t.Errorf("unknown txn dump = %q", got)
+	}
+}
+
+func TestTracerEventRingWraps(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < defaultMaxEvents+10; i++ {
+		tr.Recordf(1, EvSend, "n=%d", i)
+	}
+	tl := tr.Timeline(1)
+	if len(tl) != defaultMaxEvents {
+		t.Fatalf("ring holds %d events, want %d", len(tl), defaultMaxEvents)
+	}
+	if tl[0].Detail != "n=10" || tl[len(tl)-1].Detail != fmt.Sprintf("n=%d", defaultMaxEvents+9) {
+		t.Fatalf("ring kept wrong window: first=%q last=%q", tl[0].Detail, tl[len(tl)-1].Detail)
+	}
+}
+
+func TestTracerTxnFIFOEviction(t *testing.T) {
+	tr := NewTracer()
+	for id := int64(0); id < defaultMaxTxns+5; id++ {
+		tr.Record(id, EvBegin, "")
+	}
+	if got := tr.Timeline(0); got != nil {
+		t.Fatal("oldest txn should have been evicted")
+	}
+	if got := tr.Timeline(defaultMaxTxns + 4); len(got) != 1 {
+		t.Fatal("newest txn missing")
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", tr.Dropped())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, EvBegin, "x") // must not panic
+	tr.Recordf(1, EvSend, "y")
+	if tr.Timeline(1) != nil || tr.Txns() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Recordf(int64(i%32), EvSend, "g=%d i=%d", g, i)
+				_ = tr.Timeline(int64(i % 32))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Txns()) != 32 {
+		t.Fatalf("txns = %d, want 32", len(tr.Txns()))
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wal.fsyncs").Add(3)
+	reg.Histogram("coord.commit.latency.ns").Observe(2000)
+	tr := NewTracer()
+	tr.Record(5, EvBegin, "proto=harbor")
+	tr.Record(5, EvCommitPoint, "ts=9")
+
+	h := Handler(reg, tr)
+
+	// Full snapshot.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/harbor", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters   map[string]int64        `json:"counters"`
+		Histograms map[string]HistSnapshot `json:"histograms"`
+		Txns       []int64                 `json:"txns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("malformed JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Counters["wal.fsyncs"] != 3 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["coord.commit.latency.ns"].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+	if len(snap.Txns) != 1 || snap.Txns[0] != 5 {
+		t.Errorf("txns = %v", snap.Txns)
+	}
+
+	// Timeline as JSON.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/harbor?txn=5", nil))
+	var tl struct {
+		Txn    int64   `json:"txn"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatalf("malformed timeline JSON: %v", err)
+	}
+	if tl.Txn != 5 || len(tl.Events) != 2 || tl.Events[1].KindS != "commit-point" {
+		t.Errorf("timeline = %+v", tl)
+	}
+
+	// Timeline as text.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/harbor?txn=5&format=text", nil))
+	if !strings.Contains(rec.Body.String(), "txn 5 timeline") {
+		t.Errorf("text dump = %q", rec.Body.String())
+	}
+
+	// Bad txn id.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/harbor?txn=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad txn id status = %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a trace event. The set mirrors the lifecycle a
+// transaction takes through the §4.3 commit protocols and §5 recovery.
+type EventKind uint8
+
+const (
+	// EvBegin marks transaction begin (coordinator) or first contact (worker).
+	EvBegin EventKind = iota + 1
+	// EvSend marks a protocol-round message sent to a site.
+	EvSend
+	// EvAck marks a site's reply to a round message (including votes).
+	EvAck
+	// EvEvict marks a site evicted from the transaction (RoundTimeout,
+	// §4.3.5 K-1 safety).
+	EvEvict
+	// EvForce marks a forced log write on behalf of the transaction.
+	EvForce
+	// EvCommitPoint marks the plan's commit point (outcome durably decided).
+	EvCommitPoint
+	// EvAbort marks the abort decision.
+	EvAbort
+	// EvPrepare marks a worker entering the prepared state.
+	EvPrepare
+	// EvVote marks a worker's vote.
+	EvVote
+	// EvRecovery marks a §5 recovery phase transition.
+	EvRecovery
+)
+
+// String renders the kind for timelines.
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvSend:
+		return "send"
+	case EvAck:
+		return "ack"
+	case EvEvict:
+		return "evict"
+	case EvForce:
+		return "force"
+	case EvCommitPoint:
+		return "commit-point"
+	case EvAbort:
+		return "abort"
+	case EvPrepare:
+		return "prepare"
+	case EvVote:
+		return "vote"
+	case EvRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one entry in a transaction's timeline.
+type Event struct {
+	At     time.Time `json:"at"`
+	Kind   EventKind `json:"-"`
+	KindS  string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// txnRing is a bounded event ring for one transaction.
+type txnRing struct {
+	events []Event // ring storage, len == cap once full
+	next   int     // next write index
+	full   bool
+}
+
+func (r *txnRing) add(e Event, max int) {
+	if len(r.events) < max && !r.full {
+		r.events = append(r.events, e)
+		if len(r.events) == max {
+			r.full = true
+			r.next = 0
+		}
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % len(r.events)
+}
+
+func (r *txnRing) ordered() []Event {
+	if !r.full {
+		out := make([]Event, len(r.events))
+		copy(out, r.events)
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Tracer keeps bounded per-transaction event rings. When the transaction cap
+// is reached the oldest-started transaction's ring is dropped (FIFO), so a
+// long-running process keeps the most recent history. All methods are safe
+// on a nil receiver (no-ops / empty results), so call sites never need a
+// nil check.
+type Tracer struct {
+	mu        sync.Mutex
+	txns      map[int64]*txnRing
+	order     []int64 // insertion order, for FIFO eviction
+	maxTxns   int
+	maxEvents int
+	dropped   int64
+}
+
+// Default Tracer capacity: most-recent 1024 transactions, 64 events each.
+const (
+	defaultMaxTxns   = 1024
+	defaultMaxEvents = 64
+)
+
+// NewTracer creates a tracer with the default capacity.
+func NewTracer() *Tracer {
+	return &Tracer{
+		txns:      map[int64]*txnRing{},
+		maxTxns:   defaultMaxTxns,
+		maxEvents: defaultMaxEvents,
+	}
+}
+
+// Record appends an event to txn's timeline.
+func (t *Tracer) Record(txn int64, kind EventKind, detail string) {
+	if t == nil {
+		return
+	}
+	e := Event{At: time.Now(), Kind: kind, KindS: kind.String(), Detail: detail}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.txns[txn]
+	if r == nil {
+		if len(t.order) >= t.maxTxns {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.txns, oldest)
+			t.dropped++
+		}
+		r = &txnRing{}
+		t.txns[txn] = r
+		t.order = append(t.order, txn)
+	}
+	r.add(e, t.maxEvents)
+}
+
+// Recordf is Record with fmt formatting of the detail.
+func (t *Tracer) Recordf(txn int64, kind EventKind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Record(txn, kind, fmt.Sprintf(format, args...))
+}
+
+// Timeline returns txn's events in order (nil if unknown).
+func (t *Tracer) Timeline(txn int64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.txns[txn]
+	if r == nil {
+		return nil
+	}
+	return r.ordered()
+}
+
+// Txns returns the ids with a recorded timeline, ascending.
+func (t *Tracer) Txns() []int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, 0, len(t.txns))
+	for id := range t.txns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Dropped returns how many transactions' timelines were evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Dump renders txn's timeline as human-readable text, timestamps relative to
+// the first event — the format the chaos harness prints when an invariant
+// fails:
+//
+//	txn 7 timeline (4 events):
+//	  +0.000ms begin proto=traditional_2PC sites=[1 2]
+//	  +0.412ms send msg=PREPARE site=1
+//	  ...
+func (t *Tracer) Dump(txn int64) string {
+	events := t.Timeline(txn)
+	if len(events) == 0 {
+		return fmt.Sprintf("txn %d: no trace recorded", txn)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn %d timeline (%d events):\n", txn, len(events))
+	t0 := events[0].At
+	for _, e := range events {
+		fmt.Fprintf(&b, "  +%8.3fms %-12s %s\n",
+			float64(e.At.Sub(t0).Microseconds())/1000, e.Kind, e.Detail)
+	}
+	return b.String()
+}

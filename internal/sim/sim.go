@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"harbor/internal/core"
+	"harbor/internal/obs"
 	"harbor/internal/testutil"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -74,6 +75,9 @@ type CommitResult struct {
 	Elapsed     time.Duration
 	TPS         float64
 	AvgLatency  time.Duration
+	// CommitLatency is the coordinator's per-commit latency distribution
+	// (coord.commit.latency.ns from the obs registry), warm-up excluded.
+	CommitLatency *obs.HistSnapshot
 }
 
 // SimulatedDiskLatency models the thesis testbed's disk: a forced log
@@ -130,6 +134,13 @@ func RunCommitBenchD(baseDir string, cfg ProtoConfig, concurrency, txnsPerStream
 		}
 	}
 
+	// Drop warm-up traffic from every counter and histogram so the reported
+	// distribution covers the measured window only.
+	cl.Coord.ResetCounters()
+	for _, w := range cl.Workers {
+		w.ResetCounters()
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, concurrency)
 	start := time.Now()
@@ -167,6 +178,9 @@ func RunCommitBenchD(baseDir string, cfg ProtoConfig, concurrency, txnsPerStream
 	res.Txns = concurrency * txnsPerStream
 	res.TPS = float64(res.Txns) / res.Elapsed.Seconds()
 	res.AvgLatency = res.Elapsed / time.Duration(txnsPerStream)
+	if h, ok := cl.Coord.Obs().Snapshot().Histograms["coord.commit.latency.ns"]; ok {
+		res.CommitLatency = &h
+	}
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"harbor/internal/obs"
 	"harbor/internal/page"
 	"harbor/internal/tuple"
 )
@@ -45,6 +46,11 @@ type HeapFile struct {
 
 	// Stats counters (atomic not needed; guarded by mu).
 	pageReads, pageWrites, syncs int64
+
+	// Site-wide registry counters mirrored alongside the per-file stats
+	// (storage.page.reads, storage.page.writes, storage.fsyncs); bound by
+	// the owning Manager's Instrument.
+	ioReads, ioWrites, ioSyncs *obs.Counter
 }
 
 // Paths for a table's files within a site directory.
@@ -88,6 +94,7 @@ func Create(dir string, table int32, desc *tuple.Desc, segPages int32) (*HeapFil
 		f.Close()
 		return nil, err
 	}
+	h.instrument(obs.NewRegistry())
 	return h, nil
 }
 
@@ -125,6 +132,7 @@ func Open(dir string, table int32) (*HeapFile, error) {
 			}
 		}
 	}
+	h.instrument(obs.NewRegistry())
 	return h, nil
 }
 
@@ -202,6 +210,7 @@ func (h *HeapFile) ReadPageData(pageNo int32) ([]byte, error) {
 		return nil, fmt.Errorf("storage: table %d page %d out of range [0,%d)", h.meta.TableID, pageNo, next)
 	}
 	h.pageReads++
+	h.ioReads.Inc()
 	h.mu.Unlock()
 
 	buf := make([]byte, page.Size)
@@ -241,6 +250,7 @@ func (h *HeapFile) WritePageData(pageNo int32, data []byte) error {
 	}
 	h.mu.Lock()
 	h.pageWrites++
+	h.ioWrites.Inc()
 	h.mu.Unlock()
 	_, err := h.file.WriteAt(data, int64(pageNo)*page.Size)
 	return err
@@ -250,8 +260,19 @@ func (h *HeapFile) WritePageData(pageNo int32, data []byte) error {
 func (h *HeapFile) SyncData() error {
 	h.mu.Lock()
 	h.syncs++
+	h.ioSyncs.Inc()
 	h.mu.Unlock()
 	return h.file.Sync()
+}
+
+// instrument binds the shared storage.* counters (the per-file Stats
+// counters are unaffected).
+func (h *HeapFile) instrument(reg *obs.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ioReads = reg.Counter("storage.page.reads")
+	h.ioWrites = reg.Counter("storage.page.writes")
+	h.ioSyncs = reg.Counter("storage.fsyncs")
 }
 
 // Stats returns IO counters (reads, writes, syncs).

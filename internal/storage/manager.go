@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 
+	"harbor/internal/obs"
 	"harbor/internal/tuple"
 )
 
@@ -17,6 +18,7 @@ type Manager struct {
 	mu     sync.Mutex
 	dir    string
 	tables map[int32]*Table
+	reg    *obs.Registry // site registry for storage.* counters
 }
 
 // Table bundles a heap file with its key index.
@@ -31,7 +33,7 @@ func NewManager(dir string) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{dir: dir, tables: map[int32]*Table{}}
+	m := &Manager{dir: dir, tables: map[int32]*Table{}, reg: obs.NewRegistry()}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -60,6 +62,18 @@ func NewManager(dir string) (*Manager, error) {
 	return m, nil
 }
 
+// Instrument rebinds every table's shared storage.* counters to reg and
+// routes future tables there too (call right after NewManager; the owning
+// Site passes its registry).
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = reg
+	for _, t := range m.tables {
+		t.Heap.instrument(reg)
+	}
+}
+
 // Dir returns the site directory.
 func (m *Manager) Dir() string { return m.dir }
 
@@ -74,6 +88,7 @@ func (m *Manager) Create(id int32, desc *tuple.Desc, segPages int32) (*Table, er
 	if err != nil {
 		return nil, err
 	}
+	h.instrument(m.reg)
 	t := &Table{Heap: h, Index: NewKeyIndex()}
 	m.tables[id] = t
 	return t, nil

@@ -91,6 +91,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		GroupCommit:  cfg.GroupCommit,
 		SyncDelay:    cfg.SyncDelay,
 		RoundTimeout: cfg.RoundTimeout,
+		LockTimeout:  cfg.LockTimeout,
 		DialTimeout:  cfg.DialTimeout,
 	})
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harbor/internal/obs"
 	"harbor/internal/page"
 )
 
@@ -179,10 +180,12 @@ type Manager struct {
 	// across batched transactions exactly as it amortised real disk time.
 	syncDelay time.Duration
 
-	// Counters for Table 4.2 style accounting.
-	forceCalls atomic.Int64 // logical forced-writes requested by protocols
-	fsyncs     atomic.Int64 // physical fsyncs actually issued
-	appends    atomic.Int64
+	// Registry-backed counters for Table 4.2 style accounting (wal.force_calls,
+	// wal.fsyncs, wal.appends, wal.fsync.ns); rebindable via Instrument.
+	forceCalls *obs.Counter // logical forced-writes requested by protocols
+	fsyncs     *obs.Counter // physical fsyncs actually issued
+	appends    *obs.Counter
+	fsyncNS    *obs.Histogram // per-fsync latency (includes simulated delay)
 }
 
 // Path returns the log file path within a site directory.
@@ -222,7 +225,19 @@ func Open(dir string, groupDelay time.Duration) (*Manager, error) {
 	}
 	m.flushed.Store(uint64(end) + 1)
 	m.flushCond = sync.NewCond(&m.mu)
+	m.Instrument(obs.NewRegistry())
 	return m, nil
+}
+
+// Instrument rebinds the manager's counters to reg (call right after Open,
+// before concurrent use). The owning Site/Coordinator passes its own registry
+// so wal.* metrics appear in that component's /debug/harbor snapshot; until
+// then a private registry keeps the counters always valid.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.forceCalls = reg.Counter("wal.force_calls")
+	m.fsyncs = reg.Counter("wal.fsyncs")
+	m.appends = reg.Counter("wal.appends")
+	m.fsyncNS = reg.Histogram("wal.fsync.ns")
 }
 
 func scanEnd(f *os.File) (int64, error) {
@@ -275,7 +290,7 @@ func (m *Manager) Append(r *Record) page.LSN {
 	m.buf = append(m.buf, framed...)
 	m.nextLSN += page.LSN(len(framed))
 	m.mu.Unlock()
-	m.appends.Add(1)
+	m.appends.Inc()
 	return r.LSN
 }
 
@@ -289,7 +304,7 @@ func (m *Manager) FlushedLSN() page.LSN { return page.LSN(m.flushed.Load()) }
 // coordinator's W(END)) pass false and typically never call Force at all.
 func (m *Manager) Force(lsn page.LSN, countAsForcedWrite bool) error {
 	if countAsForcedWrite {
-		m.forceCalls.Add(1)
+		m.forceCalls.Inc()
 	}
 	if page.LSN(m.flushed.Load()) > lsn {
 		return nil
@@ -300,23 +315,20 @@ func (m *Manager) Force(lsn page.LSN, countAsForcedWrite bool) error {
 		if m.flushing {
 			if m.noGroup {
 				// No group commit: do not piggyback on the concurrent
-				// flush; wait for the flusher to finish, then issue our
-				// own fsync below even though the batch may already cover
-				// our LSN. This serialises the log I/O of concurrent
-				// transactions, which is exactly the behaviour the paper
-				// measures (Figure 6-2's flat line).
+				// flush; wait for the flusher to finish, then run a full
+				// write+fsync cycle of our own even though the finished
+				// batch may already cover our LSN. This serialises the log
+				// I/O of concurrent transactions, which is exactly the
+				// behaviour the paper measures (Figure 6-2's flat line).
+				// The buffered batch must be written *before* the fsync:
+				// an fsync of the bare file would leave the caller's
+				// record volatile and push durability onto a second loop
+				// iteration (and a second fsync).
 				for m.flushing {
 					m.flushCond.Wait()
 				}
 				m.flushing = true
-				m.mu.Unlock()
-				err := m.file.Sync()
-				m.fsyncs.Add(1)
-				m.sleepSyncDelay()
-				m.mu.Lock()
-				m.flushing = false
-				m.flushCond.Broadcast()
-				if err != nil {
+				if err := m.flushBatch(); err != nil {
 					return err
 				}
 				continue
@@ -333,32 +345,44 @@ func (m *Manager) Force(lsn page.LSN, countAsForcedWrite bool) error {
 			time.Sleep(m.groupDelay)
 			m.mu.Lock()
 		}
-		batch := m.buf
-		batchLSN := m.bufLSN
-		m.buf = nil
-		m.bufLSN = m.nextLSN
-		m.mu.Unlock()
-
-		var err error
-		if len(batch) > 0 {
-			_, err = m.file.Write(batch)
-		}
-		if err == nil {
-			err = m.file.Sync()
-			m.fsyncs.Add(1)
-			m.sleepSyncDelay()
-		}
-
-		m.mu.Lock()
-		m.flushing = false
-		if err != nil {
-			// Put nothing back; a failed log device is fatal for the site.
-			m.flushCond.Broadcast()
+		if err := m.flushBatch(); err != nil {
 			return err
 		}
-		m.flushed.Store(uint64(batchLSN) + uint64(len(batch)))
-		m.flushCond.Broadcast()
 	}
+	return nil
+}
+
+// flushBatch writes and syncs everything buffered right now, then publishes
+// the new durable LSN. Called with m.mu held and m.flushing set by the
+// caller; returns with m.mu re-held and m.flushing cleared.
+func (m *Manager) flushBatch() error {
+	batch := m.buf
+	batchLSN := m.bufLSN
+	m.buf = nil
+	m.bufLSN = m.nextLSN
+	m.mu.Unlock()
+
+	var err error
+	if len(batch) > 0 {
+		_, err = m.file.Write(batch)
+	}
+	if err == nil {
+		start := time.Now()
+		err = m.file.Sync()
+		m.sleepSyncDelay()
+		m.fsyncs.Inc()
+		m.fsyncNS.Observe(time.Since(start).Nanoseconds())
+	}
+
+	m.mu.Lock()
+	m.flushing = false
+	if err != nil {
+		// Put nothing back; a failed log device is fatal for the site.
+		m.flushCond.Broadcast()
+		return err
+	}
+	m.flushed.Store(uint64(batchLSN) + uint64(len(batch)))
+	m.flushCond.Broadcast()
 	return nil
 }
 

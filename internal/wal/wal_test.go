@@ -317,3 +317,71 @@ func BenchmarkAppendForce(b *testing.B) {
 		}
 	}
 }
+
+// TestNoGroupTakeoverWritesBeforeSync is the regression test for the
+// Figure 6-2 no-group-commit configuration: when a Force call finds another
+// flusher in flight, the takeover path must write the still-buffered batch
+// *before* its fsync. The buggy version synced the bare file first, leaving
+// the caller's record volatile until a second loop iteration issued a third
+// fsync.
+func TestNoGroupTakeoverWritesBeforeSync(t *testing.T) {
+	m, _ := openTest(t)
+	m.SetNoGroup(true)
+	m.SetSyncDelay(50 * time.Millisecond)
+
+	r1 := &Record{Type: RecCommit, Txn: 1, CommitTS: 1}
+	lsn1 := m.Append(r1)
+
+	done1 := make(chan error, 1)
+	go func() { done1 <- m.Force(lsn1, true) }()
+
+	// Wait until the first Force is inside its flush critical section (it
+	// stays there ≥ 50ms thanks to the simulated disk latency).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m.mu.Lock()
+		flushing := m.flushing
+		m.mu.Unlock()
+		if flushing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first Force never started flushing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Append a second record while the first fsync is in flight, then Force
+	// it: this exercises the no-group takeover branch.
+	r2 := &Record{Type: RecCommit, Txn: 2, CommitTS: 2}
+	lsn2 := m.Append(r2)
+	if err := m.Force(lsn2, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// FlushedLSN progression: the takeover's own fsync covered r2.
+	if m.FlushedLSN() <= lsn2 {
+		t.Fatalf("FlushedLSN = %d after Force(%d); takeover fsync did not cover the record", m.FlushedLSN(), lsn2)
+	}
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+
+	// Two Force calls → exactly two serialized fsyncs. The buggy branch
+	// needed a third (an empty sync, then a second iteration to flush r2).
+	if _, fsyncs, _ := m.Counters(); fsyncs != 2 {
+		t.Fatalf("fsyncs = %d, want 2 (no-group commit: one fsync per Force)", fsyncs)
+	}
+
+	// The record really is on disk and intact.
+	var seen int
+	if err := m.Iter(0, func(r *Record) (bool, error) {
+		seen++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Fatalf("iterated %d records, want 2", seen)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"harbor/internal/exec"
 	"harbor/internal/expr"
 	"harbor/internal/lockmgr"
+	"harbor/internal/obs"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/wire"
@@ -96,6 +97,7 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 	case wire.MsgBegin:
 		s.getTxn(m.Txn, true)
 		owned[m.Txn] = true
+		s.trace.Record(int64(m.Txn), obs.EvBegin, "")
 		return okMsg()
 
 	case wire.MsgInsert:
@@ -234,9 +236,11 @@ func (s *Site) handlePrepare(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 	w := s.getTxn(m.Txn, false)
 	if w == nil {
 		// Vote NO for unknown transactions (post-crash rule, §4.3.2).
+		s.trace.Record(int64(m.Txn), obs.EvVote, "no (unknown txn)")
 		return &wire.Msg{Type: wire.MsgVote}
 	}
 	owned[m.Txn] = true
+	s.trace.Recordf(int64(m.Txn), obs.EvPrepare, "msg=%s", m.Type)
 	if w.state == txn.StatePreparedToCommit || w.state == txn.StateCommitted {
 		// Duplicate from a backup coordinator replaying the protocol.
 		return &wire.Msg{Type: wire.MsgVote, Flags: wire.FlagYes}
@@ -246,18 +250,23 @@ func (s *Site) handlePrepare(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 		// A NO-voting worker rolls back immediately (Figure 4-2/4-3).
 		_ = s.Store.Abort(lockmgr.TxnID(m.Txn))
 		s.setState(w, txn.StateAborted)
-		s.aborts.Add(1)
+		s.aborts.Inc()
+		s.trace.Record(int64(m.Txn), obs.EvVote, "no (injected failure)")
 		return &wire.Msg{Type: wire.MsgVote}
 	}
 	force := s.plan.WorkerForce(m.Type)
 	if err := s.Store.Prepare(lockmgr.TxnID(m.Txn), force); err != nil {
 		return errMsg(err)
 	}
+	if force {
+		s.trace.Record(int64(m.Txn), obs.EvForce, "rec=PREPARED")
+	}
 	if len(m.Sites) > 0 {
 		w.participants = append([]int32(nil), m.Sites...)
 	}
 	s.ts.prepared(m.Txn)
 	s.setState(w, txn.StatePreparedYes)
+	s.trace.Record(int64(m.Txn), obs.EvVote, "yes")
 	return &wire.Msg{Type: wire.MsgVote, Flags: wire.FlagYes}
 }
 
@@ -277,6 +286,7 @@ func (s *Site) handlePrepareToCommit(m *wire.Msg, _ map[txn.ID]bool) *wire.Msg {
 	w.commitTS = m.TS
 	s.ts.commitTSKnown(m.Txn, m.TS)
 	s.setState(w, txn.StatePreparedToCommit)
+	s.trace.Recordf(int64(m.Txn), obs.EvPrepare, "prepared-to-commit ts=%d force=%v", m.TS, force)
 	return okMsg()
 }
 
@@ -306,7 +316,11 @@ func (s *Site) handleCommit(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 	w.commitTS = ts
 	s.ts.applied(m.Txn, ts)
 	s.setState(w, txn.StateCommitted)
-	s.commits.Add(1)
+	s.commits.Inc()
+	if logIt {
+		s.trace.Record(int64(m.Txn), obs.EvForce, "rec=COMMIT")
+	}
+	s.trace.Recordf(int64(m.Txn), obs.EvCommitPoint, "ts=%d", ts)
 	delete(owned, m.Txn)
 	s.forgetLater(m.Txn)
 	return okMsg()
@@ -345,7 +359,8 @@ func (s *Site) handleAbort(m *wire.Msg, owned map[txn.ID]bool) *wire.Msg {
 		return errMsg(err)
 	}
 	s.setState(w, txn.StateAborted)
-	s.aborts.Add(1)
+	s.aborts.Inc()
+	s.trace.Record(int64(m.Txn), obs.EvAbort, "rolled back")
 	delete(owned, m.Txn)
 	s.forgetLater(m.Txn)
 	return okMsg()

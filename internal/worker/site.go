@@ -18,6 +18,7 @@ import (
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
 	"harbor/internal/lockmgr"
+	"harbor/internal/obs"
 	"harbor/internal/storage"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -133,8 +134,14 @@ type Site struct {
 	// max-of-replicas rather than sum-of-replicas latency.
 	msgDelay atomic.Int64
 
-	// Stats
-	commits, aborts atomic.Int64
+	// Observability: every site owns a registry (worker.*, wal.*, buffer.*,
+	// lockmgr.*, storage.* metrics) and a per-transaction tracer; the cmd
+	// mounts them at /debug/harbor and the chaos harness dumps timelines
+	// from them on invariant failures.
+	reg     *obs.Registry
+	trace   *obs.Tracer
+	commits *obs.Counter // worker.commits
+	aborts  *obs.Counter // worker.aborts
 }
 
 // Open builds the site stack from its directory (creating it if needed) and
@@ -149,10 +156,12 @@ func Open(cfg Config) (*Site, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	mgr, err := storage.NewManager(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
+	mgr.Instrument(reg)
 	var log *wal.Manager
 	if cfg.workerLogs() {
 		log, err = wal.Open(cfg.Dir, cfg.GroupDelay)
@@ -162,9 +171,12 @@ func Open(cfg Config) (*Site, error) {
 		}
 		log.SetNoGroup(!cfg.GroupCommit)
 		log.SetSyncDelay(cfg.SyncDelay)
+		log.Instrument(reg)
 	}
 	locks := lockmgr.New(cfg.LockTimeout)
+	locks.Instrument(reg)
 	pool := buffer.New(&version.PageStore{Mgr: mgr, Log: log}, locks, cfg.PoolFrames, buffer.StealNoForce)
+	pool.Instrument(reg)
 	store := version.NewStore(mgr, pool, locks, log)
 	s := &Site{
 		Cfg:   cfg,
@@ -176,7 +188,11 @@ func Open(cfg Config) (*Site, error) {
 		Store: store,
 		txns:  map[txn.ID]*wtxn{},
 		conds: map[txn.ID]*sync.Cond{},
+		reg:   reg,
+		trace: obs.NewTracer(),
 	}
+	s.commits = reg.Counter("worker.commits")
+	s.aborts = reg.Counter("worker.aborts")
 	s.ts.init()
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
@@ -249,6 +265,13 @@ func (s *Site) FailNextPrepare() { s.failNextPrepare.Store(true) }
 // request (0 disables), simulating a slow replica or laggy link.
 func (s *Site) SetSimMsgDelay(d time.Duration) { s.msgDelay.Store(int64(d)) }
 
+// Obs returns the site's metrics registry (worker.*, wal.*, buffer.*,
+// lockmgr.*, storage.*).
+func (s *Site) Obs() *obs.Registry { return s.reg }
+
+// Trace returns the site's per-transaction tracer.
+func (s *Site) Trace() *obs.Tracer { return s.trace }
+
 // Counters returns (commits, aborts) processed.
 func (s *Site) Counters() (int64, int64) { return s.commits.Load(), s.aborts.Load() }
 
@@ -261,13 +284,10 @@ func (s *Site) ForcedWrites() int64 {
 	return fc
 }
 
-// ResetCounters zeroes benchmark counters.
+// ResetCounters zeroes benchmark counters. The WAL, buffer pool, lock
+// manager, and storage layer share the registry, so their counters reset too.
 func (s *Site) ResetCounters() {
-	s.commits.Store(0)
-	s.aborts.Store(0)
-	if s.Log != nil {
-		s.Log.ResetCounters()
-	}
+	s.reg.Reset()
 }
 
 // --- checkpointing -------------------------------------------------------

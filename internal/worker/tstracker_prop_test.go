@@ -1,0 +1,177 @@
+package worker
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+)
+
+// TestTsTrackerPropertyRandomInterleavings drives the tracker through
+// randomized prepare / commit-time-known / applied / abort interleavings and
+// checks the Figure 3-2 checkpoint-safety invariant after every step: the
+// safe checkpoint time T must never reach the commit time of a transaction
+// whose stamping is incomplete (T < ts for every issued-but-unapplied ts),
+// and T must be monotone. Commit times are issued by a monotone clock
+// strictly after the owning transaction's prepare, exactly as the
+// coordinator's timestamp authority does.
+func TestTsTrackerPropertyRandomInterleavings(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var tr tsTracker
+		tr.init()
+
+		clock := tuple.Timestamp(0) // monotone commit-time authority
+		next := txn.ID(1)
+		prepared := map[txn.ID]bool{}              // voted YES, ts not yet issued
+		incomplete := map[txn.ID]tuple.Timestamp{} // ts issued, not fully applied
+		lastSafe := tuple.Timestamp(-1)
+
+		pick := func(m map[txn.ID]bool) txn.ID {
+			i := rng.Intn(len(m))
+			for id := range m {
+				if i == 0 {
+					return id
+				}
+				i--
+			}
+			panic("unreachable")
+		}
+		pickTS := func(m map[txn.ID]tuple.Timestamp) txn.ID {
+			i := rng.Intn(len(m))
+			for id := range m {
+				if i == 0 {
+					return id
+				}
+				i--
+			}
+			panic("unreachable")
+		}
+
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // a new transaction votes YES
+				id := next
+				next++
+				tr.prepared(id)
+				prepared[id] = true
+
+			case op < 7 && len(prepared) > 0: // its commit time is issued
+				id := pick(prepared)
+				clock++
+				ts := clock
+				tr.commitTSKnown(id, ts)
+				delete(prepared, id)
+				incomplete[id] = ts
+
+			case op < 9 && len(incomplete) > 0: // stamping completes
+				id := pickTS(incomplete)
+				tr.applied(id, incomplete[id])
+				delete(incomplete, id)
+
+			case len(prepared) > 0: // abort before the commit point
+				id := pick(prepared)
+				tr.resolved(id)
+				delete(prepared, id)
+			}
+
+			safe := tr.safeCheckpointTS()
+			if safe < lastSafe {
+				t.Fatalf("seed %d step %d: safe T went backwards: %d -> %d", seed, step, lastSafe, safe)
+			}
+			lastSafe = safe
+			for id, ts := range incomplete {
+				if safe >= ts {
+					t.Fatalf("seed %d step %d: checkpoint T=%d reaches incomplete commit ts=%d (txn %d)",
+						seed, step, safe, ts, id)
+				}
+			}
+		}
+	}
+}
+
+// TestTsTrackerConcurrentCheckpointSafety stresses the tracker with many
+// goroutines running full prepare→ts-known→applied lifecycles while a
+// checker concurrently samples safeCheckpointTS. The check is made
+// conservative by ordering: workers publish an issued ts to the shared model
+// BEFORE telling the tracker and withdraw it BEFORE marking it applied, and
+// the checker samples T FIRST and reads the model second — so any entry the
+// checker sees was still unapplied in the tracker when T was sampled, and
+// T < ts must hold. Run under -race this also exercises the tracker's own
+// locking.
+func TestTsTrackerConcurrentCheckpointSafety(t *testing.T) {
+	var tr tsTracker
+	tr.init()
+
+	var clock atomic.Int64
+	var mu sync.Mutex
+	incomplete := map[txn.ID]tuple.Timestamp{}
+
+	const workers = 8
+	const perWorker = 400
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < perWorker; i++ {
+				id := txn.ID(w*perWorker + i + 1)
+				tr.prepared(id)
+				if rng.Intn(10) == 0 { // occasional abort before commit point
+					tr.resolved(id)
+					continue
+				}
+				ts := tuple.Timestamp(clock.Add(1))
+				mu.Lock()
+				incomplete[id] = ts
+				mu.Unlock()
+				tr.commitTSKnown(id, ts)
+
+				mu.Lock()
+				delete(incomplete, id)
+				mu.Unlock()
+				tr.applied(id, ts)
+			}
+		}(w)
+	}
+
+	var checkErr atomic.Value
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			safe := tr.safeCheckpointTS() // sample T first ...
+			mu.Lock()                     // ... then read the model
+			for id, ts := range incomplete {
+				if safe >= ts {
+					checkErr.Store(map[txn.ID]tuple.Timestamp{id: ts})
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	checker.Wait()
+	if v := checkErr.Load(); v != nil {
+		t.Fatalf("checkpoint T reached an incomplete commit: %v", v)
+	}
+	if got, want := tr.safeCheckpointTS(), tuple.Timestamp(clock.Load()); got != want {
+		t.Fatalf("after quiescence safe T = %d, want appliedTS %d", got, want)
+	}
+}

@@ -402,16 +402,22 @@ func TestCostParity(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := protocol.ExpectedCost()
-			if got := cl.Coord.ForcedWrites(); got != int64(want.CoordForcedWrites) {
+			// The counts come from the obs metrics registry — the same
+			// snapshot /debug/harbor and harbor-bench serve — so parity here
+			// also pins the observability layer's accounting. A logless
+			// coordinator/worker has no WAL instrumented and no
+			// wal.force_calls key; the zero value is the right reading.
+			coordSnap := cl.Coord.Obs().Snapshot()
+			if got := coordSnap.Counters["wal.force_calls"]; got != int64(want.CoordForcedWrites) {
 				t.Errorf("coordinator forced-writes = %d, want %d", got, want.CoordForcedWrites)
 			}
 			for i, w := range cl.Workers {
-				if got := w.ForcedWrites(); got != int64(want.WorkerForcedWrites) {
+				if got := w.Obs().Snapshot().Counters["wal.force_calls"]; got != int64(want.WorkerForcedWrites) {
 					t.Errorf("worker %d forced-writes = %d, want %d", i, got, want.WorkerForcedWrites)
 				}
 			}
-			msgs, commits, _ := cl.Coord.Counters()
-			if commits != 1 {
+			msgs := coordSnap.Counters["coord.msgs_sent"]
+			if commits := coordSnap.Counters["coord.commits"]; commits != 1 {
 				t.Fatalf("commits = %d", commits)
 			}
 			// The thesis's "messages per worker" (Table 4.2) counts both

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke-tests the observability endpoint: boots a standalone harbor-worker
+# with -debug-addr, fetches /debug/harbor, and fails unless the response is
+# well-formed JSON with the expected registry shape (counters/gauges/
+# histograms maps plus the tracer's txn list). Used by `make smoke` and the
+# CI smoke job.
+set -eu
+
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$dir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$dir/harbor-worker" ./cmd/harbor-worker
+
+"$dir/harbor-worker" -site 1 -dir "$dir/site1" -addr 127.0.0.1:0 \
+	-debug-addr 127.0.0.1:0 >"$dir/out.log" 2>&1 &
+pid=$!
+
+# The worker prints the bound debug address; wait for it.
+url=""
+for _ in $(seq 1 100); do
+	url=$(sed -n 's|^debug: /debug/harbor on \(http://[^ ]*\)$|\1|p' "$dir/out.log" | head -1)
+	[ -n "$url" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "smoke: worker exited early:"; cat "$dir/out.log"; exit 1; }
+	sleep 0.1
+done
+if [ -z "$url" ]; then
+	echo "smoke: worker never announced its debug address:"
+	cat "$dir/out.log"
+	exit 1
+fi
+
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "$1"
+	else
+		python3 -c 'import sys,urllib.request; sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())' "$1"
+	fi
+}
+
+fetch "$url" >"$dir/snap.json"
+
+# Malformed or wrongly-shaped output fails the job. jq where available
+# (CI runners), python3 otherwise.
+if command -v jq >/dev/null 2>&1; then
+	jq -e '(.counters | type == "object")
+		and (.gauges | type == "object")
+		and (.histograms | type == "object")
+		and (.txns | type == "array")
+		and (.counters | has("worker.commits"))
+		and (.counters | has("buffer.evictions"))' "$dir/snap.json" >/dev/null || {
+		echo "smoke: /debug/harbor output malformed:"
+		cat "$dir/snap.json"
+		exit 1
+	}
+else
+	python3 - "$dir/snap.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert isinstance(d["counters"], dict), "counters missing"
+assert isinstance(d["gauges"], dict), "gauges missing"
+assert isinstance(d["histograms"], dict), "histograms missing"
+assert isinstance(d["txns"], list), "txns missing"
+assert "worker.commits" in d["counters"], "worker.commits not registered"
+assert "buffer.evictions" in d["counters"], "buffer.evictions not registered"
+EOF
+fi
+
+# The per-txn timeline path must answer too (unknown txn -> empty events).
+fetch "$url?txn=1" >"$dir/txn.json"
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["txn"] == 1' "$dir/txn.json"
+
+echo "smoke: /debug/harbor OK ($url)"
