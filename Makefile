@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench chaos smoke
+.PHONY: all build test race vet check bench bench-scan chaos smoke
 
 all: check
 
@@ -28,6 +28,11 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 2000x -run xxx .
+
+# Batched-pipeline throughput: distributed scan + Phase 2 catch-up, batched
+# framing vs its tuple-at-a-time ablation. Regenerates BENCH_scan.json.
+bench-scan:
+	$(GO) run ./cmd/harbor-bench scan | tee BENCH_scan.json
 
 # Boots a standalone worker with -debug-addr and validates the
 # /debug/harbor observability endpoint's JSON shape.

@@ -11,6 +11,7 @@
 //	harbor-bench fig65 [-txns 2000]
 //	harbor-bench fig66
 //	harbor-bench fig67 [-seconds 12]
+//	harbor-bench scan [-rows 100000] [-iters 3]
 //	harbor-bench all
 //
 // Absolute numbers depend on the host (fsync latency, loopback RTT, core
@@ -45,6 +46,8 @@ func main() {
 	segments := fs.Int("segments", 20, "preloaded segments per table (fig64/65/66)")
 	segPages := fs.Int("segpages", 64, "pages per segment")
 	seconds := fs.Int("seconds", 12, "timeline length (fig67)")
+	rows := fs.Int("rows", 100000, "table cardinality (scan)")
+	iters := fs.Int("iters", 3, "timed scan repetitions (scan)")
 	_ = fs.Parse(os.Args[2:])
 
 	var err error
@@ -71,6 +74,8 @@ func main() {
 		err = runFig66(*segments, int32(*segPages), *txns)
 	case "fig67":
 		err = runFig67(time.Duration(*seconds) * time.Second)
+	case "scan":
+		err = runScan(*rows, *iters)
 	case "all":
 		err = runAll(parseInts(*concList), *txns, *segments, int32(*segPages), time.Duration(*seconds)*time.Second)
 	default:
@@ -84,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|all> [flags]`)
 }
 
 func parseInts(s string) []int {

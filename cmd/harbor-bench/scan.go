@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"harbor/internal/coord"
+	"harbor/internal/core"
+	"harbor/internal/sim"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// scanResult is one framing's distributed-scan throughput measurement.
+type scanResult struct {
+	RowsPerSec float64 `json:"rows_per_sec"`
+	TotalRows  int     `json:"total_rows"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// recModeResult is one framing's Phase 2/3 catch-up profile.
+type recModeResult struct {
+	Phase2UpdateMS float64 `json:"phase2_update_ms"`
+	Phase2InsertMS float64 `json:"phase2_insert_ms"`
+	Phase3MS       float64 `json:"phase3_ms"`
+	TotalMS        float64 `json:"total_ms"`
+	Inserts        int     `json:"inserts"`
+	Deletes        int     `json:"deletes"`
+}
+
+// runScan benchmarks the batched tuple pipeline against its tuple-at-a-time
+// ablation on the two paths it was built for: a distributed historical scan
+// merged at the coordinator, and a Phase 2 recovery catch-up streamed from a
+// buddy. Both framings run in the same process against identically seeded
+// clusters, so the ratio isolates the framing. Emits BENCH_scan.json-shaped
+// JSON on stdout.
+func runScan(rows, iters int) error {
+	if rows < 4 {
+		rows = 4
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	batched, err := runScanMode(rows, iters, false)
+	if err != nil {
+		return err
+	}
+	legacy, err := runScanMode(rows, iters, true)
+	if err != nil {
+		return err
+	}
+	recRows := rows / 4
+	recBatched, err := runScanRecovery(recRows, false)
+	if err != nil {
+		return err
+	}
+	recLegacy, err := runScanRecovery(recRows, true)
+	if err != nil {
+		return err
+	}
+
+	out := struct {
+		Bench        string     `json:"bench"`
+		Workers      int        `json:"workers"`
+		Rows         int        `json:"rows"`
+		Iters        int        `json:"iters"`
+		Batched      scanResult `json:"batched"`
+		TupleAtATime scanResult `json:"tuple_at_a_time"`
+		ScanSpeedup  float64    `json:"scan_speedup"`
+		Recovery     struct {
+			Rows          int           `json:"rows"`
+			Batched       recModeResult `json:"batched"`
+			TupleAtATime  recModeResult `json:"tuple_at_a_time"`
+			Phase2Speedup float64       `json:"phase2_speedup"`
+		} `json:"recovery"`
+	}{
+		Bench:        "scan",
+		Workers:      4,
+		Rows:         rows,
+		Iters:        iters,
+		Batched:      batched,
+		TupleAtATime: legacy,
+	}
+	if batched.ElapsedMS > 0 {
+		out.ScanSpeedup = legacy.ElapsedMS / batched.ElapsedMS
+	}
+	out.Recovery.Rows = recRows
+	out.Recovery.Batched = recBatched
+	out.Recovery.TupleAtATime = recLegacy
+	if p2 := recBatched.Phase2UpdateMS + recBatched.Phase2InsertMS; p2 > 0 {
+		out.Recovery.Phase2Speedup = (recLegacy.Phase2UpdateMS + recLegacy.Phase2InsertMS) / p2
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// runScanMode measures one framing's distributed-scan throughput: a 4-way
+// range-partitioned table bulk-loaded with rows/4 tuples per worker, scanned
+// historically (unlocked) through the coordinator's k-way merge.
+func runScanMode(rows, iters int, tupleAtATime bool) (scanResult, error) {
+	var res scanResult
+	dir := tmp()
+	defer os.RemoveAll(dir)
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:    4,
+		Protocol:   txn.OptThreePC,
+		Mode:       worker.HARBOR,
+		BaseDir:    dir,
+		PoolFrames: 1 << 14,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cl.Close()
+	desc := sim.BenchDesc()
+	q := int64(rows / 4)
+	if err := cl.CreateRangePartitionedTable(1, desc, 64, q, 2*q, 3*q); err != nil {
+		return res, err
+	}
+	// Bulk-load each partition directly with pre-stamped committed tuples
+	// (the §4.2 fast path); segments match the table's 64-page geometry
+	// closely enough via fixed-size chunks.
+	const chunk = 8192
+	for wi := 0; wi < 4; wi++ {
+		tb, err := cl.Workers[wi].Mgr.Get(1)
+		if err != nil {
+			return res, err
+		}
+		lo, hi := int64(wi)*q, int64(wi+1)*q
+		if wi == 3 {
+			hi = int64(rows)
+		}
+		for lo < hi {
+			n := hi - lo
+			if n > chunk {
+				n = chunk
+			}
+			batch := make([]tuple.Tuple, n)
+			for i := int64(0); i < n; i++ {
+				tp := sim.BenchTuple(desc, lo+i)
+				tp.SetInsTS(1)
+				batch[i] = tp
+			}
+			if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+				return res, err
+			}
+			lo += n
+		}
+	}
+	cl.Coord.Authority.Advance(2)
+	for _, w := range cl.Workers {
+		w.SeedAppliedTS(2)
+	}
+	opt := coord.QueryOptions{Historical: true, AsOf: 1, TupleAtATime: tupleAtATime}
+	count := 0
+	sink := func(batch []tuple.Tuple) error {
+		count += len(batch)
+		return nil
+	}
+	// One untimed warm-up scan pulls every page through the buffer pools so
+	// the timed iterations measure the pipeline, not cold disk reads.
+	if err := cl.Coord.ScanStream(1, opt, sink); err != nil {
+		return res, err
+	}
+	if count != rows {
+		return res, fmt.Errorf("scan bench: warm-up saw %d rows, want %d", count, rows)
+	}
+	count = 0
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := cl.Coord.ScanStream(1, opt, sink); err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	if count != rows*iters {
+		return res, fmt.Errorf("scan bench: saw %d rows across %d iters, want %d", count, iters, rows*iters)
+	}
+	res.TotalRows = count
+	res.ElapsedMS = elapsed.Seconds() * 1000
+	res.RowsPerSec = float64(count) / elapsed.Seconds()
+	return res, nil
+}
+
+// runScanRecovery measures one framing's Phase 2 catch-up: a 2-worker
+// replicated table preloaded identically on both sites and checkpointed,
+// then worker 0 crashes and misses a delta workload of deletions (every
+// 10th preloaded key — the keys-only stream) and fresh inserts (rows/5 —
+// the full-row stream) that commits against the surviving buddy. Recovery
+// must replay exactly that delta across the wire.
+func runScanRecovery(rows int, tupleAtATime bool) (recModeResult, error) {
+	var res recModeResult
+	dir := tmp()
+	defer os.RemoveAll(dir)
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		BaseDir:     dir,
+		PoolFrames:  1 << 16,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cl.Close()
+	desc := sim.BenchDesc()
+	if err := cl.CreateReplicatedTable(1, desc, 64, 0, 1); err != nil {
+		return res, err
+	}
+	const chunk = 8192
+	for wi := 0; wi < 2; wi++ {
+		tb, err := cl.Workers[wi].Mgr.Get(1)
+		if err != nil {
+			return res, err
+		}
+		for lo := 0; lo < rows; lo += chunk {
+			n := rows - lo
+			if n > chunk {
+				n = chunk
+			}
+			batch := make([]tuple.Tuple, n)
+			for i := 0; i < n; i++ {
+				tp := sim.BenchTuple(desc, int64(lo+i))
+				tp.SetInsTS(1)
+				batch[i] = tp
+			}
+			if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+				return res, err
+			}
+		}
+	}
+	cl.Coord.Authority.Advance(2)
+	for _, w := range cl.Workers {
+		w.SeedAppliedTS(2)
+		if err := w.CheckpointNow(); err != nil {
+			return res, err
+		}
+		if err := w.Mgr.RebuildIndexes(); err != nil {
+			return res, err
+		}
+	}
+
+	// Worker 0 goes down, then misses the delta workload: the buddy alone
+	// absorbs the deletions and inserts Phase 2 will have to stream back.
+	cl.Workers[0].Crash()
+	deletes, inserts := rows/10, rows/5
+	const perTxn = 100
+	commit := func(total int, op func(tx *coord.Txn, i int) error) error {
+		for lo := 0; lo < total; lo += perTxn {
+			hi := lo + perTxn
+			if hi > total {
+				hi = total
+			}
+			tx := cl.Coord.Begin()
+			for i := lo; i < hi; i++ {
+				if err := op(tx, i); err != nil {
+					return err
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := commit(deletes, func(tx *coord.Txn, i int) error {
+		return tx.DeleteKey(1, int64(i*10))
+	}); err != nil {
+		return res, err
+	}
+	if err := commit(inserts, func(tx *coord.Txn, i int) error {
+		return tx.Insert(1, sim.BenchTuple(desc, int64(1_000_000+i)))
+	}); err != nil {
+		return res, err
+	}
+
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	stats, err := core.New(w, cl.Catalog).RecoverSite(core.Options{TupleAtATime: tupleAtATime})
+	if err != nil {
+		return res, err
+	}
+	total := time.Since(start)
+	for _, o := range stats.Objects {
+		res.Phase2UpdateMS += o.Phase2Update.Seconds() * 1000
+		res.Phase2InsertMS += o.Phase2Insert.Seconds() * 1000
+		res.Phase3MS += o.Phase3.Seconds() * 1000
+		res.Inserts += o.Phase2Inserts + o.Phase3Inserts
+		res.Deletes += o.Phase2Deletes + o.Phase3Deletes
+	}
+	res.TotalMS = total.Seconds() * 1000
+	if res.Inserts < inserts {
+		return res, fmt.Errorf("scan bench: recovery copied %d inserts, want >= %d", res.Inserts, inserts)
+	}
+	if res.Deletes < deletes {
+		return res, fmt.Errorf("scan bench: recovery copied %d deletes, want >= %d", res.Deletes, deletes)
+	}
+	return res, nil
+}

@@ -735,21 +735,39 @@ func (h *Harness) scanReplica(i int, asOf tuple.Timestamp) (map[tkey]repRow, err
 		}); err != nil {
 			return nil, err
 		}
+		add := func(t tuple.Tuple) {
+			out[tkey{table, t.Key(desc)}] = repRow{
+				val: t.Values[desc.FieldIndex("v")].I64,
+				ts:  t.InsTS(),
+			}
+		}
+	stream:
 		for {
 			resp, err := c.RecvTimeout(5 * time.Second)
 			if err != nil {
 				return nil, err
 			}
-			if resp.Type == wire.MsgErr {
+			switch resp.Type {
+			case wire.MsgErr:
 				return nil, resp.Err()
-			}
-			if resp.Type == wire.MsgScanEnd {
-				break
-			}
-			t := wire.ToTuple(resp.Tuple)
-			out[tkey{table, t.Key(desc)}] = repRow{
-				val: t.Values[desc.FieldIndex("v")].I64,
-				ts:  t.InsTS(),
+			case wire.MsgScanEnd:
+				break stream
+			case wire.MsgTuple:
+				add(wire.ToTuple(resp.Tuple))
+			case wire.MsgTupleBatch:
+				n, err := wire.CheckBatch(resp, desc.Width())
+				if err != nil {
+					return nil, err
+				}
+				b := tuple.NewBatch(n)
+				if err := b.DecodeBatch(desc, resp.Raw); err != nil {
+					return nil, err
+				}
+				for _, t := range b.Rows() {
+					add(t)
+				}
+			default:
+				return nil, fmt.Errorf("chaos: unexpected %v in scan stream", resp.Type)
 			}
 		}
 		if _, err := c.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id}); err != nil {

@@ -2,9 +2,12 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"harbor/internal/comm"
+	"harbor/internal/coord"
+	"harbor/internal/core"
 	"harbor/internal/faultnet"
 	"harbor/internal/testutil"
 	"harbor/internal/txn"
@@ -48,7 +51,7 @@ func protoTag(p txn.Protocol) string {
 func Scenarios() []Scenario {
 	var out []Scenario
 	for _, p := range recoveryProtocols() {
-		out = append(out, PartitionHeal(p), StallRecover(p))
+		out = append(out, PartitionHeal(p), StallRecover(p), ScanStall(p))
 	}
 	// coord-kill drives raw Table 4.1 transactions that a backup
 	// coordinator must finish by worker consensus, which requires the
@@ -161,6 +164,82 @@ func StallRecover(p txn.Protocol) Scenario {
 				h.Net.DropConns(h.workerAddr(h.rng.Intn(len(h.Cl.Workers))))
 				h.sleepMS(50, 150)
 			})
+		},
+	}
+}
+
+// ScanStall streams historical scans through the coordinator's k-way merge
+// for the whole fault era — batch frames in flight while outbound stalls
+// outlast the round timeout, so scans hit mid-stream evictions and must
+// fail over to another replica's slice — and, mid-fault, crashes a worker
+// and drives HARBOR recovery on it immediately: Phase 2 catch-up frames
+// and client scan frames share the wire under a bandwidth throttle.
+func ScanStall(p txn.Protocol) Scenario {
+	return Scenario{
+		Name:     "scan-stall-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
+		Drive: func(h *Harness) {
+			// A dedicated scan client, beyond the streams' occasional scans:
+			// back-to-back historical reads so every fault below lands on an
+			// open scan stream. Contents are verified post-heal; here only
+			// that scans neither wedge nor take the coordinator down.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, _ = h.Cl.Coord.Scan(tableStreams, coord.QueryOptions{Historical: true})
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+			h.RunWorkload(4, 40, func() {
+				// Stalls must out-last RoundTimeout (800ms) so the serving
+				// site of an in-flight scan slot gets evicted mid-stream.
+				for round := 0; round < 3; round++ {
+					w := h.rng.Intn(len(h.Cl.Workers))
+					d := time.Duration(900+h.rng.Intn(600)) * time.Millisecond
+					h.Net.Stall(h.workerAddr(w), d, faultnet.Out)
+					h.sleepMS(150, 300)
+				}
+				// Crash a worker (never the last online replica) and run
+				// recovery catch-up right away, while the scan client keeps
+				// streaming from the survivors and a throttled buddy slows
+				// the Phase 2 frames to a crawl.
+				var online []int
+				for i := range h.Cl.Workers {
+					if !h.Cl.Coord.SiteDown(testutil.WorkerSiteID(i)) {
+						online = append(online, i)
+					}
+				}
+				if len(online) >= 2 {
+					vi := h.rng.Intn(len(online))
+					victim := online[vi]
+					h.CrashWorker(victim)
+					h.sleepMS(50, 100)
+					bw := h.workerAddr(online[(vi+1+h.rng.Intn(len(online)-1))%len(online)])
+					h.Net.SetBandwidth(bw, 256<<10)
+					if w, err := h.Cl.RestartWorker(victim); err == nil {
+						if _, err := core.New(w, h.Cl.Catalog).RecoverSite(core.Options{Parallel: true}); err == nil {
+							h.mu.Lock()
+							delete(h.crashed, victim)
+							h.mu.Unlock()
+						}
+						// On failure the worker stays marked crashed; the
+						// post-heal pass restarts and recovers it cleanly.
+					}
+					h.Net.SetBandwidth(bw, 0)
+				}
+				h.sleepMS(50, 150)
+			})
+			close(stop)
+			wg.Wait()
 		},
 	}
 }

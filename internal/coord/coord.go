@@ -123,6 +123,10 @@ type Coordinator struct {
 	commits  *obs.Counter   // coord.commits
 	aborts   *obs.Counter   // coord.aborts
 	commitNS *obs.Histogram // coord.commit.latency.ns (successful commits)
+
+	// Distributed-scan stream instrumentation.
+	scanRows    *obs.Counter // coord.scan.rows — rows received from workers
+	scanBatches *obs.Counter // coord.scan.batches — batch frames received
 }
 
 // New starts a coordinator (and its recovery server).
@@ -157,6 +161,8 @@ func New(cfg Config) (*Coordinator, error) {
 	co.commits = co.reg.Counter("coord.commits")
 	co.aborts = co.reg.Counter("coord.aborts")
 	co.commitNS = co.reg.Histogram("coord.commit.latency.ns")
+	co.scanRows = co.reg.Counter("coord.scan.rows")
+	co.scanBatches = co.reg.Counter("coord.scan.batches")
 	if plan.CoordLogs {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err

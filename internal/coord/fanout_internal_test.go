@@ -6,8 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"harbor/internal/catalog"
-	"harbor/internal/tuple"
+	"harbor/internal/expr"
 )
 
 func TestFanEachPreservesOrder(t *testing.T) {
@@ -65,31 +64,25 @@ func TestFanEachEmpty(t *testing.T) {
 	}
 }
 
-// TestMergeScanPartsSameSite: after per-site failover one site can serve
-// several parts (its own range plus a failed buddy's slice). The merge must
-// produce one globally key-ordered run per site, identical for any arrival
-// order of the parts.
-func TestMergeScanPartsSameSite(t *testing.T) {
-	desc := tuple.MustDesc("id", tuple.FieldDef{Name: "id", Type: tuple.Int64})
-	spec := &catalog.TableSpec{ID: 1, Desc: desc}
-	row := func(k int64) tuple.Tuple { return tuple.MustMake(desc, tuple.VInt(k)) }
-	a := scanPart{site: 2, rows: []tuple.Tuple{row(30), row(10)}}
-	b := scanPart{site: 1, rows: []tuple.Tuple{row(5)}}
-	c := scanPart{site: 2, rows: []tuple.Tuple{row(20)}}
-	want := []int64{5, 10, 20, 30}
-	for _, order := range [][]scanPart{{a, b, c}, {c, b, a}, {b, c, a}} {
-		got := mergeScanParts(append([]scanPart{}, order...), spec)
-		if len(got) != len(want) {
-			t.Fatalf("merged %d rows, want %d", len(got), len(want))
-		}
-		for i, r := range got {
-			if r.Key(desc) != want[i] {
-				keys := make([]int64, len(got))
-				for j, g := range got {
-					keys[j] = g.Key(desc)
-				}
-				t.Fatalf("merge order %v, want %v", keys, want)
-			}
+// TestScanSlotOrdering: the streaming merge emits slots in (serving site,
+// range low) order — the deterministic order ScanStream promises. A site
+// serving several disjoint ranges (its own plus a failed buddy's slice)
+// must contribute them in ascending-Lo order regardless of plan order.
+func TestScanSlotOrdering(t *testing.T) {
+	slots := []scanSlot{
+		{site: 2, rng: expr.KeyRange{Lo: 30, Hi: 40}},
+		{site: 1, rng: expr.KeyRange{Lo: 5, Hi: 10}},
+		{site: 2, rng: expr.KeyRange{Lo: 10, Hi: 30}},
+	}
+	sortScanSlots(slots)
+	want := []scanSlot{
+		{site: 1, rng: expr.KeyRange{Lo: 5, Hi: 10}},
+		{site: 2, rng: expr.KeyRange{Lo: 10, Hi: 30}},
+		{site: 2, rng: expr.KeyRange{Lo: 30, Hi: 40}},
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slot %d = %+v, want %+v", i, slots[i], want[i])
 		}
 	}
 }

@@ -431,18 +431,80 @@ type QueryOptions struct {
 	// PreferSite pins the read to one site when it holds the data
 	// (load-balancing hook); 0 lets the planner choose.
 	PreferSite catalog.SiteID
+	// TupleAtATime asks the workers for the legacy per-tuple wire framing
+	// instead of batch frames. Row content and order are identical; the
+	// flag exists for the equivalence tests and the bench baseline.
+	TupleAtATime bool
 }
 
-// Scan runs a read-only query over one logical table, scanning every site
-// of the read plan concurrently and merging the streams in a deterministic
-// order — serving site, then tuple key — so a multi-segment read costs the
-// slowest site, not the sum (§4.1: read queries go to any sites with the
-// relevant data).
+// Scan runs a read-only query over one logical table and materialises the
+// result. It is a thin collecting wrapper over ScanStream.
 func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	err := co.ScanStream(table, opt, func(rows []tuple.Tuple) error {
+		out = append(out, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// slotStreamDepth bounds the batches buffered per in-flight slot stream;
+// with fanoutLimit() streams at most, the coordinator holds
+// O(limit × depth × batch) rows, independent of table size.
+const slotStreamDepth = 4
+
+// scanSlot is one site's assigned key range in a distributed scan.
+type scanSlot struct {
+	site catalog.SiteID
+	rng  expr.KeyRange
+}
+
+// sortScanSlots orders slots into the deterministic emission order of
+// ScanStream: serving site ascending, then key-range low ascending.
+func sortScanSlots(slots []scanSlot) {
+	sort.SliceStable(slots, func(i, j int) bool {
+		if slots[i].site != slots[j].site {
+			return slots[i].site < slots[j].site
+		}
+		return slots[i].rng.Lo < slots[j].rng.Lo
+	})
+}
+
+// scanQuery carries a distributed read's invariant parameters.
+type scanQuery struct {
+	co           *Coordinator
+	spec         *catalog.TableSpec
+	id           txn.ID
+	table        int32
+	vis          exec.Visibility
+	asOf         tuple.Timestamp
+	locked       bool
+	pred         expr.Pred
+	tupleAtATime bool
+	live         func(catalog.SiteID) bool
+}
+
+// ScanStream runs a read-only query over one logical table, streaming the
+// merged result to sink in batches. All sites of the read plan stream
+// concurrently (so the query costs the slowest site, not the sum; §4.1),
+// but rows reach sink in a deterministic order: slots sorted by (serving
+// site, key-range low), each slot's rows in ascending key order (workers
+// sort before streaming). Buffering is bounded by slotStreamDepth batches
+// per in-flight slot, so the coordinator never materialises the table.
+//
+// A slot whose site dies mid-stream is failed over without restarting the
+// query: rows already delivered stay delivered, and a coverage plan from
+// the survivors re-reads only the remaining key range (resuming after the
+// last emitted key), its sub-slots spliced in at the failed slot's
+// position in ascending range order.
+func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tuple.Tuple) error) error {
 	live := func(s catalog.SiteID) bool { return co.objectIsOnline(table, s) }
 	srcs, err := co.cfg.Catalog.ReadSites(table, live)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if opt.PreferSite != 0 {
 		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
@@ -452,7 +514,10 @@ func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error
 			srcs = single
 		}
 	}
-	id := co.ids.Next()
+	spec, ok := co.cfg.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("coord: unknown table %d", table)
+	}
 	vis := exec.Current
 	asOf := tuple.Timestamp(0)
 	locked := true
@@ -464,108 +529,133 @@ func (co *Coordinator) Scan(table int32, opt QueryOptions) ([]tuple.Tuple, error
 			asOf = co.Authority.HWM()
 		}
 	}
-	spec, _ := co.cfg.Catalog.Table(table)
-	parts, err := co.scanSources(srcs, spec, id, table, vis, asOf, locked, opt.Pred, live, 0)
-	if err != nil {
-		return nil, err
+	slots := make([]scanSlot, len(srcs))
+	for i, src := range srcs {
+		slots[i] = scanSlot{site: src.Buddy, rng: src.Pred}
 	}
-	return mergeScanParts(parts, spec), nil
+	sortScanSlots(slots)
+	q := &scanQuery{co: co, spec: spec, id: co.ids.Next(), table: table, vis: vis,
+		asOf: asOf, locked: locked, pred: opt.Pred, tupleAtATime: opt.TupleAtATime, live: live}
+	return q.run(slots, sink, 0)
 }
 
-// mergeScanParts flattens scan parts deterministically: parts are grouped
-// by serving site (ascending), and each site's rows are ordered by tuple
-// key. Per-site failover can leave one site serving several parts (its own
-// range plus a failed buddy's slice), so same-site parts are merged before
-// the key sort — a per-part sort would leave the site's rows only
-// piecewise ordered, in part order that depends on the failure pattern.
-func mergeScanParts(parts []scanPart, spec *catalog.TableSpec) []tuple.Tuple {
-	sort.SliceStable(parts, func(i, j int) bool { return parts[i].site < parts[j].site })
-	var out []tuple.Tuple
-	for i := 0; i < len(parts); {
-		j := i + 1
-		for j < len(parts) && parts[j].site == parts[i].site {
-			j++
-		}
-		rows := parts[i].rows
-		if j > i+1 {
-			merged := make([]tuple.Tuple, 0, len(rows))
-			for k := i; k < j; k++ {
-				merged = append(merged, parts[k].rows...)
+// run streams the slots to sink in slot order. Readers launch strictly in
+// emission order under the fan-out limit (so the streams the merger needs
+// first always hold the semaphore slots), while the merger drains them in
+// the same order; later streams park against their bounded channels. depth
+// bounds cascading mid-stream failovers.
+func (q *scanQuery) run(slots []scanSlot, sink func([]tuple.Tuple) error, depth int) error {
+	if len(slots) == 0 {
+		return nil
+	}
+	type slotStream struct {
+		ch   chan []tuple.Tuple
+		errc chan error
+	}
+	streams := make([]*slotStream, len(slots))
+	for i := range streams {
+		streams[i] = &slotStream{ch: make(chan []tuple.Tuple, slotStreamDepth), errc: make(chan error, 1)}
+	}
+	done := make(chan struct{})
+	defer close(done)
+	sem := make(chan struct{}, q.co.fanoutLimit())
+	go func() {
+		for i := range slots {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				return
 			}
-			rows = merged
+			go func(i int) {
+				defer func() { <-sem }()
+				err := q.readSlot(slots[i], func(rows []tuple.Tuple) bool {
+					select {
+					case streams[i].ch <- rows:
+						return true
+					case <-done:
+						return false
+					}
+				})
+				close(streams[i].ch)
+				streams[i].errc <- err
+			}(i)
 		}
-		if spec != nil {
-			sort.SliceStable(rows, func(a, b int) bool {
-				return rows[a].Key(spec.Desc) < rows[b].Key(spec.Desc)
-			})
+	}()
+	desc := q.spec.Desc
+	for i, slot := range slots {
+		st := streams[i]
+		emitted := false
+		var lastKey int64
+		for rows := range st.ch {
+			if len(rows) == 0 {
+				continue
+			}
+			lastKey = rows[len(rows)-1].Key(desc)
+			emitted = true
+			if err := sink(rows); err != nil {
+				return err
+			}
 		}
-		out = append(out, rows...)
-		i = j
-	}
-	return out
-}
-
-// scanPart is one site's contribution to a distributed scan.
-type scanPart struct {
-	site catalog.SiteID
-	rows []tuple.Tuple
-}
-
-// scanSources scans every source concurrently. A source whose site dies
-// mid-read is failed over individually: the site is marked down (scanSite
-// already did), a coverage plan for just that source's key range is
-// computed from the survivors, and only that slice of the key space is
-// re-read (§2.2's failover, per-site rather than whole-query). depth bounds
-// cascading failures.
-func (co *Coordinator) scanSources(srcs []catalog.RecoverySource, spec *catalog.TableSpec,
-	id txn.ID, table int32, vis exec.Visibility, asOf tuple.Timestamp, locked bool,
-	basePred expr.Pred, live func(catalog.SiteID) bool, depth int) ([]scanPart, error) {
-	type res struct {
-		rows []tuple.Tuple
-		err  error
-	}
-	results := fanEach(co.fanoutLimit(), srcs, func(_ int, src catalog.RecoverySource) res {
-		pred := basePred
-		if spec != nil && src.Pred != expr.FullKeyRange() {
-			pred = pred.And(src.Pred.Pred(spec.Desc).Terms...)
-		}
-		rows, err := co.scanSite(src.Buddy, id, table, vis, asOf, locked, pred)
-		return res{rows, err}
-	})
-	var parts []scanPart
-	for i, r := range results {
-		if r.err == nil {
-			parts = append(parts, scanPart{srcs[i].Buddy, r.rows})
+		err := <-st.errc
+		if err == nil {
 			continue
 		}
 		if depth >= 2 {
-			return nil, r.err
+			return err
 		}
-		plan, perr := co.cfg.Catalog.RecoveryPlan(table, srcs[i].Pred, srcs[i].Buddy, live)
+		// Mid-stream failover: re-read only what the failed slot still owed.
+		// Workers stream in key order, so everything at or below lastKey was
+		// delivered; resume the range just past it.
+		remaining := slot.rng
+		if emitted {
+			if lastKey == 1<<63-1 {
+				continue // the unbounded range was fully delivered
+			}
+			remaining.Lo = lastKey + 1
+		}
+		if remaining.Empty() {
+			continue
+		}
+		plan, perr := q.co.cfg.Catalog.RecoveryPlan(q.table, remaining, slot.site, q.live)
 		if perr != nil {
-			return nil, r.err // no surviving coverage: report the read error
+			return err // no surviving coverage: report the read error
 		}
-		sub, serr := co.scanSources(plan, spec, id, table, vis, asOf, locked, basePred, live, depth+1)
-		if serr != nil {
-			return nil, serr
+		sub := make([]scanSlot, len(plan))
+		for j, src := range plan {
+			sub[j] = scanSlot{site: src.Buddy, rng: src.Pred}
 		}
-		parts = append(parts, sub...)
+		// RecoveryPlan returns disjoint sources in ascending-Lo order; keep
+		// that order so the failed range stays key-contiguous in the output.
+		if err := q.run(sub, sink, depth+1); err != nil {
+			return err
+		}
 	}
-	return parts, nil
+	return nil
 }
 
-func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
-	vis exec.Visibility, asOf tuple.Timestamp, locked bool, pred expr.Pred) ([]tuple.Tuple, error) {
-	p, err := co.pool(site)
+// readSlot streams one slot from its site, pushing row batches through
+// push (which reports false when the merge has gone away). Batch frames
+// are the default; with TupleAtATime the worker's per-tuple stream is
+// re-batched client-side so the merge path is identical in both modes.
+func (q *scanQuery) readSlot(slot scanSlot, push func([]tuple.Tuple) bool) error {
+	co := q.co
+	p, err := co.pool(slot.site)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	pred := q.pred
+	if slot.rng != expr.FullKeyRange() {
+		pred = pred.And(slot.rng.Pred(q.spec.Desc).Terms...)
 	}
 	m := &wire.Msg{
-		Type: wire.MsgScan, Txn: id, Table: table,
-		Vis: uint8(vis), TS: asOf, Pred: pred.Terms,
+		Type: wire.MsgScan, Txn: q.id, Table: q.table,
+		Vis: uint8(q.vis), TS: q.asOf, Pred: pred.Terms,
 	}
-	if locked {
+	if q.locked {
 		m.Flags |= wire.FlagYes
+	}
+	if q.tupleAtATime {
+		m.Flags |= wire.FlagTupleAtATime
 	}
 	// The send plus first receive is the borrowed conn's first exchange:
 	// a transport error there on a pooled conn retries once on a fresh
@@ -581,40 +671,86 @@ func (co *Coordinator) scanSite(site catalog.SiteID, id txn.ID, table int32,
 		return err
 	})
 	if err != nil {
-		co.MarkDown(site)
-		return nil, err
+		co.MarkDown(slot.site)
+		return err
 	}
-	var rows []tuple.Tuple
-	for resp := first; ; {
-		if resp.Type == wire.MsgErr {
-			p.Put(conn)
-			return nil, resp.Err()
+	desc := q.spec.Desc
+	width := desc.Width()
+	var pending []tuple.Tuple // re-batched legacy per-tuple rows
+	flushPending := func() bool {
+		if len(pending) == 0 {
+			return true
 		}
-		if resp.Type == wire.MsgScanEnd {
+		rows := pending
+		pending = nil
+		return push(rows)
+	}
+	for resp := first; ; {
+		end := false
+		switch resp.Type {
+		case wire.MsgErr:
+			p.Put(conn)
+			return resp.Err()
+		case wire.MsgScanEnd:
+			end = true
+		case wire.MsgTupleBatch:
+			n, err := wire.CheckBatch(resp, width)
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			b := tuple.NewBatch(n)
+			if err := b.DecodeBatch(desc, resp.Raw); err != nil {
+				conn.Close()
+				return err
+			}
+			co.scanRows.Add(int64(n))
+			co.scanBatches.Inc()
+			if !push(b.Rows()) {
+				conn.Close() // merge abandoned; don't recycle mid-stream
+				return nil
+			}
+		case wire.MsgTuple:
+			pending = append(pending, wire.ToTuple(resp.Tuple))
+			co.scanRows.Inc()
+			if len(pending) >= wire.BatchTargetRows {
+				if !flushPending() {
+					conn.Close()
+					return nil
+				}
+			}
+		default:
+			conn.Close()
+			return fmt.Errorf("coord: unexpected %v in scan stream", resp.Type)
+		}
+		if end {
 			break
 		}
-		rows = append(rows, wire.ToTuple(resp.Tuple))
 		resp, err = conn.Recv()
 		if err != nil {
-			co.MarkDown(site)
+			co.MarkDown(slot.site)
 			conn.Close()
-			return nil, err
+			return err
 		}
 	}
-	if locked {
+	if !flushPending() {
+		conn.Close()
+		return nil
+	}
+	if q.locked {
 		// Release the read transaction's locks (§4.3: "for read
 		// transactions, the coordinator merely needs to notify the workers
 		// to release any system resources and locks").
-		_, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: id})
+		_, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: q.id})
 		co.msgsSent.Add(1) // counted per attempted send (see Counters)
 		if err != nil {
-			co.MarkDown(site)
+			co.MarkDown(slot.site)
 			conn.Close()
-			return rows, nil
+			return nil
 		}
 	}
 	p.Put(conn)
-	return rows, nil
+	return nil
 }
 
 // CreateTable creates the table's replicas on their sites per the catalog.

@@ -77,6 +77,10 @@ type Options struct {
 	// the segment architecture buys (compare Figure 6-5's linear-in-
 	// segments cost against scanning the whole table every time).
 	DisablePruning bool
+	// TupleAtATime requests legacy per-tuple framing on the remote recovery
+	// scans instead of batch frames — the ablation behind the batched-
+	// pipeline benchmark.
+	TupleAtATime bool
 }
 
 func (o Options) withDefaults() Options {
@@ -98,8 +102,9 @@ type Recoverer struct {
 	Cat  *catalog.Catalog
 
 	ids *txn.IDSource
-	// noPrune mirrors Options.DisablePruning for the remote scans.
-	noPrune bool
+	// noPrune and tupleAtATime mirror the Options for the remote scans.
+	noPrune      bool
+	tupleAtATime bool
 }
 
 // New builds a Recoverer.
@@ -114,6 +119,7 @@ func New(site *worker.Site, cat *catalog.Catalog) *Recoverer {
 func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	opt = opt.withDefaults()
 	r.noPrune = opt.DisablePruning
+	r.tupleAtATime = opt.TupleAtATime
 	start := time.Now()
 	r.Site.PauseCheckpoints() // §5.2: disable scheduled checkpoints
 	defer r.Site.ResumeCheckpoints()
@@ -202,8 +208,15 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	return stats, nil
 }
 
-// errBuddyFailed marks a recovery-buddy connection failure (§5.5.2).
+// errBuddyFailed marks a recovery-buddy connection failure (§5.5.2). It is
+// the retryable class: RecoverSite replans against the remaining replicas.
 var errBuddyFailed = errors.New("core: recovery buddy failed")
+
+// errLocalApply marks a failure applying copied state to the local replica
+// (page I/O, schema mismatch, full heap). Unlike errBuddyFailed it must NOT
+// trigger a buddy replan — the buddy sent good data and a different buddy
+// would fail the same way. The recovery run aborts instead.
+var errLocalApply = errors.New("core: local apply failed during recovery")
 
 // recoverObject runs the three phases for one replica. Progress is mirrored
 // into the site's metrics registry (recovery.* counters) and its tracer: the
@@ -461,14 +474,18 @@ func (r *Recoverer) copyWindow(tb *storage.Table, src catalog.RecoverySource,
 	if r.noPrune {
 		delMsg.Flags |= wire.FlagNoPrune
 	}
+	if r.tupleAtATime {
+		delMsg.Flags |= wire.FlagTupleAtATime
+	}
 	if historical {
 		// (implicit under historical semantics, stated explicitly in §5.3)
 		_ = hi
 	}
-	err = r.streamFrom(addr, delMsg, func(m *wire.Msg) error {
-		nDel++
-		return r.localSetDeletion(tb, m.Key, m.TS)
-	})
+	err = r.streamFrom(addr, delMsg, tb.Heap.Desc(),
+		func(keys []int64, dels []tuple.Timestamp) error {
+			nDel += len(keys)
+			return r.localSetDeletionBatch(tb, keys, dels)
+		}, nil)
 	durUpd = time.Since(t0)
 	if err != nil {
 		return durUpd, 0, nDel, nIns, err
@@ -484,16 +501,30 @@ func (r *Recoverer) copyWindow(tb *storage.Table, src catalog.RecoverySource,
 	if r.noPrune {
 		insMsg.Flags |= wire.FlagNoPrune
 	}
-	err = r.streamFrom(addr, insMsg, func(m *wire.Msg) error {
-		nIns++
-		return r.localInsert(tb, wire.ToTuple(m.Tuple))
-	})
+	if r.tupleAtATime {
+		insMsg.Flags |= wire.FlagTupleAtATime
+	}
+	err = r.streamFrom(addr, insMsg, tb.Heap.Desc(), nil,
+		func(rows []tuple.Tuple) error {
+			nIns += len(rows)
+			return r.localInsertBatch(tb, rows)
+		})
 	durIns = time.Since(t1)
 	return durUpd, durIns, nDel, nIns, err
 }
 
-// streamFrom runs one remote recovery scan, invoking fn per tuple message.
-func (r *Recoverer) streamFrom(addr string, req *wire.Msg, fn func(*wire.Msg) error) error {
+// streamFrom runs one remote recovery scan. Batch frames (the default) and
+// legacy per-tuple messages both land in the same batch-level callbacks:
+// onKeys for keys-only (tuple_id, deletion_time) projections, onRows for
+// full tuples — which one applies follows the request's FlagYes. Errors are
+// classified: transport and malformed-frame failures wrap errBuddyFailed
+// (retryable with a different buddy), callback failures wrap errLocalApply
+// (the local replica is the problem; replanning would not help), and a
+// remote MsgErr passes through unwrapped.
+func (r *Recoverer) streamFrom(addr string, req *wire.Msg, desc *tuple.Desc,
+	onKeys func(keys []int64, dels []tuple.Timestamp) error,
+	onRows func(rows []tuple.Tuple) error) error {
+	keysOnly := req.Flags&wire.FlagYes != 0
 	c, err := comm.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errBuddyFailed, err)
@@ -502,6 +533,19 @@ func (r *Recoverer) streamFrom(addr string, req *wire.Msg, fn func(*wire.Msg) er
 	if err := c.Send(req); err != nil {
 		return fmt.Errorf("%w: %v", errBuddyFailed, err)
 	}
+	apply := func(keys []int64, dels []tuple.Timestamp, rows []tuple.Tuple) error {
+		var err error
+		if keysOnly {
+			err = onKeys(keys, dels)
+		} else {
+			err = onRows(rows)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", errLocalApply, err)
+		}
+		return nil
+	}
+	b := tuple.NewBatch(wire.BatchTargetRows)
 	for {
 		m, err := c.Recv()
 		if err != nil {
@@ -512,9 +556,40 @@ func (r *Recoverer) streamFrom(addr string, req *wire.Msg, fn func(*wire.Msg) er
 			return nil
 		case wire.MsgErr:
 			return m.Err()
-		case wire.MsgTuple:
-			if err := fn(m); err != nil {
+		case wire.MsgTuple: // legacy per-tuple framing (Options.TupleAtATime)
+			if keysOnly {
+				err = apply([]int64{m.Key}, []tuple.Timestamp{m.TS}, nil)
+			} else {
+				err = apply(nil, nil, []tuple.Tuple{wire.ToTuple(m.Tuple)})
+			}
+			if err != nil {
 				return err
+			}
+		case wire.MsgTupleBatch:
+			if keysOnly {
+				n, err := wire.CheckBatch(m, wire.KeysOnlyStride)
+				if err != nil {
+					return fmt.Errorf("%w: %v", errBuddyFailed, err)
+				}
+				keys := make([]int64, n)
+				dels := make([]tuple.Timestamp, n)
+				for i := 0; i < n; i++ {
+					keys[i], dels[i] = wire.KeyRow(m.Raw, i)
+				}
+				if err := apply(keys, dels, nil); err != nil {
+					return err
+				}
+			} else {
+				if _, err := wire.CheckBatch(m, desc.Width()); err != nil {
+					return fmt.Errorf("%w: %v", errBuddyFailed, err)
+				}
+				b.Reset()
+				if err := b.DecodeBatch(desc, m.Raw); err != nil {
+					return fmt.Errorf("%w: %v", errBuddyFailed, err)
+				}
+				if err := apply(nil, nil, b.Rows()); err != nil {
+					return err
+				}
 			}
 		default:
 			return fmt.Errorf("core: unexpected %v in recovery stream", m.Type)
@@ -562,17 +637,98 @@ func (r *Recoverer) localSetDeletion(tb *storage.Table, key int64, del tuple.Tim
 	return nil
 }
 
-// localInsert copies a remote tuple into the local replica preserving its
-// timestamps (INSERT LOCALLY, §5.3: "without the reassignment of insertion
-// times").
-func (r *Recoverer) localInsert(tb *storage.Table, t tuple.Tuple) error {
+// localSetDeletionBatch applies one batch of copied deletion timestamps.
+// Keys with a single indexed version — the overwhelming majority — are
+// grouped by heap page so each page is pinned and latched once per batch;
+// keys with several versions (SEE DELETED history) take the careful
+// per-key path.
+func (r *Recoverer) localSetDeletionBatch(tb *storage.Table, keys []int64, dels []tuple.Timestamp) error {
+	desc := tb.Heap.Desc()
+	delOff := desc.Offset(tuple.FieldDelTS)
+	type pendingDel struct {
+		slot int
+		del  tuple.Timestamp
+	}
+	var byPage map[page.ID][]pendingDel
+	for i, key := range keys {
+		rids := tb.Index.Lookup(key)
+		if len(rids) == 0 {
+			// As in localSetDeletion: the tuple may arrive later in the
+			// insertion copy already stamped.
+			continue
+		}
+		if len(rids) > 1 {
+			if err := r.localSetDeletion(tb, key, dels[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		if byPage == nil {
+			byPage = make(map[page.ID][]pendingDel)
+		}
+		byPage[rids[0].Page] = append(byPage[rids[0].Page], pendingDel{rids[0].Slot, dels[i]})
+	}
+	for pid, ps := range byPage {
+		f, err := r.Site.Pool.GetPageNoLock(pid)
+		if err != nil {
+			return err
+		}
+		f.Latch.Lock()
+		dirty := false
+		var maxDel tuple.Timestamp
+		for _, p := range ps {
+			if !f.Page.Used(p.slot) {
+				continue
+			}
+			cur, err2 := f.Page.ReadInt64At(p.slot, delOff)
+			if err2 != nil {
+				err = err2
+				break
+			}
+			if cur != tuple.NotDeleted {
+				continue
+			}
+			if err2 := f.Page.WriteInt64At(p.slot, delOff, p.del); err2 != nil {
+				err = err2
+				break
+			}
+			dirty = true
+			if p.del > maxDel {
+				maxDel = p.del
+			}
+		}
+		f.Latch.Unlock()
+		r.Site.Pool.Unpin(f, dirty, 0)
+		if err != nil {
+			return err
+		}
+		if maxDel > 0 {
+			tb.Heap.OnCommitStamp(tb.Heap.SegmentFor(pid.PageNo), 0, maxDel)
+		}
+	}
+	return nil
+}
+
+// localInsertBatch copies one batch of remote tuples into the local replica
+// preserving their timestamps. Each target page is pinned and latched once
+// and filled until it rejects a row; index entries and segment timestamp
+// bounds are recorded per page after the latch drops, instead of per tuple.
+func (r *Recoverer) localInsertBatch(tb *storage.Table, rows []tuple.Tuple) error {
 	heap := tb.Heap
 	desc := heap.Desc()
-	if len(t.Values) != len(desc.Fields) {
-		return fmt.Errorf("core: copied tuple has %d fields, schema %d", len(t.Values), len(desc.Fields))
+	type placedRow struct {
+		key      int64
+		slot     int
+		ins, del tuple.Timestamp
 	}
-	enc := t.Encode(desc)
-	for attempt := 0; attempt < 4; attempt++ {
+	placed := make([]placedRow, 0, len(rows))
+	i := 0
+	stall := 0 // consecutive pages that accepted nothing
+	for i < len(rows) {
+		t := rows[i]
+		if len(t.Values) != len(desc.Fields) {
+			return fmt.Errorf("core: copied tuple has %d fields, schema %d", len(t.Values), len(desc.Fields))
+		}
 		pno := heap.InsertHint()
 		var seg int32
 		if pno < 0 {
@@ -590,28 +746,60 @@ func (r *Recoverer) localInsert(tb *storage.Table, t tuple.Tuple) error {
 			return err
 		}
 		f.Latch.Lock()
-		slot, insErr := f.Page.Insert(enc)
-		if insErr == nil && f.Page.FirstFree() >= 0 {
-			heap.SetInsertHint(pno)
-		} else if insErr == nil {
+		placed = placed[:0]
+		var insErr error
+		for i < len(rows) && len(rows[i].Values) == len(desc.Fields) {
+			t := rows[i]
+			slot, err2 := f.Page.Insert(t.Encode(desc))
+			if err2 != nil {
+				insErr = err2
+				break
+			}
+			placed = append(placed, placedRow{t.Key(desc), slot, t.InsTS(), t.DelTS()})
+			i++
+		}
+		if insErr == page.ErrPageFull || f.Page.FirstFree() < 0 {
 			heap.SetInsertHint(-1)
+		} else {
+			heap.SetInsertHint(pno)
 		}
 		f.Latch.Unlock()
-		if insErr == page.ErrPageFull {
-			r.Site.Pool.Unpin(f, false, 0)
-			heap.SetInsertHint(-1)
-			continue
+		r.Site.Pool.Unpin(f, len(placed) > 0, 0)
+		// Index entries and segment bounds: OnCommitStamp only widens
+		// min/max, so two calls carry the whole page's insertion range.
+		var minIns, maxIns, maxDel tuple.Timestamp
+		for _, p := range placed {
+			tb.Index.Add(p.key, page.RecordID{Page: pid, Slot: p.slot})
+			if p.ins > 0 && p.ins != tuple.Uncommitted {
+				if minIns == 0 || p.ins < minIns {
+					minIns = p.ins
+				}
+				if p.ins > maxIns {
+					maxIns = p.ins
+				}
+			}
+			if p.del > maxDel {
+				maxDel = p.del
+			}
 		}
-		if insErr != nil {
-			r.Site.Pool.Unpin(f, false, 0)
+		if minIns > 0 {
+			heap.OnCommitStamp(seg, minIns, 0)
+		}
+		if maxIns > 0 || maxDel > 0 {
+			heap.OnCommitStamp(seg, maxIns, maxDel)
+		}
+		if insErr != nil && insErr != page.ErrPageFull {
 			return insErr
 		}
-		r.Site.Pool.Unpin(f, true, 0)
-		tb.Index.Add(t.Key(desc), page.RecordID{Page: pid, Slot: slot})
-		heap.OnCommitStamp(seg, t.InsTS(), t.DelTS())
-		return nil
+		if len(placed) == 0 {
+			if stall++; stall >= 4 {
+				return fmt.Errorf("core: no insertable page for copied tuple")
+			}
+		} else {
+			stall = 0
+		}
 	}
-	return fmt.Errorf("core: no insertable page for copied tuple")
+	return nil
 }
 
 // flushObject makes an object's recovered state durable.

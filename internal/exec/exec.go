@@ -51,6 +51,34 @@ const (
 	SeeDeleted
 )
 
+// SegmentSelection names the segments a scan visits. The zero value scans
+// every segment; SegmentsOf restricts the scan to an explicit list — and an
+// explicit empty list scans nothing, which is what a §4.2 recovery plan
+// whose timestamp bounds prune every segment means. (The previous
+// representation, a bare []int32 with nil meaning "all", could not express
+// "none" without call sites pinning a non-nil empty slice.)
+type SegmentSelection struct {
+	restricted bool
+	segs       []int32
+}
+
+// AllSegments selects every segment (same as the zero value).
+func AllSegments() SegmentSelection { return SegmentSelection{} }
+
+// SegmentsOf restricts the scan to exactly the listed segments. A nil or
+// empty list scans nothing.
+func SegmentsOf(segs []int32) SegmentSelection {
+	return SegmentSelection{restricted: true, segs: segs}
+}
+
+// Resolve returns the concrete segment list for a heap file.
+func (s SegmentSelection) Resolve(h *storage.HeapFile) []int32 {
+	if s.restricted {
+		return s.segs
+	}
+	return h.AllSegments()
+}
+
 // ScanSpec describes a sequential scan.
 type ScanSpec struct {
 	Table int32
@@ -61,9 +89,9 @@ type ScanSpec struct {
 	// Locked makes the scan take page read locks as transaction Txn.
 	Locked bool
 	Txn    version.TxnID
-	// Segments restricts the scan (nil = all segments). Recovery queries
-	// pass HeapFile.SegmentPlan output here.
-	Segments []int32
+	// Segments restricts the scan; the zero value visits every segment.
+	// Recovery queries pass SegmentsOf(HeapFile.SegmentPlan(...)) here.
+	Segments SegmentSelection
 	// Pred filters tuples (applied after visibility rewriting).
 	Pred expr.Pred
 }
@@ -101,11 +129,7 @@ func (s *SeqScan) Open() error {
 	}
 	s.heap = tb.Heap
 	s.desc = tb.Heap.Desc()
-	if s.spec.Segments != nil {
-		s.segs = s.spec.Segments
-	} else {
-		s.segs = s.heap.AllSegments()
-	}
+	s.segs = s.spec.Segments.Resolve(s.heap)
 	s.segI, s.pageI, s.slot = 0, 0, 0
 	s.pages = nil
 	if len(s.segs) > 0 {
@@ -126,6 +150,26 @@ func (s *SeqScan) Rewind() error {
 func (s *SeqScan) Close() error {
 	s.releaseFrame()
 	s.open = false
+	return nil
+}
+
+// pinPage pins and read-latches the page at the current (segI, pageI)
+// cursor position and resets the slot cursor.
+func (s *SeqScan) pinPage() error {
+	pid := page.ID{Table: s.spec.Table, PageNo: s.pages[s.pageI]}
+	var f *buffer.Frame
+	var err error
+	if s.spec.Locked {
+		f, err = s.store.Pool.GetPage(s.spec.Txn, pid, buffer.ReadPerm)
+	} else {
+		f, err = s.store.Pool.GetPageNoLock(pid)
+	}
+	if err != nil {
+		return err
+	}
+	f.Latch.RLock()
+	s.frame = f
+	s.slot = 0
 	return nil
 }
 
@@ -153,20 +197,9 @@ func (s *SeqScan) Next() (tuple.Tuple, bool, error) {
 				s.pages = s.heap.SegmentPages(s.segs[s.segI])
 				s.pageI = 0
 			}
-			pid := page.ID{Table: s.spec.Table, PageNo: s.pages[s.pageI]}
-			var f *buffer.Frame
-			var err error
-			if s.spec.Locked {
-				f, err = s.store.Pool.GetPage(s.spec.Txn, pid, buffer.ReadPerm)
-			} else {
-				f, err = s.store.Pool.GetPageNoLock(pid)
-			}
-			if err != nil {
+			if err := s.pinPage(); err != nil {
 				return tuple.Tuple{}, false, err
 			}
-			f.Latch.RLock()
-			s.frame = f
-			s.slot = 0
 		}
 		pg := s.frame.Page
 		for ; s.slot < pg.NumSlots(); s.slot++ {
@@ -247,10 +280,7 @@ func (r *RIDScan) ForEach(fn func(rid page.RecordID, t tuple.Tuple) (bool, error
 	}
 	heap := tb.Heap
 	desc := heap.Desc()
-	segs := r.Spec.Segments
-	if segs == nil {
-		segs = heap.AllSegments()
-	}
+	segs := r.Spec.Segments.Resolve(heap)
 	inner := &SeqScan{store: r.Store, spec: r.Spec, desc: desc}
 	for _, si := range segs {
 		for _, pno := range heap.SegmentPages(si) {

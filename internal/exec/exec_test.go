@@ -188,12 +188,30 @@ func TestScanSegmentsRestriction(t *testing.T) {
 	if tb.Heap.NumSegments() != 2 {
 		t.Fatalf("segments = %d", tb.Heap.NumSegments())
 	}
-	rows, err := Drain(NewSeqScan(st, ScanSpec{Table: 1, Vis: Current, Segments: []int32{1}}))
+	rows, err := Drain(NewSeqScan(st, ScanSpec{Table: 1, Vis: Current, Segments: SegmentsOf([]int32{1})}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 5 {
 		t.Fatalf("segment-restricted scan: %d rows, want 5", len(rows))
+	}
+
+	// An explicitly empty selection — the shape of a recovery plan whose
+	// timestamp bounds pruned every segment — scans nothing, while the zero
+	// value still scans everything.
+	rows, err = Drain(NewSeqScan(st, ScanSpec{Table: 1, Vis: Current, Segments: SegmentsOf(nil)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("everything-pruned scan: %d rows, want 0", len(rows))
+	}
+	rows, err = Drain(NewSeqScan(st, ScanSpec{Table: 1, Vis: Current}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != perSeg+5 {
+		t.Fatalf("all-segments scan: %d rows, want %d", len(rows), perSeg+5)
 	}
 }
 

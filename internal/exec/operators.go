@@ -12,6 +12,8 @@ import (
 type Filter struct {
 	Child Operator
 	Pred  expr.Pred
+
+	bchild BatchOperator
 }
 
 // Open opens the child.
@@ -44,7 +46,9 @@ type Project struct {
 	Child  Operator
 	Fields []int
 
-	desc *tuple.Desc
+	desc    *tuple.Desc
+	bchild  BatchOperator
+	scratch *tuple.Batch
 }
 
 // Open opens the child and derives the output schema.

@@ -126,15 +126,40 @@ func (cl *Cluster) CreateReplicatedTable(id int32, desc *tuple.Desc, segPages in
 // worker 1 holds keys >= split (no replication — a distributed scan must
 // visit both sites).
 func (cl *Cluster) CreatePartitionedTable(id int32, desc *tuple.Desc, segPages int32, split int64) error {
-	if len(cl.Workers) < 2 {
-		return fmt.Errorf("testutil: partitioned table needs >= 2 workers")
+	return cl.CreateRangePartitionedTable(id, desc, segPages, split)
+}
+
+// CreateRangePartitionedTable creates a table horizontally range-partitioned
+// across the first len(splits)+1 workers at the given strictly ascending
+// split keys: worker i holds [splits[i-1], splits[i]) with the outer bounds
+// unbounded (no replication — a distributed scan must visit every site).
+func (cl *Cluster) CreateRangePartitionedTable(id int32, desc *tuple.Desc, segPages int32, splits ...int64) error {
+	n := len(splits) + 1
+	if n < 2 {
+		return fmt.Errorf("testutil: range-partitioned table needs >= 1 split key")
+	}
+	if len(cl.Workers) < n {
+		return fmt.Errorf("testutil: %d-way partitioned table needs >= %d workers", n, n)
 	}
 	full := expr.FullKeyRange()
+	bounds := make([]int64, 0, n+1)
+	bounds = append(bounds, full.Lo)
+	bounds = append(bounds, splits...)
+	bounds = append(bounds, full.Hi)
+	for i := 2; i < len(bounds)-1; i++ {
+		if bounds[i] <= bounds[i-1] {
+			return fmt.Errorf("testutil: split keys must be strictly ascending, got %v", splits)
+		}
+	}
 	spec := &catalog.TableSpec{ID: id, Name: fmt.Sprintf("t%d", id), Desc: desc, SegPages: segPages}
-	return cl.Coord.CreateTable(spec,
-		catalog.Replica{Site: WorkerSiteID(0), Table: id, Range: expr.KeyRange{Lo: full.Lo, Hi: split}, SegPages: segPages},
-		catalog.Replica{Site: WorkerSiteID(1), Table: id, Range: expr.KeyRange{Lo: split, Hi: full.Hi}, SegPages: segPages},
-	)
+	reps := make([]catalog.Replica, 0, n)
+	for i := 0; i < n; i++ {
+		reps = append(reps, catalog.Replica{
+			Site: WorkerSiteID(i), Table: id,
+			Range: expr.KeyRange{Lo: bounds[i], Hi: bounds[i+1]}, SegPages: segPages,
+		})
+	}
+	return cl.Coord.CreateTable(spec, reps...)
 }
 
 // RestartWorker replaces a crashed worker with a fresh Site over the same

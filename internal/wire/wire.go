@@ -82,6 +82,13 @@ const (
 	// per-operation acks, so this one message both fixes the commit time
 	// and applies the commit.
 	MsgCommitFast
+
+	// MsgTupleBatch is one frame of a batched tuple stream: Count rows
+	// packed back-to-back in Raw using the fixed-width heap-page row
+	// encoding (Desc.Width() bytes per row — no per-value boxing). With
+	// FlagYes the frame is the keys-only projection of a recovery deletion
+	// query: Count pairs of (key, del_ts), KeysOnlyStride bytes each.
+	MsgTupleBatch
 )
 
 var typeNames = map[Type]string{
@@ -98,6 +105,7 @@ var typeNames = map[Type]string{
 	MsgTxnOutcome: "TXN-OUTCOME", MsgCurrentTime: "CURRENT-TIME",
 	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
 	MsgObjectStatus: "OBJECT-STATUS", MsgCommitFast: "COMMIT-FAST",
+	MsgTupleBatch: "TUPLE-BATCH",
 }
 
 // String renders the message type.
@@ -131,6 +139,11 @@ const (
 	// is online. No commit can postdate its eviction, so its local state
 	// is complete and recovery may rejoin it from its own data.
 	FlagSurvivor
+	// FlagTupleAtATime on a SCAN or RECOVERY-SCAN request asks the worker
+	// for the legacy per-tuple framing (one MsgTuple per row) instead of
+	// MsgTupleBatch frames. Batched is the default; the flag exists for the
+	// equivalence tests and the bench baseline.
+	FlagTupleAtATime
 )
 
 // Msg is the wire message union.
@@ -153,6 +166,7 @@ type Msg struct {
 	Desc                *tuple.Desc
 	Tuple               []tuple.Value // self-describing tuple values
 	Pred                []expr.Term
+	Raw                 []byte // packed rows of a MsgTupleBatch frame
 }
 
 // Yes reports the FlagYes bit.
@@ -230,6 +244,8 @@ func (m *Msg) AppendTo(b []byte) []byte {
 			u64(uint64(t.Value.I64))
 		}
 	}
+	u32(uint32(len(m.Raw)))
+	b = append(b, m.Raw...)
 	return b
 }
 
@@ -428,6 +444,16 @@ func Unmarshal(b []byte) (*Msg, error) {
 		}
 		m.Pred = append(m.Pred, term)
 	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	if v32 > 0 {
+		if off+int(v32) > len(b) {
+			return fail()
+		}
+		m.Raw = append([]byte(nil), b[off:off+int(v32)]...)
+		off += int(v32)
+	}
 	return m, nil
 }
 
@@ -513,3 +539,43 @@ func ToTuple(vals []tuple.Value) tuple.Tuple {
 
 // PredOf converts wire terms into a predicate.
 func PredOf(terms []expr.Term) expr.Pred { return expr.Pred{Terms: terms} }
+
+// KeysOnlyStride is the byte width of one row of a keys-only batch frame:
+// the tuple key and its deletion timestamp, both int64 little-endian.
+const KeysOnlyStride = 16
+
+// AppendKeyRow appends one (key, del_ts) pair to a keys-only frame payload.
+func AppendKeyRow(raw []byte, key, delTS int64) []byte {
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(key))
+	return binary.LittleEndian.AppendUint64(raw, uint64(delTS))
+}
+
+// KeyRow decodes row i of a keys-only frame payload.
+func KeyRow(raw []byte, i int) (key, delTS int64) {
+	off := i * KeysOnlyStride
+	key = int64(binary.LittleEndian.Uint64(raw[off:]))
+	delTS = int64(binary.LittleEndian.Uint64(raw[off+8:]))
+	return key, delTS
+}
+
+// CheckBatch validates a MsgTupleBatch frame against the row stride it is
+// expected to carry (Desc.Width() for full rows, KeysOnlyStride for the
+// keys-only projection) and returns the row count.
+func CheckBatch(m *Msg, stride int) (int, error) {
+	if stride <= 0 {
+		return 0, fmt.Errorf("wire: batch stride %d", stride)
+	}
+	if int64(len(m.Raw)) != m.Count*int64(stride) {
+		return 0, fmt.Errorf("wire: batch frame %d bytes, want %d rows × %d",
+			len(m.Raw), m.Count, stride)
+	}
+	return int(m.Count), nil
+}
+
+// BatchTargetRows and BatchTargetBytes are the flush policy of batched
+// tuple streams: a frame is sent when it reaches BatchTargetRows rows or
+// its payload exceeds BatchTargetBytes, whichever comes first.
+const (
+	BatchTargetRows  = 256
+	BatchTargetBytes = 32 << 10
+)

@@ -255,6 +255,81 @@ func TestEncoderDecoderRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchFrameRoundTrip packs a tuple.Batch into a MsgTupleBatch frame,
+// runs it through the Encoder/Decoder pair, and checks the rows decode
+// byte-identically (including Char padding trim and negative ints).
+func TestBatchFrameRoundTrip(t *testing.T) {
+	desc := tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int32},
+		tuple.FieldDef{Name: "tag", Type: tuple.Char, Size: 6},
+	)
+	b := tuple.NewBatch(8)
+	for i := 0; i < 5; i++ {
+		tp := tuple.MustMake(desc, tuple.VInt(int64(i-2)), tuple.VInt(int64(i*7)), tuple.VStr("x"))
+		tp.SetInsTS(int64(100 + i))
+		b.Append(tp)
+	}
+	m := &Msg{Type: MsgTupleBatch, Count: int64(b.Len()), Raw: b.EncodeTo(desc, nil)}
+
+	var buf bytes.Buffer
+	var e Encoder
+	var d Decoder
+	if err := e.WriteMsg(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckBatch(got, desc.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("rows = %d", n)
+	}
+	out := tuple.NewBatch(n)
+	if err := out.DecodeBatch(desc, got.Raw); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !out.Row(i).Equal(desc, b.Row(i)) {
+			t.Fatalf("row %d: got %v want %v", i, out.Row(i), b.Row(i))
+		}
+	}
+}
+
+// TestKeysOnlyFrame round-trips the (key, del_ts) projection of the Phase 2
+// deletion query and checks CheckBatch validates both strides.
+func TestKeysOnlyFrame(t *testing.T) {
+	var raw []byte
+	raw = AppendKeyRow(raw, -7, 0)
+	raw = AppendKeyRow(raw, 1<<40, 999)
+	m := &Msg{Type: MsgTupleBatch, Count: 2, Flags: FlagYes, Raw: raw}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckBatch(got, KeysOnlyStride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("rows = %d", n)
+	}
+	if k, d := KeyRow(got.Raw, 0); k != -7 || d != 0 {
+		t.Fatalf("row 0 = (%d,%d)", k, d)
+	}
+	if k, d := KeyRow(got.Raw, 1); k != 1<<40 || d != 999 {
+		t.Fatalf("row 1 = (%d,%d)", k, d)
+	}
+	// A frame whose payload disagrees with Count must be rejected.
+	if _, err := CheckBatch(&Msg{Count: 3, Raw: raw}, KeysOnlyStride); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
 // Property: Unmarshal never panics on arbitrary bytes — corrupt frames from
 // a broken peer must fail cleanly.
 func TestQuickUnmarshalRobustness(t *testing.T) {

@@ -1,6 +1,7 @@
 package worker_test
 
 import (
+	"reflect"
 	"testing"
 
 	"harbor/internal/comm"
@@ -25,9 +26,12 @@ func dialWorker(t *testing.T, cl *testutil.Cluster, i int) *comm.Conn {
 	return c
 }
 
-// drainScan collects a tuple stream after a scan request was sent.
+// drainScan collects a tuple stream after a scan request was sent. Batch
+// frames (the default) are unpacked into one synthetic per-row message
+// each, so assertions see the same shape in both framings.
 func drainScan(t *testing.T, c *comm.Conn) []*wire.Msg {
 	t.Helper()
+	desc := testDesc()
 	var out []*wire.Msg
 	for {
 		m, err := c.Recv()
@@ -44,6 +48,29 @@ func drainScan(t *testing.T, c *comm.Conn) []*wire.Msg {
 			t.Fatalf("scan error: %s", m.Text)
 		case wire.MsgTuple:
 			out = append(out, m)
+		case wire.MsgTupleBatch:
+			if m.Flags&wire.FlagYes != 0 {
+				n, err := wire.CheckBatch(m, wire.KeysOnlyStride)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					k, d := wire.KeyRow(m.Raw, i)
+					out = append(out, &wire.Msg{Type: wire.MsgTuple, Key: k, TS: d})
+				}
+			} else {
+				n, err := wire.CheckBatch(m, desc.Width())
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := tuple.NewBatch(n)
+				if err := b.DecodeBatch(desc, m.Raw); err != nil {
+					t.Fatal(err)
+				}
+				for _, tp := range b.Rows() {
+					out = append(out, &wire.Msg{Type: wire.MsgTuple, Tuple: wire.TupleValues(tp)})
+				}
+			}
 		default:
 			t.Fatalf("unexpected %v in stream", m.Type)
 		}
@@ -182,6 +209,74 @@ func TestWireRecoveryScanKeyRange(t *testing.T) {
 		if key < 3 || key >= 7 {
 			t.Fatalf("key %d outside recovery predicate", key)
 		}
+	}
+}
+
+// TestWireScanFramingEquivalence: for every stream shape a worker serves —
+// SEE DELETED client scans, keys-only recovery projections, full-row
+// recovery scans — the batched framing must carry exactly the per-row
+// content and order of the legacy per-tuple framing.
+func TestWireScanFramingEquivalence(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 1)
+	for i := int64(1); i <= 30; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, mk(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i <= 30; i += 6 {
+		tx := cl.Coord.Begin()
+		if err := tx.DeleteKey(1, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dialWorker(t, cl, 0)
+	cases := []struct {
+		label string
+		req   wire.Msg
+	}{
+		{"see-deleted", wire.Msg{Type: wire.MsgScan, Txn: 901, Table: 1, Vis: uint8(exec.SeeDeleted)}},
+		{"keys-only", wire.Msg{Type: wire.MsgRecoveryScan, Table: 1,
+			KeyLo: -1 << 62, KeyHi: 1 << 62,
+			Flags: wire.FlagYes | wire.FlagHasDelGT, DelGT: 0}},
+		{"full-rows", wire.Msg{Type: wire.MsgRecoveryScan, Table: 1,
+			KeyLo: -1 << 62, KeyHi: 1 << 62,
+			Flags: wire.FlagHasInsGT, InsGT: 0}},
+	}
+	for _, tc := range cases {
+		batchedReq := tc.req
+		if err := c.Send(&batchedReq); err != nil {
+			t.Fatal(err)
+		}
+		batched := drainScan(t, c)
+		legacyReq := tc.req
+		legacyReq.Flags |= wire.FlagTupleAtATime
+		if err := c.Send(&legacyReq); err != nil {
+			t.Fatal(err)
+		}
+		legacy := drainScan(t, c)
+		if len(batched) == 0 {
+			t.Fatalf("%s: empty stream; case is vacuous", tc.label)
+		}
+		if len(batched) != len(legacy) {
+			t.Fatalf("%s: batched %d rows, tuple-at-a-time %d", tc.label, len(batched), len(legacy))
+		}
+		for i := range batched {
+			b, l := batched[i], legacy[i]
+			if b.Key != l.Key || b.TS != l.TS || !reflect.DeepEqual(b.Tuple, l.Tuple) {
+				t.Fatalf("%s: row %d differs: batched {key=%d ts=%d %v}, legacy {key=%d ts=%d %v}",
+					tc.label, i, b.Key, b.TS, b.Tuple, l.Key, l.TS, l.Tuple)
+			}
+		}
+	}
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: 901}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -2,6 +2,7 @@ package worker
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"harbor/internal/comm"
@@ -376,7 +377,85 @@ func (s *Site) forgetLater(id txn.ID) {
 	s.ts.resolved(id)
 }
 
-// streamScan executes a normal scan and streams the results.
+// frameStream packs tuples into MsgTupleBatch frames, flushing a frame when
+// it reaches wire.BatchTargetRows rows or wire.BatchTargetBytes payload
+// bytes. The terminating MsgScanEnd carries the total row count.
+type frameStream struct {
+	c        *comm.Conn
+	desc     *tuple.Desc
+	keysOnly bool
+	rowsCap  int // rows per frame under the flush policy
+	b        *tuple.Batch
+	buf      []byte
+	count    int64
+	site     *Site
+}
+
+func (s *Site) newFrameStream(c *comm.Conn, desc *tuple.Desc, keysOnly bool) *frameStream {
+	stride := desc.Width()
+	if keysOnly {
+		stride = wire.KeysOnlyStride
+	}
+	rowsCap := wire.BatchTargetBytes / stride
+	if rowsCap > wire.BatchTargetRows {
+		rowsCap = wire.BatchTargetRows
+	}
+	if rowsCap < 1 {
+		rowsCap = 1
+	}
+	return &frameStream{c: c, desc: desc, keysOnly: keysOnly, rowsCap: rowsCap,
+		b: tuple.NewBatch(rowsCap), site: s}
+}
+
+func (f *frameStream) add(t tuple.Tuple) error {
+	f.b.Append(t)
+	if f.b.Len() >= f.rowsCap {
+		return f.flush()
+	}
+	return nil
+}
+
+func (f *frameStream) flush() error {
+	n := f.b.Len()
+	if n == 0 {
+		return nil
+	}
+	f.buf = f.buf[:0]
+	var flags uint8
+	if f.keysOnly {
+		flags = wire.FlagYes
+		for _, t := range f.b.Rows() {
+			f.buf = wire.AppendKeyRow(f.buf, t.Key(f.desc), int64(t.DelTS()))
+		}
+	} else {
+		f.buf = f.b.EncodeTo(f.desc, f.buf)
+	}
+	f.count += int64(n)
+	f.b.Reset()
+	f.site.scanRows.Add(int64(n))
+	f.site.scanFrames.Inc()
+	f.site.scanBytes.Add(int64(len(f.buf)))
+	f.site.batchFill.Observe(int64(n))
+	// SendNoFlush serialises the frame into the connection's write buffer
+	// before returning, so f.buf may be reused for the next frame.
+	return f.c.SendNoFlush(&wire.Msg{Type: wire.MsgTupleBatch, Count: int64(n), Flags: flags, Raw: f.buf})
+}
+
+func (f *frameStream) end() error {
+	if err := f.flush(); err != nil {
+		return err
+	}
+	if err := f.c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: f.count}); err != nil {
+		return err
+	}
+	return f.c.Flush()
+}
+
+// streamScan executes a normal scan and streams the results in ascending
+// key order (stable for duplicate keys), as MsgTupleBatch frames by default
+// or one MsgTuple per row when the client set FlagTupleAtATime. The sort
+// gives the coordinator deterministic per-site streams to merge and a
+// resume point (the last emitted key) for mid-stream failover.
 func (s *Site) streamScan(c *comm.Conn, m *wire.Msg) error {
 	spec := exec.ScanSpec{
 		Table:  m.Table,
@@ -387,28 +466,31 @@ func (s *Site) streamScan(c *comm.Conn, m *wire.Msg) error {
 		Pred:   wire.PredOf(m.Pred),
 	}
 	scan := exec.NewSeqScan(s.Store, spec)
-	if err := scan.Open(); err != nil {
+	rows, err := exec.Drain(scan)
+	if err != nil {
 		return err
 	}
-	defer scan.Close()
-	count := int64(0)
-	for {
-		t, ok, err := scan.Next()
-		if err != nil {
+	desc := scan.Desc()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Key(desc) < rows[j].Key(desc) })
+	if m.Flags&wire.FlagTupleAtATime != 0 {
+		for _, t := range rows {
+			if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgTuple, Tuple: wire.TupleValues(t)}); err != nil {
+				return err
+			}
+		}
+		s.scanRows.Add(int64(len(rows)))
+		if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: int64(len(rows))}); err != nil {
 			return err
 		}
-		if !ok {
-			break
-		}
-		if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgTuple, Tuple: wire.TupleValues(t)}); err != nil {
+		return c.Flush()
+	}
+	fs := s.newFrameStream(c, desc, false)
+	for _, t := range rows {
+		if err := fs.add(t); err != nil {
 			return err
 		}
-		count++
 	}
-	if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: count}); err != nil {
-		return err
-	}
-	return c.Flush()
+	return fs.end()
 }
 
 // streamRecoveryScan serves a recovery buddy's side of the Chapter 5
@@ -445,21 +527,18 @@ func (s *Site) streamRecoveryScan(c *comm.Conn, m *wire.Msg) error {
 		delGT = &v
 		pred = pred.And(expr.Term{Field: tuple.FieldDelTS, Op: expr.GT, Value: tuple.VInt(v)})
 	}
-	segs := tb.Heap.SegmentPlan(insLE, insGT, delGT, false)
-	if segs == nil {
-		// Everything pruned. ScanSpec treats nil as "all segments", so pin
-		// an explicit empty plan.
-		segs = []int32{}
-	}
+	// SegmentPlan returns nil when the timestamp bounds prune every segment;
+	// SegmentsOf represents that "scan nothing" plan directly.
+	sel := exec.SegmentsOf(tb.Heap.SegmentPlan(insLE, insGT, delGT, false))
 	if m.Flags&wire.FlagNoPrune != 0 {
-		segs = tb.Heap.AllSegments() // ablation: scan every segment
+		sel = exec.AllSegments() // ablation: scan every segment
 	}
 	keysOnly := m.Flags&wire.FlagYes != 0
 	spec := exec.ScanSpec{
 		Table:    m.Table,
 		Vis:      exec.SeeDeleted,
 		AsOf:     m.TS, // 0 ⇒ plain SEE DELETED (Phase 3); >0 ⇒ historical (Phase 2)
-		Segments: segs,
+		Segments: sel,
 		Pred:     pred,
 	}
 	scan := exec.NewSeqScan(s.Store, spec)
@@ -467,30 +546,49 @@ func (s *Site) streamRecoveryScan(c *comm.Conn, m *wire.Msg) error {
 		return err
 	}
 	defer scan.Close()
-	count := int64(0)
-	for {
-		t, ok, err := scan.Next()
-		if err != nil {
+	if m.Flags&wire.FlagTupleAtATime != 0 {
+		count := int64(0)
+		for {
+			t, ok, err := scan.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			var out *wire.Msg
+			if keysOnly {
+				out = &wire.Msg{Type: wire.MsgTuple, Key: t.Key(desc), TS: t.DelTS()}
+			} else {
+				out = &wire.Msg{Type: wire.MsgTuple, Tuple: wire.TupleValues(t)}
+			}
+			if err := c.SendNoFlush(out); err != nil {
+				return err
+			}
+			count++
+		}
+		s.scanRows.Add(count)
+		if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: count}); err != nil {
 			return err
 		}
-		if !ok {
+		return c.Flush()
+	}
+	fs := s.newFrameStream(c, desc, keysOnly)
+	b := tuple.NewBatch(exec.DefaultBatchRows)
+	for {
+		if err := scan.NextBatch(b); err != nil {
+			return err
+		}
+		if b.Len() == 0 {
 			break
 		}
-		var out *wire.Msg
-		if keysOnly {
-			out = &wire.Msg{Type: wire.MsgTuple, Key: t.Key(desc), TS: t.DelTS()}
-		} else {
-			out = &wire.Msg{Type: wire.MsgTuple, Tuple: wire.TupleValues(t)}
+		for _, t := range b.Rows() {
+			if err := fs.add(t); err != nil {
+				return err
+			}
 		}
-		if err := c.SendNoFlush(out); err != nil {
-			return err
-		}
-		count++
 	}
-	if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: count}); err != nil {
-		return err
-	}
-	return c.Flush()
+	return fs.end()
 }
 
 // simWorkSink defeats dead-code elimination of the simulated CPU loop.

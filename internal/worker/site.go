@@ -142,6 +142,12 @@ type Site struct {
 	trace   *obs.Tracer
 	commits *obs.Counter // worker.commits
 	aborts  *obs.Counter // worker.aborts
+
+	// Batched-stream instrumentation (scan and recovery-scan serving).
+	scanRows   *obs.Counter   // worker.scan.rows — rows streamed out
+	scanFrames *obs.Counter   // worker.scan.frames — MsgTupleBatch frames sent
+	scanBytes  *obs.Counter   // worker.scan.bytes — frame payload bytes sent
+	batchFill  *obs.Histogram // worker.scan.batch_fill — rows per frame
 }
 
 // Open builds the site stack from its directory (creating it if needed) and
@@ -193,6 +199,10 @@ func Open(cfg Config) (*Site, error) {
 	}
 	s.commits = reg.Counter("worker.commits")
 	s.aborts = reg.Counter("worker.aborts")
+	s.scanRows = reg.Counter("worker.scan.rows")
+	s.scanFrames = reg.Counter("worker.scan.frames")
+	s.scanBytes = reg.Counter("worker.scan.bytes")
+	s.batchFill = reg.Histogram("worker.scan.batch_fill")
 	s.ts.init()
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
