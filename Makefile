@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-scan chaos smoke
+.PHONY: all build test race vet check bench bench-scan bench-agg chaos smoke
 
 all: check
 
@@ -33,6 +33,11 @@ bench:
 # framing vs its tuple-at-a-time ablation. Regenerates BENCH_scan.json.
 bench-scan:
 	$(GO) run ./cmd/harbor-bench scan | tee BENCH_scan.json
+
+# Aggregate pushdown vs ship-every-row ablation: the 100k-row 4-site
+# grouped sum. Regenerates BENCH_agg.json.
+bench-agg:
+	$(GO) run ./cmd/harbor-bench agg -iters 5 | tee BENCH_agg.json
 
 # Boots a standalone worker with -debug-addr and validates the
 # /debug/harbor observability endpoint's JSON shape.

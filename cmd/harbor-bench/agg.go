@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"harbor/internal/coord"
+	"harbor/internal/exec"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// aggGroups is the group-column cardinality of the aggregate benchmark:
+// small against the row count, so pushdown ships O(groups) partial states
+// where the ablation ships O(rows) tuples.
+const aggGroups = 64
+
+// aggBenchDesc is the aggregate benchmark schema: a key, a low-cardinality
+// group column, and a summed value column.
+func aggBenchDesc() *tuple.Desc {
+	return tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "g", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int64},
+	)
+}
+
+// aggModeResult is one path's (pushdown or ablation) measurement.
+type aggModeResult struct {
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	RowsShipped int64   `json:"rows_shipped"`
+	Frames      int64   `json:"frames,omitempty"`
+}
+
+// runAgg benchmarks aggregate pushdown against its ship-every-row ablation:
+// a grouped sum over a 4-way range-partitioned table, the 100k-row query the
+// CI gate watches. Both paths run in the same process against the same
+// cluster and return identical rows; the ratios isolate the pushdown. Emits
+// BENCH_agg.json-shaped JSON on stdout.
+func runAgg(rows, iters int) error {
+	if rows < aggGroups {
+		rows = aggGroups
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	dir := tmp()
+	defer os.RemoveAll(dir)
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:    4,
+		Protocol:   txn.OptThreePC,
+		Mode:       worker.HARBOR,
+		BaseDir:    dir,
+		PoolFrames: 1 << 14,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	desc := aggBenchDesc()
+	q := int64(rows / 4)
+	if err := cl.CreateRangePartitionedTable(1, desc, 64, q, 2*q, 3*q); err != nil {
+		return err
+	}
+	// Bulk-load each partition directly with pre-stamped committed tuples,
+	// as the scan bench does.
+	const chunk = 8192
+	for wi := 0; wi < 4; wi++ {
+		tb, err := cl.Workers[wi].Mgr.Get(1)
+		if err != nil {
+			return err
+		}
+		lo, hi := int64(wi)*q, int64(wi+1)*q
+		if wi == 3 {
+			hi = int64(rows)
+		}
+		for lo < hi {
+			n := hi - lo
+			if n > chunk {
+				n = chunk
+			}
+			batch := make([]tuple.Tuple, n)
+			for i := int64(0); i < n; i++ {
+				id := lo + i
+				tp := tuple.MustMake(desc, tuple.VInt(id), tuple.VInt(id%aggGroups), tuple.VInt(id))
+				tp.SetInsTS(1)
+				batch[i] = tp
+			}
+			if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+				return err
+			}
+			lo += n
+		}
+	}
+	cl.Coord.Authority.Advance(2)
+	for _, w := range cl.Workers {
+		w.SeedAppliedTS(2)
+	}
+
+	plan := exec.AggPlan{GroupField: desc.FieldIndex("g"), Aggs: []exec.AggSpec{
+		{Fn: exec.Count},
+		{Fn: exec.Sum, Field: desc.FieldIndex("v")},
+	}}
+	opt := coord.QueryOptions{Historical: true, AsOf: 1}
+
+	run := func(noPushdown bool) (aggModeResult, []tuple.Tuple, error) {
+		var res aggModeResult
+		o := opt
+		o.NoPushdown = noPushdown
+		// One untimed warm-up pulls every page through the buffer pools.
+		want, err := cl.Coord.Aggregate(1, o, plan)
+		if err != nil {
+			return res, nil, err
+		}
+		if len(want) != aggGroups {
+			return res, nil, fmt.Errorf("agg bench: got %d groups, want %d", len(want), aggGroups)
+		}
+		snap := cl.Coord.Obs().Snapshot()
+		rowsBefore := snap.Counters["coord.agg.rows_shipped"] + snap.Counters["coord.scan.rows"]
+		framesBefore := snap.Counters["coord.agg.frames"]
+		samples := make([]float64, iters)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			got, err := cl.Coord.Aggregate(1, o, plan)
+			if err != nil {
+				return res, nil, err
+			}
+			if len(got) != len(want) {
+				return res, nil, fmt.Errorf("agg bench: iteration returned %d groups, want %d", len(got), len(want))
+			}
+			samples[i] = time.Since(t0).Seconds() * 1000
+		}
+		res.ElapsedMS = time.Since(start).Seconds() * 1000
+		snap = cl.Coord.Obs().Snapshot()
+		// Per-iteration average, so pushdown and ablation compare like for
+		// like however many timed iterations ran.
+		res.RowsShipped = (snap.Counters["coord.agg.rows_shipped"] + snap.Counters["coord.scan.rows"] - rowsBefore) / int64(iters)
+		res.Frames = (snap.Counters["coord.agg.frames"] - framesBefore) / int64(iters)
+		sort.Float64s(samples)
+		res.P50MS = samples[len(samples)/2]
+		res.P95MS = samples[(len(samples)*95)/100]
+		return res, want, nil
+	}
+
+	push, pushRows, err := run(false)
+	if err != nil {
+		return err
+	}
+	abl, ablRows, err := run(true)
+	if err != nil {
+		return err
+	}
+	// The two paths must agree before their speeds are worth comparing.
+	if len(pushRows) != len(ablRows) {
+		return fmt.Errorf("agg bench: pushdown %d groups != ablation %d", len(pushRows), len(ablRows))
+	}
+	for i := range pushRows {
+		for j := range pushRows[i].Values {
+			if pushRows[i].Values[j].I64 != ablRows[i].Values[j].I64 {
+				return fmt.Errorf("agg bench: group %d differs between pushdown and ablation", i)
+			}
+		}
+	}
+
+	out := struct {
+		Bench                string        `json:"bench"`
+		Workers              int           `json:"workers"`
+		Rows                 int           `json:"rows"`
+		Groups               int           `json:"groups"`
+		Iters                int           `json:"iters"`
+		Pushdown             aggModeResult `json:"pushdown"`
+		NoPushdown           aggModeResult `json:"no_pushdown"`
+		RowsShippedReduction float64       `json:"rows_shipped_reduction"`
+		Speedup              float64       `json:"speedup"`
+	}{
+		Bench:      "agg",
+		Workers:    4,
+		Rows:       rows,
+		Groups:     aggGroups,
+		Iters:      iters,
+		Pushdown:   push,
+		NoPushdown: abl,
+	}
+	if push.RowsShipped > 0 {
+		out.RowsShippedReduction = float64(abl.RowsShipped) / float64(push.RowsShipped)
+	}
+	if push.ElapsedMS > 0 {
+		out.Speedup = abl.ElapsedMS / push.ElapsedMS
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

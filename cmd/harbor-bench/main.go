@@ -12,6 +12,7 @@
 //	harbor-bench fig66
 //	harbor-bench fig67 [-seconds 12]
 //	harbor-bench scan [-rows 100000] [-iters 3]
+//	harbor-bench agg [-rows 100000] [-iters 5]
 //	harbor-bench all
 //
 // Absolute numbers depend on the host (fsync latency, loopback RTT, core
@@ -76,6 +77,8 @@ func main() {
 		err = runFig67(time.Duration(*seconds) * time.Second)
 	case "scan":
 		err = runScan(*rows, *iters)
+	case "agg":
+		err = runAgg(*rows, *iters)
 	case "all":
 		err = runAll(parseInts(*concList), *txns, *segments, int32(*segPages), time.Duration(*seconds)*time.Second)
 	default:
@@ -89,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|agg|all> [flags]`)
 }
 
 func parseInts(s string) []int {

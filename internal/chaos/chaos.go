@@ -712,9 +712,76 @@ func (h *Harness) checkInvariants(res *Result) {
 		}
 	}
 
+	h.checkAggregates(expected, hwm)
+
 	h.mu.Lock()
 	res.Violations = append(res.Violations, h.violations...)
 	h.mu.Unlock()
+}
+
+// checkAggregates is the post-heal aggregate invariant: a pushed-down
+// group-by-v aggregate over the streams table must match both the
+// NoPushdown ablation (the same algebra over coordinator-shipped rows) and
+// the group values derived from the expected logical state. The fault era
+// alternated scans and pushed-down aggregates against stalls, crashes, and
+// throttled buddies (see ScanStall); whatever failovers those queries took,
+// the slot discard-and-refetch rule must leave no group lost or
+// double-counted once the cluster is healthy again.
+func (h *Harness) checkAggregates(expected map[tkey]repRow, hwm tuple.Timestamp) {
+	desc := chaosDesc()
+	plan := exec.AggPlan{GroupField: desc.FieldIndex("v"), Aggs: []exec.AggSpec{
+		{Fn: exec.Count},
+		{Fn: exec.Sum, Field: desc.FieldIndex("id")},
+	}}
+	type gv struct{ count, sum int64 }
+	want := map[int64]gv{}
+	for k, r := range expected {
+		if k.table != tableStreams {
+			continue
+		}
+		g := want[r.val]
+		g.count++
+		g.sum += k.key
+		want[r.val] = g
+	}
+	opt := coord.QueryOptions{Historical: true, AsOf: hwm}
+	push, err := h.Cl.Coord.Aggregate(tableStreams, opt, plan)
+	if err != nil {
+		h.violatef("aggregate invariant: pushdown aggregate failed post-heal: %v", err)
+		return
+	}
+	ablOpt := opt
+	ablOpt.NoPushdown = true
+	abl, err := h.Cl.Coord.Aggregate(tableStreams, ablOpt, plan)
+	if err != nil {
+		h.violatef("aggregate invariant: ablation aggregate failed post-heal: %v", err)
+		return
+	}
+	if len(push) != len(abl) {
+		h.violatef("aggregate invariant: pushdown returns %d groups, ablation returns %d", len(push), len(abl))
+		return
+	}
+	for i, row := range push {
+		key, cnt, sum := row.Values[0].I64, row.Values[1].I64, row.Values[2].I64
+		a := abl[i]
+		if a.Values[0].I64 != key || a.Values[1].I64 != cnt || a.Values[2].I64 != sum {
+			h.violatef("aggregate invariant: group %d pushdown (v=%d count=%d sum=%d) != ablation (v=%d count=%d sum=%d)",
+				i, key, cnt, sum, a.Values[0].I64, a.Values[1].I64, a.Values[2].I64)
+		}
+		w, ok := want[key]
+		if !ok {
+			h.violatef("aggregate invariant: pushdown returns group v=%d that the expected state does not contain", key)
+			continue
+		}
+		if w.count != cnt || w.sum != sum {
+			h.violatef("aggregate invariant: group v=%d pushdown (count=%d sum=%d), expected state implies (count=%d sum=%d)",
+				key, cnt, sum, w.count, w.sum)
+		}
+		delete(want, key)
+	}
+	for key, w := range want {
+		h.violatef("aggregate invariant: expected state implies group v=%d (count=%d sum=%d) that the pushdown misses", key, w.count, w.sum)
+	}
 }
 
 // scanReplica reads one worker's visible contents of both tables directly

@@ -8,6 +8,7 @@ import (
 	"harbor/internal/comm"
 	"harbor/internal/coord"
 	"harbor/internal/core"
+	"harbor/internal/exec"
 	"harbor/internal/faultnet"
 	"harbor/internal/testutil"
 	"harbor/internal/txn"
@@ -180,22 +181,33 @@ func ScanStall(p txn.Protocol) Scenario {
 		Protocol: p,
 		Workers:  3,
 		Drive: func(h *Harness) {
-			// A dedicated scan client, beyond the streams' occasional scans:
-			// back-to-back historical reads so every fault below lands on an
-			// open scan stream. Contents are verified post-heal; here only
-			// that scans neither wedge nor take the coordinator down.
+			// A dedicated query client, beyond the streams' occasional scans:
+			// back-to-back historical reads alternating between plain scans
+			// and pushed-down aggregates, so every fault below lands on an
+			// open scan or partial-state stream. Contents are verified
+			// post-heal (the aggregate invariant included); here only that
+			// queries neither wedge nor take the coordinator down.
+			desc := chaosDesc()
+			aggPlan := exec.AggPlan{GroupField: desc.FieldIndex("v"), Aggs: []exec.AggSpec{
+				{Fn: exec.Count},
+				{Fn: exec.Sum, Field: desc.FieldIndex("id")},
+			}}
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for i := 0; ; i++ {
 					select {
 					case <-stop:
 						return
 					default:
 					}
-					_, _ = h.Cl.Coord.Scan(tableStreams, coord.QueryOptions{Historical: true})
+					if i%2 == 0 {
+						_, _ = h.Cl.Coord.Scan(tableStreams, coord.QueryOptions{Historical: true})
+					} else {
+						_, _ = h.Cl.Coord.Aggregate(tableStreams, coord.QueryOptions{Historical: true}, aggPlan)
+					}
 					time.Sleep(5 * time.Millisecond)
 				}
 			}()

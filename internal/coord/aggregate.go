@@ -1,0 +1,242 @@
+// Distributed aggregation pushdown: instead of shipping every qualifying
+// row through ScanStream and aggregating locally, Aggregate sends each read
+// slot's site a scan request carrying the aggregate spec. The site folds
+// its rows into per-group partial states (exec.GroupTable) and streams back
+// O(groups) MsgAggBatch frames; the coordinator merges the states — an
+// associative, commutative fold — and finalises in ascending group-key
+// order, so the answer is byte-identical to one HashAgg over the merged
+// scan no matter how slots, sites, or failovers interleaved.
+//
+// Failover re-merge rule: a slot's partial states are buffered in a
+// slot-local table and merged into the query result only when that slot's
+// stream ends cleanly. If the site dies mid-stream the slot-local table is
+// discarded — partial states, unlike key-ordered rows, have no resume
+// point, since a group's state may be split across the delivered and
+// undelivered suffix — and a coverage plan from the survivors re-reads the
+// slot's whole key range. Discard-and-refetch per slot means a group is
+// never double-counted and never lost: every key range is merged exactly
+// once, from exactly one clean stream.
+package coord
+
+import (
+	"fmt"
+
+	"harbor/internal/comm"
+	"harbor/internal/exec"
+	"harbor/internal/expr"
+	"harbor/internal/tuple"
+	"harbor/internal/wire"
+)
+
+// Aggregate runs a grouped aggregate query over one logical table and
+// returns the finalised rows in ascending group-key order (the group
+// column first when plan.GroupField >= 0, then one Int64 column per
+// aggregate). Options behave as in Scan; NoPushdown ships rows instead of
+// partial states and aggregates at the coordinator (the ablation path —
+// identical results, O(rows) wire traffic).
+func (co *Coordinator) Aggregate(table int32, opt QueryOptions, plan exec.AggPlan) ([]tuple.Tuple, error) {
+	if len(plan.Aggs) == 0 {
+		return nil, fmt.Errorf("coord: aggregate with no aggregate columns")
+	}
+	spec, ok := co.cfg.Catalog.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("coord: unknown table %d", table)
+	}
+	if plan.GroupField >= len(spec.Desc.Fields) {
+		return nil, fmt.Errorf("coord: aggregate group field %d out of range", plan.GroupField)
+	}
+	for _, a := range plan.Aggs {
+		if a.Fn != exec.Count && (a.Field < 0 || a.Field >= len(spec.Desc.Fields)) {
+			return nil, fmt.Errorf("coord: aggregate field %d out of range", a.Field)
+		}
+	}
+	co.aggQueries.Inc()
+	partial := plan.Partials()
+	final := exec.NewGroupTable(plan.GroupField, partial)
+
+	if opt.NoPushdown {
+		// Ablation: every row travels; the coordinator runs the same
+		// partial+final algebra over the merged scan.
+		err := co.ScanStream(table, opt, func(rows []tuple.Tuple) error {
+			for _, t := range rows {
+				final.Add(t)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return plan.Rows(final), nil
+	}
+
+	slots, q, err := co.planRead(table, opt)
+	if err != nil {
+		return nil, err
+	}
+	aq := &aggQuery{scanQuery: q, plan: plan, partial: partial}
+	if err := aq.run(slots, final, 0); err != nil {
+		return nil, err
+	}
+	return plan.Rows(final), nil
+}
+
+// aggQuery carries a pushed-down aggregate's invariant parameters on top
+// of the shared read-plan state.
+type aggQuery struct {
+	*scanQuery
+	plan    exec.AggPlan
+	partial []exec.AggSpec
+}
+
+// run fans the slots out concurrently (bounded by the fan-out limit),
+// merging each slot's partial states into final as the slot completes.
+// Merging is associative and commutative, so completion order is free;
+// determinism comes from the finalisation sort, not arrival order. A slot
+// whose site dies is replanned over the survivors for its whole key range
+// (see the failover re-merge rule above); depth bounds cascading failures.
+func (aq *aggQuery) run(slots []scanSlot, final *exec.GroupTable, depth int) error {
+	if len(slots) == 0 {
+		return nil
+	}
+	co := aq.co
+	type slotOut struct {
+		st  *exec.GroupTable
+		err error
+	}
+	results := fanEach(co.fanoutLimit(), slots, func(_ int, slot scanSlot) slotOut {
+		st, err := aq.readAggSlot(slot)
+		return slotOut{st, err}
+	})
+	for i, r := range results {
+		if r.err == nil {
+			// Clean end of stream: the slot's buffered states join the
+			// result exactly once.
+			if err := final.MergeTable(r.st); err != nil {
+				return err
+			}
+			continue
+		}
+		if depth >= 2 {
+			return r.err
+		}
+		// Discard-and-refetch: nothing of this slot was merged, so the
+		// replan re-reads its entire key range from the survivors.
+		co.aggFailovers.Inc()
+		plan, perr := co.cfg.Catalog.RecoveryPlan(aq.table, slots[i].rng, slots[i].site, aq.live)
+		if perr != nil {
+			return r.err // no surviving coverage: report the read error
+		}
+		sub := make([]scanSlot, len(plan))
+		for j, src := range plan {
+			sub[j] = scanSlot{site: src.Buddy, rng: src.Pred}
+		}
+		if err := aq.run(sub, final, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAggSlot streams one slot's partial aggregate states into a
+// slot-local table, which is returned only if the stream ended cleanly.
+func (aq *aggQuery) readAggSlot(slot scanSlot) (*exec.GroupTable, error) {
+	co := aq.co
+	p, err := co.pool(slot.site)
+	if err != nil {
+		return nil, err
+	}
+	pred := aq.pred
+	if slot.rng != expr.FullKeyRange() {
+		pred = pred.And(slot.rng.Pred(aq.spec.Desc).Terms...)
+	}
+	m := &wire.Msg{
+		Type: wire.MsgScan, Txn: aq.id, Table: aq.table,
+		Vis: uint8(aq.vis), TS: aq.asOf, Pred: pred.Terms,
+		AggGroup: int32(aq.plan.GroupField),
+		Aggs:     make([]wire.AggCol, len(aq.partial)),
+	}
+	for i, a := range aq.partial {
+		m.Aggs[i] = wire.AggCol{Fn: uint8(a.Fn), Field: int32(a.Field)}
+	}
+	if aq.locked {
+		m.Flags |= wire.FlagYes
+	}
+	// The send plus first receive is the borrowed conn's first exchange: a
+	// transport error there on a pooled conn retries once on a fresh dial
+	// (stale idle conn) before declaring the site down.
+	var first *wire.Msg
+	conn, err := co.borrow(p, func(c *comm.Conn) error {
+		err := c.Send(m)
+		co.msgsSent.Add(1) // counted per attempted send (see Counters)
+		if err != nil {
+			return err
+		}
+		first, err = c.Recv()
+		return err
+	})
+	if err != nil {
+		co.MarkDown(slot.site)
+		return nil, err
+	}
+	ncols := len(aq.partial)
+	grouped := aq.plan.GroupField >= 0
+	if grouped {
+		ncols++
+	}
+	st := exec.NewGroupTable(aq.plan.GroupField, aq.partial)
+	vals := make([]int64, 0, ncols)
+	for resp := first; ; {
+		end := false
+		switch resp.Type {
+		case wire.MsgErr:
+			p.Put(conn)
+			return nil, resp.Err()
+		case wire.MsgScanEnd:
+			end = true
+		case wire.MsgAggBatch:
+			n, err := wire.CheckBatch(resp, wire.AggStride(ncols))
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			co.aggRowsShipped.Add(int64(n))
+			co.aggFrames.Inc()
+			for i := 0; i < n; i++ {
+				vals = wire.AggRow(resp.Raw, i, ncols, vals[:0])
+				key := int64(0)
+				state := vals
+				if grouped {
+					key, state = vals[0], vals[1:]
+				}
+				if err := st.Merge(key, state); err != nil {
+					conn.Close()
+					return nil, err
+				}
+			}
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("coord: unexpected %v in aggregate stream", resp.Type)
+		}
+		if end {
+			break
+		}
+		resp, err = conn.Recv()
+		if err != nil {
+			co.MarkDown(slot.site)
+			conn.Close()
+			return nil, err
+		}
+	}
+	if aq.locked {
+		// Release the read transaction's locks, as the row-scan path does.
+		_, err := conn.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: aq.id})
+		co.msgsSent.Add(1) // counted per attempted send (see Counters)
+		if err != nil {
+			co.MarkDown(slot.site)
+			conn.Close()
+			return st, nil
+		}
+	}
+	p.Put(conn)
+	return st, nil
+}

@@ -127,6 +127,12 @@ type Coordinator struct {
 	// Distributed-scan stream instrumentation.
 	scanRows    *obs.Counter // coord.scan.rows — rows received from workers
 	scanBatches *obs.Counter // coord.scan.batches — batch frames received
+
+	// Pushed-down aggregation instrumentation.
+	aggRowsShipped *obs.Counter // coord.agg.rows_shipped — partial states received
+	aggFrames      *obs.Counter // coord.agg.frames — MsgAggBatch frames received
+	aggQueries     *obs.Counter // coord.agg.queries — Aggregate calls served
+	aggFailovers   *obs.Counter // coord.agg.failovers — slots replanned mid-query
 }
 
 // New starts a coordinator (and its recovery server).
@@ -163,6 +169,10 @@ func New(cfg Config) (*Coordinator, error) {
 	co.commitNS = co.reg.Histogram("coord.commit.latency.ns")
 	co.scanRows = co.reg.Counter("coord.scan.rows")
 	co.scanBatches = co.reg.Counter("coord.scan.batches")
+	co.aggRowsShipped = co.reg.Counter("coord.agg.rows_shipped")
+	co.aggFrames = co.reg.Counter("coord.agg.frames")
+	co.aggQueries = co.reg.Counter("coord.agg.queries")
+	co.aggFailovers = co.reg.Counter("coord.agg.failovers")
 	if plan.CoordLogs {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err

@@ -435,6 +435,11 @@ type QueryOptions struct {
 	// instead of batch frames. Row content and order are identical; the
 	// flag exists for the equivalence tests and the bench baseline.
 	TupleAtATime bool
+	// NoPushdown makes Aggregate ship every qualifying row and aggregate
+	// at the coordinator instead of pushing partial aggregation down to the
+	// workers. Results are identical; the flag exists for the equivalence
+	// tests and the bench ablation (mirroring TupleAtATime).
+	NoPushdown bool
 }
 
 // Scan runs a read-only query over one logical table and materialises the
@@ -501,10 +506,20 @@ type scanQuery struct {
 // last emitted key), its sub-slots spliced in at the failed slot's
 // position in ascending range order.
 func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tuple.Tuple) error) error {
+	slots, q, err := co.planRead(table, opt)
+	if err != nil {
+		return err
+	}
+	return q.run(slots, sink, 0)
+}
+
+// planRead computes the slot assignment and invariant parameters shared by
+// every distributed read (ScanStream and Aggregate).
+func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *scanQuery, error) {
 	live := func(s catalog.SiteID) bool { return co.objectIsOnline(table, s) }
 	srcs, err := co.cfg.Catalog.ReadSites(table, live)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if opt.PreferSite != 0 {
 		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
@@ -516,7 +531,7 @@ func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tup
 	}
 	spec, ok := co.cfg.Catalog.Table(table)
 	if !ok {
-		return fmt.Errorf("coord: unknown table %d", table)
+		return nil, nil, fmt.Errorf("coord: unknown table %d", table)
 	}
 	vis := exec.Current
 	asOf := tuple.Timestamp(0)
@@ -536,7 +551,7 @@ func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tup
 	sortScanSlots(slots)
 	q := &scanQuery{co: co, spec: spec, id: co.ids.Next(), table: table, vis: vis,
 		asOf: asOf, locked: locked, pred: opt.Pred, tupleAtATime: opt.TupleAtATime, live: live}
-	return q.run(slots, sink, 0)
+	return slots, q, nil
 }
 
 // run streams the slots to sink in slot order. Readers launch strictly in

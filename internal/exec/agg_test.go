@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"harbor/internal/tuple"
+)
+
+func TestHashAggSchemaNames(t *testing.T) {
+	desc := testDesc()
+	agg := &HashAgg{
+		Child:      &SliceScan{Schema: desc, Rows: []tuple.Tuple{mk(1, 10)}},
+		GroupField: desc.FieldIndex("v"),
+		Aggs: []AggSpec{
+			{Fn: Count},
+			{Fn: Sum, Field: desc.FieldIndex("id")},
+			{Fn: Min, Field: desc.FieldIndex("id")},
+			{Fn: Max, Field: desc.FieldIndex("id")},
+			{Fn: Avg, Field: desc.FieldIndex("id")},
+		},
+	}
+	if err := agg.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	want := []string{"v", "count(*)", "sum(id)", "min(id)", "max(id)", "avg(id)"}
+	got := make([]string, len(agg.Desc().Fields))
+	for i, f := range agg.Desc().Fields {
+		got[i] = f.Name
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schema names = %v, want %v", got, want)
+	}
+}
+
+// TestSortTieBreak feeds rows with duplicate sort-field values in two
+// different input orders and requires identical output: ties break on the
+// key field, always ascending.
+func TestSortTieBreak(t *testing.T) {
+	desc := testDesc()
+	rows := []tuple.Tuple{mk(5, 20), mk(1, 10), mk(4, 10), mk(2, 20), mk(3, 10)}
+	perm := []tuple.Tuple{mk(3, 10), mk(2, 20), mk(1, 10), mk(5, 20), mk(4, 10)}
+	vf := desc.FieldIndex("v")
+	for _, descending := range []bool{false, true} {
+		a, err := Drain(&Sort{Child: &SliceScan{Schema: desc, Rows: rows}, Field: vf, Descending: descending})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Drain(&Sort{Child: &SliceScan{Schema: desc, Rows: perm}, Field: vf, Descending: descending})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids(a), ids(b)) {
+			t.Fatalf("descending=%v: input order leaked into output: %v vs %v", descending, ids(a), ids(b))
+		}
+		want := []int64{1, 3, 4, 2, 5}
+		if descending {
+			want = []int64{2, 5, 1, 3, 4}
+		}
+		if got := ids(a); !reflect.DeepEqual(got, want) {
+			t.Fatalf("descending=%v: got %v, want %v", descending, got, want)
+		}
+	}
+}
+
+// TestPartialFinalEquivalence shards rows across "sites", aggregates each
+// shard into partial states, merges the states in shuffled order, and
+// requires the finalised result to be byte-identical to one HashAgg over
+// all rows — including Avg values whose integer division loses remainders
+// that per-site averaging would get wrong.
+func TestPartialFinalEquivalence(t *testing.T) {
+	desc := testDesc()
+	rng := rand.New(rand.NewSource(42))
+	var rows []tuple.Tuple
+	for id := int64(1); id <= 500; id++ {
+		rows = append(rows, mk(id, 3+rng.Int63n(7)))
+	}
+	for _, group := range []int{desc.FieldIndex("v"), -1} {
+		plan := AggPlan{GroupField: group, Aggs: []AggSpec{
+			{Fn: Count},
+			{Fn: Sum, Field: desc.FieldIndex("id")},
+			{Fn: Min, Field: desc.FieldIndex("id")},
+			{Fn: Max, Field: desc.FieldIndex("id")},
+			{Fn: Avg, Field: desc.FieldIndex("id")},
+		}}
+
+		// Single-site reference.
+		want, err := Drain(&HashAgg{
+			Child:      &SliceScan{Schema: desc, Rows: rows},
+			GroupField: group,
+			Aggs:       plan.Aggs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Distributed: 4 shards, partial states merged in shuffled order.
+		shards := make([]*GroupTable, 4)
+		for i := range shards {
+			shards[i] = NewGroupTable(group, plan.Partials())
+		}
+		for i, r := range rows {
+			shards[i%len(shards)].Add(r)
+		}
+		final := NewGroupTable(group, plan.Partials())
+		order := rng.Perm(len(shards))
+		for _, i := range order {
+			if err := final.MergeTable(shards[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := plan.Rows(final)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("group=%d: merged partials diverge:\n got %v\nwant %v", group, got, want)
+		}
+	}
+}
+
+// TestAggNextBatchNative checks HashAgg and Sort stream natively batch-at-
+// a-time (AsBatch must not wrap them) and deliver more than one batch.
+func TestAggNextBatchNative(t *testing.T) {
+	desc := testDesc()
+	n := 3 * DefaultBatchRows / 2
+	var rows []tuple.Tuple
+	for id := 0; id < n; id++ {
+		rows = append(rows, mk(int64(id), int64(id)))
+	}
+	agg := &HashAgg{
+		Child:      &SliceScan{Schema: desc, Rows: rows},
+		GroupField: desc.FieldIndex("v"),
+		Aggs:       []AggSpec{{Fn: Count}},
+	}
+	srt := &Sort{Child: &SliceScan{Schema: desc, Rows: rows}, Field: desc.Key, Descending: true}
+	for name, op := range map[string]Operator{"hashagg": agg, "sort": srt} {
+		bop := AsBatch(op)
+		if _, wrapped := bop.(*batchAdapter); wrapped {
+			t.Fatalf("%s: AsBatch fell back to the per-tuple adapter", name)
+		}
+		if err := bop.Open(); err != nil {
+			t.Fatal(err)
+		}
+		got, batches := 0, 0
+		b := tuple.NewBatch(DefaultBatchRows)
+		for {
+			if err := bop.NextBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				break
+			}
+			got += b.Len()
+			batches++
+		}
+		bop.Close()
+		if got != n || batches < 2 {
+			t.Fatalf("%s: streamed %d rows in %d batches, want %d rows in >=2", name, got, batches, n)
+		}
+	}
+}

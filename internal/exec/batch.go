@@ -145,6 +145,26 @@ func (p *Project) NextBatch(b *tuple.Batch) error {
 	return nil
 }
 
+// NextBatch serves the materialised group rows slab-at-a-time.
+func (h *HashAgg) NextBatch(b *tuple.Batch) error {
+	b.Reset()
+	for b.Len() < DefaultBatchRows && h.pos < len(h.results) {
+		b.Append(h.results[h.pos])
+		h.pos++
+	}
+	return nil
+}
+
+// NextBatch serves the sorted rows slab-at-a-time.
+func (s *Sort) NextBatch(b *tuple.Batch) error {
+	b.Reset()
+	for b.Len() < DefaultBatchRows && s.pos < len(s.rows) {
+		b.Append(s.rows[s.pos])
+		s.pos++
+	}
+	return nil
+}
+
 // DrainBatches opens op and feeds every non-empty batch to sink.
 func DrainBatches(op BatchOperator, sink func(*tuple.Batch) error) error {
 	if err := op.Open(); err != nil {

@@ -201,7 +201,10 @@ type AggSpec struct {
 }
 
 // HashAgg is the in-memory hash-grouping aggregation of §6.1.5. GroupField
-// of -1 aggregates everything into a single group.
+// of -1 aggregates everything into a single group. It runs the full
+// partial+final algebra locally: the child is drained batch-at-a-time into
+// a GroupTable and the results are finalised in group-key order, so its
+// output is byte-identical to a distributed merge over the same rows.
 type HashAgg struct {
 	Child      Operator
 	GroupField int
@@ -212,98 +215,26 @@ type HashAgg struct {
 	pos     int
 }
 
-type aggState struct {
-	count     int64
-	sum       []int64
-	min, max  []int64
-	populated bool
-}
-
 // Open drains the child and materialises grouped results.
 func (h *HashAgg) Open() error {
 	if err := h.Child.Open(); err != nil {
 		return err
 	}
-	in := h.Child.Desc()
-	var fields []tuple.FieldDef
-	if h.GroupField >= 0 {
-		fields = append(fields, in.Fields[h.GroupField])
-	}
-	for i, a := range h.Aggs {
-		name := fmt.Sprintf("agg%d", i)
-		fields = append(fields, tuple.FieldDef{Name: name, Type: tuple.Int64})
-		_ = a
-	}
-	h.desc = &tuple.Desc{Fields: fields}
-
-	groups := map[int64]*aggState{}
-	var keys []int64
+	plan := AggPlan{GroupField: h.GroupField, Aggs: h.Aggs}
+	h.desc = plan.OutDesc(h.Child.Desc())
+	gt := NewGroupTable(h.GroupField, plan.Partials())
+	child := AsBatch(h.Child)
+	b := tuple.NewBatch(DefaultBatchRows)
 	for {
-		t, ok, err := h.Child.Next()
-		if err != nil {
+		if err := child.NextBatch(b); err != nil {
 			return err
 		}
-		if !ok {
+		if b.Len() == 0 {
 			break
 		}
-		key := int64(0)
-		if h.GroupField >= 0 {
-			key = t.Values[h.GroupField].I64
-		}
-		st := groups[key]
-		if st == nil {
-			st = &aggState{
-				sum: make([]int64, len(h.Aggs)),
-				min: make([]int64, len(h.Aggs)),
-				max: make([]int64, len(h.Aggs)),
-			}
-			groups[key] = st
-			keys = append(keys, key)
-		}
-		st.count++
-		for i, a := range h.Aggs {
-			if a.Fn == Count {
-				continue
-			}
-			v := t.Values[a.Field].I64
-			st.sum[i] += v
-			if !st.populated || v < st.min[i] {
-				st.min[i] = v
-			}
-			if !st.populated || v > st.max[i] {
-				st.max[i] = v
-			}
-		}
-		st.populated = true
+		gt.AddBatch(b)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	h.results = h.results[:0]
-	for _, key := range keys {
-		st := groups[key]
-		out := tuple.Tuple{Values: make([]tuple.Value, 0, len(h.desc.Fields))}
-		if h.GroupField >= 0 {
-			out.Values = append(out.Values, tuple.VInt(key))
-		}
-		for i, a := range h.Aggs {
-			var v int64
-			switch a.Fn {
-			case Count:
-				v = st.count
-			case Sum:
-				v = st.sum[i]
-			case Min:
-				v = st.min[i]
-			case Max:
-				v = st.max[i]
-			case Avg:
-				if st.count > 0 {
-					v = st.sum[i] / st.count
-				}
-			}
-			out.Values = append(out.Values, tuple.VInt(v))
-		}
-		h.results = append(h.results, out)
-	}
+	h.results = plan.Rows(gt)
 	h.pos = 0
 	return nil
 }
@@ -421,35 +352,59 @@ type Sort struct {
 	pos  int
 }
 
-// Open drains and sorts the child.
+// cmpField three-way compares two rows on one field.
+func cmpField(d *tuple.Desc, field int, a, b tuple.Tuple) int {
+	if d.Fields[field].Type == tuple.Char {
+		switch {
+		case a.Values[field].Str < b.Values[field].Str:
+			return -1
+		case a.Values[field].Str > b.Values[field].Str:
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case a.Values[field].I64 < b.Values[field].I64:
+		return -1
+	case a.Values[field].I64 > b.Values[field].I64:
+		return 1
+	}
+	return 0
+}
+
+// Open drains and sorts the child. Rows comparing equal on the sort field
+// are tie-broken by the schema's key field (always ascending), so the
+// output order is fully deterministic no matter what order the child —
+// e.g. a distributed merge racing several sites — produced the rows in.
 func (s *Sort) Open() error {
 	if err := s.Child.Open(); err != nil {
 		return err
 	}
 	s.rows = s.rows[:0]
+	child := AsBatch(s.Child)
+	b := tuple.NewBatch(DefaultBatchRows)
 	for {
-		t, ok, err := s.Child.Next()
-		if err != nil {
+		if err := child.NextBatch(b); err != nil {
 			return err
 		}
-		if !ok {
+		if b.Len() == 0 {
 			break
 		}
-		s.rows = append(s.rows, t)
+		s.rows = append(s.rows, b.Rows()...)
 	}
 	d := s.Child.Desc()
-	isChar := d.Fields[s.Field].Type == tuple.Char
 	sort.SliceStable(s.rows, func(i, j int) bool {
-		var less bool
-		if isChar {
-			less = s.rows[i].Values[s.Field].Str < s.rows[j].Values[s.Field].Str
-		} else {
-			less = s.rows[i].Values[s.Field].I64 < s.rows[j].Values[s.Field].I64
-		}
+		c := cmpField(d, s.Field, s.rows[i], s.rows[j])
 		if s.Descending {
-			return !less
+			c = -c
 		}
-		return less
+		if c != 0 {
+			return c < 0
+		}
+		if d.Key != s.Field {
+			return cmpField(d, d.Key, s.rows[i], s.rows[j]) < 0
+		}
+		return false
 	})
 	s.pos = 0
 	return nil

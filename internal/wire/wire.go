@@ -89,6 +89,14 @@ const (
 	// FlagYes the frame is the keys-only projection of a recovery deletion
 	// query: Count pairs of (key, del_ts), KeysOnlyStride bytes each.
 	MsgTupleBatch
+
+	// MsgAggBatch is one frame of a pushed-down aggregate stream: Count
+	// partial group-state rows packed back-to-back in Raw, every column an
+	// int64 little-endian (AggStride bytes per row). A row is the group key
+	// (only when the request grouped, AggGroup >= 0) followed by one value
+	// per partial column of the request's agg spec. The stream still ends
+	// with MsgScanEnd; Count there is the total number of groups.
+	MsgAggBatch
 )
 
 var typeNames = map[Type]string{
@@ -105,7 +113,7 @@ var typeNames = map[Type]string{
 	MsgTxnOutcome: "TXN-OUTCOME", MsgCurrentTime: "CURRENT-TIME",
 	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
 	MsgObjectStatus: "OBJECT-STATUS", MsgCommitFast: "COMMIT-FAST",
-	MsgTupleBatch: "TUPLE-BATCH",
+	MsgTupleBatch: "TUPLE-BATCH", MsgAggBatch: "AGG-BATCH",
 }
 
 // String renders the message type.
@@ -166,7 +174,23 @@ type Msg struct {
 	Desc                *tuple.Desc
 	Tuple               []tuple.Value // self-describing tuple values
 	Pred                []expr.Term
-	Raw                 []byte // packed rows of a MsgTupleBatch frame
+	Raw                 []byte // packed rows of a MsgTupleBatch/MsgAggBatch frame
+
+	// AggGroup and Aggs are the pushed-down aggregate spec of a MsgScan.
+	// A non-empty Aggs list turns the scan into a partial aggregation:
+	// the worker groups by input field AggGroup (-1 = one global group),
+	// computes one partial state column per AggCol, and streams MsgAggBatch
+	// frames instead of rows. Every flag bit is taken, so presence is
+	// signalled by len(Aggs) > 0.
+	AggGroup int32
+	Aggs     []AggCol
+}
+
+// AggCol is one pushed-down partial aggregate column: the function code
+// (exec.AggFunc numbering) and the input field it reads.
+type AggCol struct {
+	Fn    uint8
+	Field int32
 }
 
 // Yes reports the FlagYes bit.
@@ -246,6 +270,12 @@ func (m *Msg) AppendTo(b []byte) []byte {
 	}
 	u32(uint32(len(m.Raw)))
 	b = append(b, m.Raw...)
+	u32(uint32(m.AggGroup))
+	u32(uint32(len(m.Aggs)))
+	for _, a := range m.Aggs {
+		u8(a.Fn)
+		u32(uint32(a.Field))
+	}
 	return b
 }
 
@@ -454,6 +484,21 @@ func Unmarshal(b []byte) (*Msg, error) {
 		m.Raw = append([]byte(nil), b[off:off+int(v32)]...)
 		off += int(v32)
 	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	m.AggGroup = int32(v32)
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		fn, ok1 := u8()
+		field, ok2 := u32()
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		m.Aggs = append(m.Aggs, AggCol{Fn: fn, Field: int32(field)})
+	}
 	return m, nil
 }
 
@@ -558,9 +603,31 @@ func KeyRow(raw []byte, i int) (key, delTS int64) {
 	return key, delTS
 }
 
-// CheckBatch validates a MsgTupleBatch frame against the row stride it is
-// expected to carry (Desc.Width() for full rows, KeysOnlyStride for the
-// keys-only projection) and returns the row count.
+// AggStride is the byte width of one partial group-state row of ncols
+// int64 columns.
+func AggStride(ncols int) int { return 8 * ncols }
+
+// AppendAggRow appends one partial group-state row to an agg frame payload.
+func AppendAggRow(raw []byte, vals ...int64) []byte {
+	for _, v := range vals {
+		raw = binary.LittleEndian.AppendUint64(raw, uint64(v))
+	}
+	return raw
+}
+
+// AggRow appends the ncols values of row i of an agg frame payload to dst.
+func AggRow(raw []byte, i, ncols int, dst []int64) []int64 {
+	off := i * AggStride(ncols)
+	for c := 0; c < ncols; c++ {
+		dst = append(dst, int64(binary.LittleEndian.Uint64(raw[off+8*c:])))
+	}
+	return dst
+}
+
+// CheckBatch validates a MsgTupleBatch/MsgAggBatch frame against the row
+// stride it is expected to carry (Desc.Width() for full rows,
+// KeysOnlyStride for the keys-only projection, AggStride for partial
+// group states) and returns the row count.
 func CheckBatch(m *Msg, stride int) (int, error) {
 	if stride <= 0 {
 		return 0, fmt.Errorf("wire: batch stride %d", stride)

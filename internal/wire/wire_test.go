@@ -31,6 +31,8 @@ func TestMarshalRoundTripAllFields(t *testing.T) {
 			{Field: 2, Op: expr.GE, Value: tuple.VInt(10)},
 			{Field: 3, Op: expr.EQ, Value: tuple.VStr("abc")},
 		},
+		AggGroup: -1,
+		Aggs:     []AggCol{{Fn: 2, Field: 3}, {Fn: 1, Field: 0}},
 	}
 	got, err := Unmarshal(m.Marshal())
 	if err != nil {
@@ -126,6 +128,37 @@ func TestQuickMsgRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAggFrameRoundTrip(t *testing.T) {
+	// Three partial group-state rows of (group, count, sum).
+	var raw []byte
+	rows := [][]int64{{10, 2, 3}, {20, 3, 12}, {-1, 1, -7}}
+	for _, r := range rows {
+		raw = AppendAggRow(raw, r...)
+	}
+	m := &Msg{Type: MsgAggBatch, Count: int64(len(rows)), Raw: raw}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckBatch(got, AggStride(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("rows = %d, want %d", n, len(rows))
+	}
+	for i, want := range rows {
+		if gotRow := AggRow(got.Raw, i, 3, nil); !reflect.DeepEqual(gotRow, want) {
+			t.Fatalf("row %d = %v, want %v", i, gotRow, want)
+		}
+	}
+	// A frame whose payload disagrees with its row count must be rejected.
+	got.Count++
+	if _, err := CheckBatch(got, AggStride(3)); err == nil {
+		t.Fatal("short agg frame not detected")
 	}
 }
 

@@ -1,0 +1,122 @@
+package worker_test
+
+import (
+	"testing"
+
+	"harbor/internal/comm"
+	"harbor/internal/exec"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+	"harbor/internal/worker"
+)
+
+// drainAgg collects the partial group-state rows of a pushed-down aggregate
+// stream, returning one []int64 per group row and the frame count.
+func drainAgg(t *testing.T, c *comm.Conn, ncols int) ([][]int64, int) {
+	t.Helper()
+	var out [][]int64
+	frames := 0
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m.Type {
+		case wire.MsgScanEnd:
+			if int(m.Count) != len(out) {
+				t.Fatalf("agg end count %d, received %d", m.Count, len(out))
+			}
+			return out, frames
+		case wire.MsgErr:
+			t.Fatalf("agg scan error: %s", m.Text)
+		case wire.MsgAggBatch:
+			n, err := wire.CheckBatch(m, wire.AggStride(ncols))
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames++
+			for i := 0; i < n; i++ {
+				out = append(out, wire.AggRow(m.Raw, i, ncols, nil))
+			}
+		default:
+			t.Fatalf("unexpected %v in agg stream", m.Type)
+		}
+	}
+}
+
+// TestWireAggScan pushes a grouped count+sum down to one worker and checks
+// the partial states against a hand computation; enough groups are used
+// that the stream must span multiple MsgAggBatch frames.
+func TestWireAggScan(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 1)
+	desc := testDesc()
+	const n = 600 // group by id → 600 groups → >2 frames at 256 rows/frame
+	tx := cl.Coord.Begin()
+	for i := int64(0); i < n; i++ {
+		if err := tx.Insert(1, mk(i, i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c := dialWorker(t, cl, 0)
+
+	// Group by id: one state per row, multiple frames, ascending key order.
+	idf, vf := desc.FieldIndex("id"), desc.FieldIndex("v")
+	msg := &wire.Msg{
+		Type: wire.MsgScan, Txn: 900, Table: 1, Vis: uint8(exec.Current),
+		AggGroup: int32(idf),
+		Aggs: []wire.AggCol{
+			{Fn: uint8(exec.Count), Field: int32(idf)},
+			{Fn: uint8(exec.Sum), Field: int32(vf)},
+		},
+	}
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	rows, frames := drainAgg(t, c, 3)
+	if len(rows) != n || frames < 2 {
+		t.Fatalf("got %d groups in %d frames, want %d in >=2", len(rows), frames, n)
+	}
+	for i, r := range rows {
+		id := int64(i)
+		if r[0] != id || r[1] != 1 || r[2] != id%5 {
+			t.Fatalf("group %d state = %v", i, r)
+		}
+	}
+
+	// Global aggregate: one state row, no group column.
+	msg = &wire.Msg{
+		Type: wire.MsgScan, Txn: 900, Table: 1, Vis: uint8(exec.Current),
+		AggGroup: -1,
+		Aggs: []wire.AggCol{
+			{Fn: uint8(exec.Count), Field: int32(idf)},
+			{Fn: uint8(exec.Max), Field: int32(idf)},
+		},
+	}
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = drainAgg(t, c, 2)
+	if len(rows) != 1 || rows[0][0] != n || rows[0][1] != n-1 {
+		t.Fatalf("global state = %v", rows)
+	}
+
+	// An out-of-range agg field must error, not crash the stream.
+	msg = &wire.Msg{
+		Type: wire.MsgScan, Txn: 900, Table: 1, Vis: uint8(exec.Current),
+		AggGroup: -1,
+		Aggs:     []wire.AggCol{{Fn: uint8(exec.Sum), Field: 99}},
+	}
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c.Recv(); err != nil || m.Type != wire.MsgErr {
+		t.Fatalf("bad agg spec: got %v, %v", m, err)
+	}
+
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgEndRead, Txn: 900}); err != nil {
+		t.Fatal(err)
+	}
+}

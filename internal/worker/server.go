@@ -465,6 +465,9 @@ func (s *Site) streamScan(c *comm.Conn, m *wire.Msg) error {
 		Txn:    lockmgr.TxnID(m.Txn),
 		Pred:   wire.PredOf(m.Pred),
 	}
+	if len(m.Aggs) > 0 {
+		return s.streamAggScan(c, m, spec)
+	}
 	scan := exec.NewSeqScan(s.Store, spec)
 	rows, err := exec.Drain(scan)
 	if err != nil {
@@ -491,6 +494,93 @@ func (s *Site) streamScan(c *comm.Conn, m *wire.Msg) error {
 		}
 	}
 	return fs.end()
+}
+
+// streamAggScan serves a scan request carrying a pushed-down aggregate
+// spec: the qualifying rows are folded into per-group partial states
+// locally (SeqScan → predicate → GroupTable) and only the O(groups) states
+// travel, as MsgAggBatch frames in ascending group-key order, closed by a
+// MsgScanEnd whose Count is the number of groups. The coordinator merges
+// states from every site and finalises (Avg arrives here as its Sum+Count
+// decomposition, so nothing is lost to per-site rounding).
+func (s *Site) streamAggScan(c *comm.Conn, m *wire.Msg, spec exec.ScanSpec) error {
+	tb, err := s.Mgr.Get(m.Table)
+	if err != nil {
+		return err
+	}
+	desc := tb.Heap.Desc()
+	partial := make([]exec.AggSpec, len(m.Aggs))
+	for i, a := range m.Aggs {
+		if a.Field < 0 || int(a.Field) >= len(desc.Fields) {
+			return fmt.Errorf("worker: agg field %d out of range", a.Field)
+		}
+		partial[i] = exec.AggSpec{Fn: exec.AggFunc(a.Fn), Field: int(a.Field)}
+	}
+	group := int(m.AggGroup)
+	if group >= len(desc.Fields) {
+		return fmt.Errorf("worker: agg group field %d out of range", group)
+	}
+	gt := exec.NewGroupTable(group, partial)
+	scan := exec.NewSeqScan(s.Store, spec)
+	if err := scan.Open(); err != nil {
+		return err
+	}
+	defer scan.Close()
+	b := tuple.NewBatch(exec.DefaultBatchRows)
+	rowsIn := int64(0)
+	for {
+		if err := scan.NextBatch(b); err != nil {
+			return err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		rowsIn += int64(b.Len())
+		gt.AddBatch(b)
+	}
+	s.aggRowsIn.Add(rowsIn)
+	s.aggGroups.Add(int64(gt.Groups()))
+
+	ncols := len(partial)
+	if group >= 0 {
+		ncols++
+	}
+	rowsCap := wire.BatchTargetBytes / wire.AggStride(ncols)
+	if rowsCap > wire.BatchTargetRows {
+		rowsCap = wire.BatchTargetRows
+	}
+	var buf []byte
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		s.aggFrames.Inc()
+		s.scanBytes.Add(int64(len(buf)))
+		err := c.SendNoFlush(&wire.Msg{Type: wire.MsgAggBatch, Count: int64(n), Raw: buf})
+		buf = buf[:0]
+		n = 0
+		return err
+	}
+	keys := gt.SortedKeys()
+	for _, key := range keys {
+		if group >= 0 {
+			buf = wire.AppendAggRow(buf, key)
+		}
+		buf = wire.AppendAggRow(buf, gt.State(key)...)
+		if n++; n >= rowsCap {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := c.SendNoFlush(&wire.Msg{Type: wire.MsgScanEnd, Count: int64(len(keys))}); err != nil {
+		return err
+	}
+	return c.Flush()
 }
 
 // streamRecoveryScan serves a recovery buddy's side of the Chapter 5

@@ -148,6 +148,11 @@ type Site struct {
 	scanFrames *obs.Counter   // worker.scan.frames — MsgTupleBatch frames sent
 	scanBytes  *obs.Counter   // worker.scan.bytes — frame payload bytes sent
 	batchFill  *obs.Histogram // worker.scan.batch_fill — rows per frame
+
+	// Pushed-down aggregation instrumentation.
+	aggGroups *obs.Counter // worker.agg.groups — partial group states shipped
+	aggRowsIn *obs.Counter // worker.agg.rows_in — rows folded into partials
+	aggFrames *obs.Counter // worker.agg.frames — MsgAggBatch frames sent
 }
 
 // Open builds the site stack from its directory (creating it if needed) and
@@ -203,6 +208,9 @@ func Open(cfg Config) (*Site, error) {
 	s.scanFrames = reg.Counter("worker.scan.frames")
 	s.scanBytes = reg.Counter("worker.scan.bytes")
 	s.batchFill = reg.Histogram("worker.scan.batch_fill")
+	s.aggGroups = reg.Counter("worker.agg.groups")
+	s.aggRowsIn = reg.Counter("worker.agg.rows_in")
+	s.aggFrames = reg.Counter("worker.agg.frames")
 	s.ts.init()
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
