@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-scan bench-agg chaos smoke
+.PHONY: all build test race vet check bench bench-scan bench-agg chaos soak smoke
 
 all: check
 
@@ -25,6 +25,16 @@ check: vet race test
 chaos:
 	CHAOS_SEED=$${CHAOS_SEED:-1} CHAOS_ITERS=$${CHAOS_ITERS:-3} \
 		$(GO) test ./internal/chaos/ -run TestChaos -count=1 -v
+
+# Compound-chaos soak: rounds of the zipfian workload under partitions,
+# crashes, lying fsyncs and torn pages until SOAK_DURATION expires (0 = one
+# round), rotating commit protocols. A violation prints the reproducing
+# seed and the executed fault schedule; replay one round with
+# SOAK_SEED=<seed> SOAK_DURATION=0. SOAK_DUMP writes the violation report
+# to a file for CI artifact upload.
+soak:
+	SOAK_SEED=$${SOAK_SEED:-1} SOAK_DURATION=$${SOAK_DURATION:-1m} \
+		$(GO) test ./internal/chaos/ -run TestSoak -count=1 -v -timeout 40m
 
 bench:
 	$(GO) test -bench . -benchtime 2000x -run xxx .

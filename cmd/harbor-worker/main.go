@@ -28,6 +28,8 @@ import (
 	"harbor/internal/obs"
 	"harbor/internal/txn"
 	"harbor/internal/worker"
+
+	"harbor/internal/core"
 )
 
 func main() {
@@ -71,6 +73,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "harbor-worker:", err)
 		os.Exit(1)
 	}
+	// Arm online torn-page repair: a read tripping a CRC failure kicks off
+	// a background repair-from-buddy instead of leaving the page dead.
+	rec := core.New(w, cat)
+	w.SetRepairHook(func(table int32) error {
+		_, err := rec.RepairTable(table)
+		return err
+	})
 	fmt.Printf("harbor-worker: site %d serving on %s (protocol %s, mode %s)\n",
 		*site, w.Addr(), p, m)
 	if *debugAddr != "" {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -31,7 +32,9 @@ import (
 	"harbor/internal/coord"
 	"harbor/internal/core"
 	"harbor/internal/exec"
+	"harbor/internal/faultdisk"
 	"harbor/internal/faultnet"
+	"harbor/internal/page"
 	"harbor/internal/testutil"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -69,19 +72,27 @@ type Scenario struct {
 	Protocol txn.Protocol // zero value defaults to OptThreePC
 	Workers  int
 	Drive    func(h *Harness)
+	// After, if set, runs on the healed and recovered cluster, before the
+	// aftershock workload and the invariant checks. It is the place for
+	// fault probes that need a healthy cluster to be meaningful — e.g. the
+	// online torn-page repair probe, which requires a live, up-to-date
+	// buddy to fetch from.
+	After func(h *Harness)
 }
 
 // Result reports one chaos run. Violations empty = all invariants held.
 type Result struct {
-	Scenario   string
-	Seed       int64
-	Commits    int   // client-confirmed stream commits
-	Aborts     int   // stream transactions that ended aborted
-	RawTxns    int   // Table 4.1 consensus transactions driven
-	Aftershock int   // post-heal verification transactions (must all commit)
-	Disturbed  []int // worker indexes that ran HARBOR recovery post-heal
-	Violations []string
-	Trace      []string // the fault schedule as executed
+	Scenario     string
+	Seed         int64
+	Commits      int   // client-confirmed stream commits
+	Aborts       int   // stream transactions that ended aborted
+	RawTxns      int   // Table 4.1 consensus transactions driven
+	Aftershock   int   // post-heal verification transactions (must all commit)
+	Disturbed    []int // worker indexes that ran HARBOR recovery post-heal
+	PageRepairs  int   // buddy page repairs observed (recover.page_repairs)
+	CorruptPages int   // CRC-quarantined pages observed (storage.corrupt_pages)
+	Violations   []string
+	Trace        []string // the fault schedule as executed (network + disk)
 }
 
 // opKind is a stream operation.
@@ -122,6 +133,7 @@ type Harness struct {
 	Seed int64
 	Name string
 	Net  *faultnet.Network
+	Disk *faultdisk.Disk
 	Cl   *testutil.Cluster
 
 	rng     *rand.Rand // fault-schedule randomness (Drive goroutine only)
@@ -140,6 +152,19 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 	nw := faultnet.New(seed)
 	nw.Install()
 	defer nw.Uninstall()
+
+	// The disk seam mirrors the network one: every worker's site directory
+	// goes through the seeded fault-injecting filesystem, so CrashWorker can
+	// materialize the loss of unsynced writes the way a power cut would.
+	// Registration happens before the cluster opens any file — files opened
+	// before registration would bypass the seam.
+	clusterDir := filepath.Join(baseDir, fmt.Sprintf("%s-%d", sc.Name, seed))
+	fd := faultdisk.New(seed)
+	for i := 0; i < sc.Workers; i++ {
+		fd.Register(filepath.Join(clusterDir, fmt.Sprintf("site%d", testutil.WorkerSiteID(i))), fmt.Sprintf("w%d", i))
+	}
+	fd.Install()
+	defer fd.Uninstall()
 
 	protocol := sc.Protocol
 	if protocol == 0 {
@@ -165,7 +190,7 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 		LockTimeout:  500 * time.Millisecond,
 		RoundTimeout: 800 * time.Millisecond,
 		DialTimeout:  time.Second,
-		BaseDir:      filepath.Join(baseDir, fmt.Sprintf("%s-%d", sc.Name, seed)),
+		BaseDir:      clusterDir,
 	})
 	if err != nil {
 		return res, err
@@ -186,6 +211,7 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 		Seed:    seed,
 		Name:    sc.Name,
 		Net:     nw,
+		Disk:    fd,
 		Cl:      cl,
 		rng:     rand.New(rand.NewSource(seed)),
 		scanIDs: txn.NewIDSource(9),
@@ -200,12 +226,19 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 	if err := h.quiesce(15 * time.Second); err != nil {
 		return res, fmt.Errorf("chaos %s seed=%d: %w", sc.Name, seed, err)
 	}
+	if sc.After != nil {
+		sc.After(h)
+	}
 	h.aftershock(res)
 	if err := h.quiesce(5 * time.Second); err != nil {
 		return res, fmt.Errorf("chaos %s seed=%d: aftershock %w", sc.Name, seed, err)
 	}
 	h.checkInvariants(res)
-	res.Trace = nw.Trace()
+	for i := range cl.Workers {
+		res.PageRepairs += int(cl.Workers[i].Obs().Counter("recover.page_repairs").Load())
+		res.CorruptPages += int(cl.Workers[i].Obs().Counter("storage.corrupt_pages").Load())
+	}
+	res.Trace = append(nw.Trace(), fd.Trace()...)
 	return res, nil
 }
 
@@ -254,11 +287,50 @@ func (h *Harness) workerAddr(i int) string {
 }
 
 // CrashWorker fail-stops worker i (it stays down until post-heal recovery).
+// With the disk seam installed the crash also materializes storage losses:
+// every write since the last real fsync is kept, dropped, or torn per the
+// seeded schedule, exactly like a power cut under the site.
 func (h *Harness) CrashWorker(i int) {
 	h.mu.Lock()
 	h.crashed[i] = true
 	h.mu.Unlock()
 	h.Cl.Workers[i].Crash()
+	if h.Disk != nil {
+		h.Disk.CrashSite(h.siteDir(i))
+	}
+}
+
+// siteDir returns worker i's on-disk site directory.
+func (h *Harness) siteDir(i int) string { return h.Cl.Workers[i].Cfg.Dir }
+
+// TearPage flips bytes in one randomly chosen flushed heap page of a table
+// on worker i, directly on disk (simulated media corruption — deliberately
+// below the vfs seam). Returns false if the table has no flushed page yet.
+func (h *Harness) TearPage(i int, table int32) bool {
+	path := filepath.Join(h.siteDir(i), fmt.Sprintf("table_%d.heap", table))
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() < page.Size {
+		return false
+	}
+	pageNo := h.rng.Int63n(fi.Size() / page.Size)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	off := pageNo*page.Size + page.Size/2
+	buf := make([]byte, 16)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return false
+	}
+	for j := range buf {
+		buf[j] ^= 0xA5
+	}
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return false
+	}
+	h.Disk.Tracef("chaos tore page %d of table %d on w%d", pageNo, table, i)
+	return true
 }
 
 // sleepMS sleeps a schedule-chosen duration in [lo, hi] milliseconds.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -29,8 +30,8 @@ func TestChaos(t *testing.T) {
 				if err != nil {
 					t.Fatalf("chaos %s seed=%d: %v", sc.Name, sd, err)
 				}
-				t.Logf("chaos %s seed=%d: %d commits (%d aftershock), %d aborts, %d raw txns, recovered workers %v, %d fault events",
-					sc.Name, sd, res.Commits, res.Aftershock, res.Aborts, res.RawTxns, res.Disturbed, len(res.Trace))
+				t.Logf("chaos %s seed=%d: %d commits (%d aftershock), %d aborts, %d raw txns, recovered workers %v, %d corrupt pages, %d page repairs, %d fault events",
+					sc.Name, sd, res.Commits, res.Aftershock, res.Aborts, res.RawTxns, res.Disturbed, res.CorruptPages, res.PageRepairs, len(res.Trace))
 				// A run where nothing committed during the fault era
 				// verifies nothing.
 				if res.Commits <= res.Aftershock {
@@ -38,6 +39,13 @@ func TestChaos(t *testing.T) {
 				}
 				if sc.Name == "coord-kill-3pc" && res.RawTxns == 0 {
 					t.Errorf("chaos %s seed=%d: no raw consensus transaction ran", sc.Name, sd)
+				}
+				// The compound scenario tears a flushed page under the
+				// crashed site; recovery must have repaired at least one
+				// page from a buddy or the run proved nothing about the
+				// CRC-quarantine path.
+				if strings.HasPrefix(sc.Name, "compound-") && res.PageRepairs == 0 {
+					t.Errorf("chaos %s seed=%d: no buddy page repair observed", sc.Name, sd)
 				}
 				for _, v := range res.Violations {
 					t.Error(v)

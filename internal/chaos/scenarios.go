@@ -52,7 +52,7 @@ func protoTag(p txn.Protocol) string {
 func Scenarios() []Scenario {
 	var out []Scenario
 	for _, p := range recoveryProtocols() {
-		out = append(out, PartitionHeal(p), StallRecover(p), ScanStall(p))
+		out = append(out, PartitionHeal(p), StallRecover(p), ScanStall(p), Compound(p))
 	}
 	// coord-kill drives raw Table 4.1 transactions that a backup
 	// coordinator must finish by worker consensus, which requires the
@@ -254,6 +254,64 @@ func ScanStall(p txn.Protocol) Scenario {
 			wg.Wait()
 		},
 	}
+}
+
+// Compound layers every fault class of the harness into one run: a network
+// partition mid-workload, then — against one victim — a real checkpoint
+// followed by a lying-fsync era, a crash that materializes the seeded
+// torn/dropped-write schedule, and direct corruption of a flushed heap page
+// under the downed site. Recovery must absorb the lot: the checkpoint fixes
+// the durability horizon before the disk starts lying, so every loss is
+// either above the checkpoint (rebuilt by Phases 1–2 from a buddy) or
+// CRC-quarantined (repaired from a buddy by the Phase 0 scrub).
+func Compound(p txn.Protocol) Scenario {
+	return Scenario{
+		Name:     "compound-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
+		Drive: func(h *Harness) {
+			h.RunWorkload(4, 40, h.compoundFaults)
+		},
+	}
+}
+
+// compoundFaults is the fault schedule shared by the Compound scenario and
+// the soak rounds; it runs on the Drive goroutine while workload streams
+// are in flight.
+func (h *Harness) compoundFaults() {
+	w := h.rng.Intn(len(h.Cl.Workers))
+	h.Net.Partition(h.workerAddr(w), faultnet.Both)
+	h.sleepMS(120, 250)
+	h.Net.Heal(h.workerAddr(w))
+	h.sleepMS(30, 80)
+
+	var online []int
+	for i := range h.Cl.Workers {
+		if !h.Cl.Coord.SiteDown(testutil.WorkerSiteID(i)) {
+			online = append(online, i)
+		}
+	}
+	if len(online) < 2 {
+		return // never take down the final survivor
+	}
+	victim := online[h.rng.Intn(len(online))]
+	// Fix the durability horizon with a real checkpoint, THEN let the disk
+	// lie. An fsync that lies across a checkpoint would advance the horizon
+	// past actually-durable data — a loss no replica-based recovery could
+	// even detect; HARBOR's contract (§3.2) assumes the checkpoint record
+	// itself is truthful.
+	if err := h.Cl.Workers[victim].CheckpointNow(); err != nil {
+		return
+	}
+	h.Disk.SetLyingFsync(h.siteDir(victim), true)
+	h.sleepMS(150, 300)
+	h.CrashWorker(victim)
+	h.Disk.SetLyingFsync(h.siteDir(victim), false)
+	// Belt and braces on top of whatever the crash tore: flip bytes in one
+	// flushed page so at least one CRC quarantine and buddy repair must
+	// happen during recovery.
+	h.TearPage(victim, tableStreams)
+	h.sleepMS(50, 150)
 }
 
 // RunRawConsensus plays coordinator for one 3PC transaction on the

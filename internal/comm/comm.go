@@ -458,16 +458,26 @@ func (p *Pool) CloseAll() {
 // peer that accepts but never drains its socket would otherwise block the
 // write side forever.
 func Ping(addr string, timeout time.Duration) bool {
+	live, _ := PingReady(addr, timeout)
+	return live
+}
+
+// PingReady is Ping plus the peer's readiness claim: ready reports the
+// reply's FlagYes, which a worker sets only when it is not itself rejoining
+// from a crash — i.e. it is a legitimate recovery source. Liveness checks
+// use Ping and ignore readiness; recovery's buddy probe requires both.
+func PingReady(addr string, timeout time.Duration) (live, ready bool) {
 	c, err := DialTimeout(addr, timeout)
 	if err != nil {
-		return false
+		return false, false
 	}
 	defer c.Close()
 	if err := c.SendTimeout(&wire.Msg{Type: wire.MsgPing}, timeout); err != nil {
-		return false
+		return false, false
 	}
 	resp, err := c.RecvTimeout(timeout)
-	return err == nil && resp.Type == wire.MsgOK
+	live = err == nil && resp.Type == wire.MsgOK
+	return live, live && resp.Flags&wire.FlagYes != 0
 }
 
 // ErrCrashed is a sentinel used by servers simulating fail-stop.

@@ -18,6 +18,7 @@ import (
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
 	"harbor/internal/obs"
+	"harbor/internal/retry"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/wal"
@@ -273,14 +274,21 @@ func (co *Coordinator) pool(site catalog.SiteID) (*comm.Pool, error) {
 	return p, nil
 }
 
+// borrowBackoff paces the fresh-dial retry below. The base is tiny — the
+// stale-conn case it guards is common and benign — but a jittered pause
+// still keeps a flapping site from being redialed in a tight loop by many
+// concurrent borrowers at once.
+var borrowBackoff = &retry.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond}
+
 // borrow takes a connection from p and runs the first exchange on it via
 // do. A transport error on the first exchange of a pooled (reused)
 // connection usually means the conn went stale while idle — the peer
 // restarted or closed it since Put — not that the site is down, so borrow
-// retries exactly once on a fresh dial before reporting failure. Errors on
-// a fresh conn (or on the retry) propagate: those are real site failures.
-// On success the returned conn has completed do; on error no conn is
-// returned and any borrowed conns are closed.
+// retries exactly once on a fresh dial (after a short jittered backoff)
+// before reporting failure. Errors on a fresh conn (or on the retry)
+// propagate: those are real site failures. On success the returned conn
+// has completed do; on error no conn is returned and any borrowed conns
+// are closed.
 func (co *Coordinator) borrow(p *comm.Pool, do func(*comm.Conn) error) (*comm.Conn, error) {
 	conn, err := p.Get()
 	if err != nil {
@@ -295,6 +303,7 @@ func (co *Coordinator) borrow(p *comm.Pool, do func(*comm.Conn) error) (*comm.Co
 		return nil, err
 	}
 	conn.Close()
+	borrowBackoff.Sleep(0)
 	conn, err = p.Fresh()
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"harbor/internal/comm"
 	"harbor/internal/storage"
 	"harbor/internal/tuple"
+	"harbor/internal/vfs"
 	"harbor/internal/wire"
 )
 
@@ -146,5 +147,5 @@ func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Tim
 	return finalT, nil
 }
 
-func osRemove(path string) error      { return os.Remove(path) }
+func osRemove(path string) error      { return vfs.Remove(path) }
 func errorsIsNotExist(err error) bool { return os.IsNotExist(err) }

@@ -28,6 +28,7 @@ import (
 	"harbor/internal/comm"
 	"harbor/internal/obs"
 	"harbor/internal/page"
+	"harbor/internal/retry"
 	"harbor/internal/storage"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -81,6 +82,11 @@ type Options struct {
 	// scans instead of batch frames — the ablation behind the batched-
 	// pipeline benchmark.
 	TupleAtATime bool
+	// RetryBackoff paces the §5.5.2 replan-retries: capped, jittered
+	// exponential sleeps between attempts so a flapping buddy doesn't turn
+	// the loop into a hot spin. Zero uses a sensible default; set Base < 0
+	// via a custom Backoff to disable (tests).
+	RetryBackoff *retry.Backoff
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retries == 0 {
 		o.Retries = 3
+	}
+	if o.RetryBackoff == nil {
+		o.RetryBackoff = &retry.Backoff{Base: 25 * time.Millisecond, Max: 400 * time.Millisecond}
 	}
 	return o
 }
@@ -128,6 +137,7 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	// local tables missing entirely (disk wiped) are created empty.
 	reps := r.Cat.ReplicasOn(r.Site.Cfg.Site)
 	if len(reps) == 0 {
+		r.Site.SetRecovered() // nothing replicated here; trivially caught up
 		return &SiteStats{Total: time.Since(start)}, nil
 	}
 	for _, rep := range reps {
@@ -154,10 +164,22 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 		var ft tuple.Timestamp
 		for attempt := 0; attempt <= opt.Retries; attempt++ {
 			os, ft, err = r.recoverObject(reps[i], opt)
-			if err == nil || !errors.Is(err, errBuddyFailed) {
+			if err == nil || (!errors.Is(err, errBuddyFailed) &&
+				!errors.Is(err, storage.ErrPageCorrupt) &&
+				!errors.Is(err, wire.ErrRemoteCorrupt)) {
 				break
 			}
-			// §5.5.2: buddy died; replan against the remaining replicas.
+			// A LOCAL page found corrupt mid-phase was quarantined by the
+			// failed read; the retry's Phase 0 scrub repairs it before going
+			// again. A REMOTE corrupt page means the buddy tripped its own
+			// CRC check serving our scan — that read armed the buddy's
+			// background repair-from-buddy, so backing off and retrying
+			// meets a healed source. §5.5.2: buddy died; back off, then
+			// replan against the remaining replicas (a flapping buddy must
+			// not hot-loop us).
+			if attempt < opt.Retries {
+				opt.RetryBackoff.Sleep(attempt)
+			}
 		}
 		stats.Objects[i] = os
 		finalTs[i] = ft
@@ -204,6 +226,10 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	for _, rep := range reps {
 		_ = removeIfExists(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table))
 	}
+	// Every replica is caught up through its recovery HWM: the site is a
+	// legitimate recovery source again (ready flag on pings, recovery scans
+	// served).
+	r.Site.SetRecovered()
 	stats.Total = time.Since(start)
 	return stats, nil
 }
@@ -251,6 +277,16 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	// Phase 1 instead only discards uncommitted debris, and Phases 2–3 run
 	// against an empty buddy plan (there is nothing newer to fetch).
 	survivor := r.selfIsFinalSurvivor(rep.Table)
+
+	// ---- Phase 0: scrub quarantined pages (torn-page repair) ----
+	// Pages whose CRC trailer failed verification are restored from a buddy
+	// before Phase 1 touches them, capped at the checkpoint: Phase 1's
+	// rewind and Phase 2's window copy rebuild everything newer anyway.
+	if n, err := r.repairTable(tb, rep, ckpt, survivor); err != nil {
+		return st, 0, err
+	} else if n > 0 {
+		tr.Recordf(traceID, obs.EvRecovery, "phase0 repaired %d quarantined pages table=%d", n, rep.Table)
+	}
 
 	// ---- Phase 1: restore local state to the checkpoint (§5.2) ----
 	p1 := time.Now()
@@ -832,7 +868,11 @@ func (r *Recoverer) coordinatorHWM() (tuple.Timestamp, error) {
 }
 
 // buddyLive is the recovery-time failure detector: a site is usable as a
-// buddy if its server accepts connections.
+// buddy if its server accepts connections AND it claims readiness — a site
+// that rejoined from a crash answers pings immediately but withholds the
+// ready flag until its own recovery completes, because its disk may be
+// missing commits it acknowledged before the crash (lying fsyncs, lost
+// volatile state) even though the coordinator never evicted it.
 func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
 	if s == r.Site.Cfg.Site {
 		return false
@@ -841,7 +881,8 @@ func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
 	if !ok {
 		return false
 	}
-	return comm.Ping(addr, time.Second)
+	_, ready := comm.PingReady(addr, time.Second)
+	return ready
 }
 
 // buddyLiveFor refines buddyLive for one object: besides answering pings,

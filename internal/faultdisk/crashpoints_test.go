@@ -1,0 +1,215 @@
+package faultdisk_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harbor/internal/faultdisk"
+	"harbor/internal/page"
+	"harbor/internal/storage"
+	"harbor/internal/tuple"
+	"harbor/internal/wal"
+)
+
+func cpDesc() *tuple.Desc {
+	return tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int64},
+	)
+}
+
+// seedBaseline durably establishes the "old" state every crash prefix must
+// be able to fall back to: checkpoint=50, a table with one synced page and
+// flushed meta, a WAL with one forced record and a master record.
+func seedBaseline(t *testing.T, dir string) {
+	t.Helper()
+	if err := storage.WriteCheckpointFile(storage.CheckpointPath(dir), 50); err != nil {
+		t.Fatal(err)
+	}
+	h, err := storage.Create(dir, 1, cpDesc(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pno, _, err := h.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := page.New(page.ID{Table: 1, PageNo: pno}, h.TupleWidth())
+	if err := h.WritePageData(pno, img.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SyncData(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FlushMeta(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := w.Append(&wal.Record{Type: wal.RecCommit, Txn: 1})
+	if err := w.Force(lsn, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.WriteMaster(dir, lsn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// updateSequence runs the full durability sequence under test — checkpoint
+// replace, heap page write + meta flush, WAL append/force, master-record
+// replace — returning the first error (a crash point rejection) untouched.
+func updateSequence(dir string) error {
+	if err := storage.WriteCheckpointFile(storage.CheckpointPath(dir), 100); err != nil {
+		return err
+	}
+	h, err := storage.Open(dir, 1)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	pno, _, err := h.AllocPage()
+	if err != nil {
+		return err
+	}
+	img := page.New(page.ID{Table: 1, PageNo: pno}, h.TupleWidth())
+	if err := h.WritePageData(pno, img.Bytes()); err != nil {
+		return err
+	}
+	if err := h.SyncData(); err != nil {
+		return err
+	}
+	if err := h.FlushMeta(); err != nil {
+		return err
+	}
+	w, err := wal.Open(dir, 0)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	var last page.LSN
+	for i := 0; i < 3; i++ {
+		last = w.Append(&wal.Record{Type: wal.RecCommit, Txn: int64(10 + i)})
+	}
+	if err := w.Force(last, false); err != nil {
+		return err
+	}
+	return wal.WriteMaster(dir, last)
+}
+
+// verifyConsistent asserts the crash-consistency contract from every prefix:
+// atomic-replace files are old-or-new (never a mix, never unparseable), the
+// heap meta reopens cleanly, and wal.Open truncates any torn tail instead of
+// failing.
+func verifyConsistent(t *testing.T, dir string, k int64) {
+	t.Helper()
+	ckpt, err := storage.ReadCheckpointFile(storage.CheckpointPath(dir))
+	if err != nil {
+		t.Fatalf("k=%d: checkpoint unreadable after crash: %v", k, err)
+	}
+	if ckpt != 50 && ckpt != 100 {
+		t.Fatalf("k=%d: checkpoint = %d, want old(50) or new(100)", k, ckpt)
+	}
+	h, err := storage.Open(dir, 1)
+	if err != nil {
+		t.Fatalf("k=%d: heap meta unreadable after crash: %v", k, err)
+	}
+	if n := h.NumPages(); n < 1 {
+		t.Fatalf("k=%d: baseline page lost: NumPages=%d", k, n)
+	}
+	h.Close()
+	if _, err := wal.ReadMaster(dir); err != nil {
+		t.Fatalf("k=%d: master record unreadable after crash: %v", k, err)
+	}
+	w, err := wal.Open(dir, 0)
+	if err != nil {
+		t.Fatalf("k=%d: WAL reopen failed (torn tail not truncated?): %v", k, err)
+	}
+	// Every record the reopened WAL exposes must decode cleanly.
+	if err := w.Iter(1, func(r *wal.Record) (bool, error) { return true, nil }); err != nil {
+		t.Fatalf("k=%d: WAL iteration after crash: %v", k, err)
+	}
+	w.Close()
+}
+
+// TestCrashPointMatrix kills the durability sequence after every single
+// mutating storage operation (write, sync, rename, dir-sync), materializes
+// the seeded crash losses, and requires recovery-relevant state to be
+// consistent from each prefix. This is the §3 checkpoint-contract test at
+// the file level: no prefix of the sequence may leave checkpoint, meta,
+// master record, or WAL unreadable.
+func TestCrashPointMatrix(t *testing.T) {
+	base := t.TempDir()
+
+	// Pass 1: count the sequence's mutating ops with no crash point.
+	sizing := filepath.Join(base, "sizing")
+	if err := os.MkdirAll(sizing, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d := faultdisk.New(1)
+	d.Register(sizing, "sizing")
+	d.Install()
+	seedBaseline(t, sizing)
+	d.ResetOpCount(sizing)
+	if err := updateSequence(sizing); err != nil {
+		d.Uninstall()
+		t.Fatalf("fault-free sequence failed: %v", err)
+	}
+	n := d.OpCount(sizing)
+	d.Uninstall()
+	if n < 8 {
+		t.Fatalf("sequence has only %d mutating ops; matrix is vacuous", n)
+	}
+
+	// Pass 2: one run per prefix length k — crash after exactly k ops.
+	for k := int64(0); k < n; k++ {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			dir := filepath.Join(base, fmt.Sprintf("run%d", k))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			d := faultdisk.New(1000 + k)
+			d.Register(dir, "site")
+			d.Install()
+			defer d.Uninstall()
+			seedBaseline(t, dir)
+			d.ResetOpCount(dir)
+			d.SetCrashPoint(dir, k)
+			err := updateSequence(dir)
+			if err == nil {
+				t.Fatalf("k=%d < n=%d but sequence completed", k, n)
+			}
+			d.CrashSite(dir)
+			verifyConsistent(t, dir, k)
+		})
+	}
+
+	// Control: the full sequence with no crash lands the new state.
+	dir := filepath.Join(base, "control")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dc := faultdisk.New(2)
+	dc.Register(dir, "control")
+	dc.Install()
+	defer dc.Uninstall()
+	seedBaseline(t, dir)
+	if err := updateSequence(dir); err != nil {
+		t.Fatal(err)
+	}
+	dc.CrashSite(dir)
+	ckpt, err := storage.ReadCheckpointFile(storage.CheckpointPath(dir))
+	if err != nil || ckpt != 100 {
+		t.Fatalf("control run: checkpoint = %d, %v; want 100", ckpt, err)
+	}
+}

@@ -1,0 +1,759 @@
+// Package faultdisk is a seeded, deterministic fault-injecting filesystem:
+// the storage-side sibling of internal/faultnet. Install() swaps it in as
+// the active internal/vfs implementation; every file operation under a
+// registered site directory is then tracked and subject to scheduled
+// faults:
+//
+//   - unsynced-write tracking with a bounded reorder window: writes land
+//     immediately but stay "volatile" until the file is fsynced; a site
+//     crash (CrashSite) replays a seeded loss schedule over the window —
+//     each volatile write is kept, dropped, or torn (first k bytes land)
+//   - lying fsyncs: Sync/SyncDir report success but leave the volatile
+//     window (and pending renames) in place, so a later crash still loses
+//     "durable" data — the checkpoint-contract killer the paper's §3
+//     durability argument assumes cannot happen
+//   - unsynced renames: a rename is volatile until its directory is
+//     fsynced; a crash can revert it (old target content restored)
+//   - short writes, injected EIO/ENOSPC, per-op latency
+//   - crash points: SetCrashPoint(dir, n) lets exactly n more mutating
+//     operations (write/sync/rename/dir-sync) succeed, then fails the rest
+//     with ErrCrashed — the crash-point matrix test replays a durability
+//     sequence once per prefix
+//
+// Determinism: every per-file decision stream is seeded from
+// seed ^ splitmix(hash(path)), and crash materialization walks files in
+// sorted path order — so the same seed over the same logical operation
+// sequence yields the same fault schedule regardless of goroutine
+// interleaving. Trace() returns the timestamped schedule for reproduction.
+package faultdisk
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"harbor/internal/vfs"
+)
+
+// Typed fault errors. ErrInjectedIO / ErrNoSpace wrap the real errnos so
+// callers' errors.Is(err, syscall.EIO) style checks also work.
+var (
+	ErrInjectedIO = fmt.Errorf("faultdisk: injected I/O error: %w", syscall.EIO)
+	ErrNoSpace    = fmt.Errorf("faultdisk: injected out-of-space: %w", syscall.ENOSPC)
+	ErrCrashed    = errors.New("faultdisk: site storage crashed (crash point reached)")
+)
+
+// maxWindow bounds the volatile-write reorder window per file: when a file
+// accumulates more unsynced writes, the oldest are promoted to durable (a
+// real disk's cache eventually writes back even without fsync).
+const maxWindow = 64
+
+// pwrite is one volatile write: the new bytes at off plus the bytes they
+// replaced (zero-extended past the old EOF) so a crash can undo or tear it.
+type pwrite struct {
+	off int64
+	n   int    // length of the new write
+	old []byte // previous content, len == n (zeros beyond old EOF)
+}
+
+// fileState is the volatile state of one path. It is keyed by path in the
+// owning site (not by open handle) so close-without-sync keeps data
+// volatile, and reopening sees the same window.
+type fileState struct {
+	path        string
+	durableSize int64
+	window      []pwrite
+}
+
+// pendingRename is a rename not yet made durable by a directory fsync.
+type pendingRename struct {
+	dir, newpath string
+	hadOld       bool
+	oldContent   []byte // pre-rename content of newpath (nil if !hadOld)
+}
+
+// siteState carries the fault configuration and volatile state for one
+// registered directory tree.
+type siteState struct {
+	dir  string
+	name string
+
+	latency    time.Duration
+	lyingFsync bool
+	shortWrite float64 // probability a WriteAt lands only a prefix
+	failProb   float64 // probability a read/write fails outright
+	failErr    error
+	crashPoint int64 // mutating ops still allowed; -1 = disabled
+	opCount    int64 // mutating ops observed
+
+	files   map[string]*fileState
+	renames []pendingRename
+}
+
+// Disk is the fault-injecting filesystem. Zero value is not usable; use New.
+type Disk struct {
+	mu        sync.Mutex
+	seed      int64
+	real      vfs.FS
+	prev      vfs.FS
+	installed bool
+	sites     map[string]*siteState
+	t0        time.Time
+	trace     []string
+
+	rngMu sync.Mutex
+	rngs  map[string]*rngStream
+}
+
+// New returns a Disk whose entire fault schedule derives from seed.
+func New(seed int64) *Disk {
+	return &Disk{
+		seed:  seed,
+		real:  vfs.Current(),
+		sites: map[string]*siteState{},
+		rngs:  map[string]*rngStream{},
+		t0:    time.Now(),
+	}
+}
+
+// Install makes the Disk the active vfs implementation.
+func (d *Disk) Install() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.installed {
+		return
+	}
+	d.prev = vfs.Swap(d)
+	d.real = d.prev
+	d.installed = true
+	d.tracefLocked("install seed=%d", d.seed)
+}
+
+// Uninstall restores the previous vfs implementation.
+func (d *Disk) Uninstall() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.installed {
+		return
+	}
+	vfs.Swap(d.prev)
+	d.installed = false
+	d.tracefLocked("uninstall")
+}
+
+// Register starts tracking dir (and everything under it) as one site.
+func (d *Disk) Register(dir, name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.sites[dir]; ok {
+		return
+	}
+	d.sites[dir] = &siteState{dir: dir, name: name, crashPoint: -1, files: map[string]*fileState{}}
+	d.tracefLocked("register %s dir=%s", name, dir)
+}
+
+// Trace returns the timestamped fault schedule so far.
+func (d *Disk) Trace() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.trace))
+	copy(out, d.trace)
+	return out
+}
+
+// Tracef appends an external event to the fault-schedule trace, letting a
+// harness interleave its own actions (e.g. direct page corruption below the
+// vfs seam) with the disk's schedule in one timeline.
+func (d *Disk) Tracef(format string, args ...any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracefLocked(format, args...)
+}
+
+func (d *Disk) tracefLocked(format string, args ...any) {
+	line := fmt.Sprintf("t=+%s disk "+format,
+		append([]any{time.Since(d.t0).Round(time.Microsecond)}, args...)...)
+	d.trace = append(d.trace, line)
+}
+
+// SetLatency adds a fixed pause to every operation under dir.
+func (d *Disk) SetLatency(dir string, lat time.Duration) {
+	d.withSite(dir, func(s *siteState) {
+		s.latency = lat
+		d.tracefLocked("%s latency=%s", s.name, lat)
+	})
+}
+
+// SetLyingFsync makes Sync/SyncDir under dir report success without making
+// anything durable while on.
+func (d *Disk) SetLyingFsync(dir string, on bool) {
+	d.withSite(dir, func(s *siteState) {
+		s.lyingFsync = on
+		d.tracefLocked("%s lying-fsync=%v", s.name, on)
+	})
+}
+
+// SetShortWrites makes each write under dir land only a random prefix (and
+// return an error) with probability p.
+func (d *Disk) SetShortWrites(dir string, p float64) {
+	d.withSite(dir, func(s *siteState) {
+		s.shortWrite = p
+		d.tracefLocked("%s short-writes p=%.2f", s.name, p)
+	})
+}
+
+// SetFailOps makes each read/write under dir fail with err (ErrInjectedIO
+// or ErrNoSpace) with probability p.
+func (d *Disk) SetFailOps(dir string, p float64, err error) {
+	d.withSite(dir, func(s *siteState) {
+		s.failProb, s.failErr = p, err
+		d.tracefLocked("%s fail-ops p=%.2f err=%v", s.name, p, err)
+	})
+}
+
+// SetCrashPoint allows exactly n more mutating operations under dir to
+// succeed; subsequent ones fail with ErrCrashed. n < 0 disables.
+func (d *Disk) SetCrashPoint(dir string, n int64) {
+	d.withSite(dir, func(s *siteState) {
+		s.crashPoint = n
+		d.tracefLocked("%s crash-point=%d", s.name, n)
+	})
+}
+
+// OpCount reports the mutating operations observed under dir so far: run a
+// sequence once with no crash point to size the crash-point matrix.
+func (d *Disk) OpCount(dir string) int64 {
+	var n int64
+	d.withSite(dir, func(s *siteState) { n = s.opCount })
+	return n
+}
+
+// ResetOpCount zeroes dir's mutating-op counter.
+func (d *Disk) ResetOpCount(dir string) {
+	d.withSite(dir, func(s *siteState) { s.opCount = 0 })
+}
+
+// CrashSite materializes the crash for dir: every volatile write is kept,
+// dropped, or torn per the seeded schedule; volatile renames may revert.
+// Windows are cleared (what survived is now the durable truth) and the
+// crash point is disabled so recovery I/O proceeds. Call after the process
+// state is gone (e.g. worker.Site.Crash) and before reopening.
+func (d *Disk) CrashSite(dir string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.siteForLocked(dir + string(os.PathSeparator))
+	if s == nil {
+		return
+	}
+	d.tracefLocked("%s crash: materializing losses", s.name)
+	s.crashPoint = -1
+
+	// Renames first (a reverted rename restores the old target bytes; any
+	// volatile writes tracked under the new path are then irrelevant).
+	for i := len(s.renames) - 1; i >= 0; i-- {
+		pr := s.renames[i]
+		rng := d.rngFor(pr.newpath, "rename")
+		if rng.Float64() < 0.5 {
+			d.tracefLocked("%s rename of %s: kept", s.name, filepath.Base(pr.newpath))
+			continue
+		}
+		if pr.hadOld {
+			if err := d.rewriteFile(pr.newpath, pr.oldContent); err == nil {
+				d.tracefLocked("%s rename of %s: reverted to old content (%dB)",
+					s.name, filepath.Base(pr.newpath), len(pr.oldContent))
+			}
+		} else {
+			if err := d.real.Remove(pr.newpath); err == nil {
+				d.tracefLocked("%s rename of %s: reverted (removed)",
+					s.name, filepath.Base(pr.newpath))
+			}
+		}
+		delete(s.files, pr.newpath)
+	}
+	s.renames = nil
+
+	// Files in sorted path order so the schedule is interleaving-independent.
+	paths := make([]string, 0, len(s.files))
+	for p := range s.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fs := s.files[p]
+		if len(fs.window) == 0 {
+			continue
+		}
+		rng := d.rngFor(p, "crash")
+		f, err := d.real.OpenFile(p, os.O_RDWR, 0)
+		if err != nil {
+			fs.window = nil
+			continue
+		}
+		finalSize := fs.durableSize
+		for i := len(fs.window) - 1; i >= 0; i-- {
+			w := fs.window[i]
+			switch choice := rng.Float64(); {
+			case choice < 0.40: // kept
+				if end := w.off + int64(w.n); end > finalSize {
+					finalSize = end
+				}
+			case choice < 0.70 || w.n < 2: // dropped
+				f.WriteAt(w.old, w.off)
+				d.tracefLocked("%s %s: dropped write off=%d len=%d",
+					s.name, filepath.Base(p), w.off, w.n)
+			default: // torn: first k bytes of the new write landed
+				k := 1 + rng.Intn(w.n-1)
+				f.WriteAt(w.old[k:], w.off+int64(k))
+				if end := w.off + int64(k); end > finalSize {
+					finalSize = end
+				}
+				d.tracefLocked("%s %s: torn write off=%d len=%d kept=%d",
+					s.name, filepath.Base(p), w.off, w.n, k)
+			}
+		}
+		f.Truncate(finalSize)
+		f.Sync()
+		f.Close()
+		fs.window = nil
+		fs.durableSize = finalSize
+	}
+}
+
+// rewriteFile durably replaces path's content via the real FS.
+func (d *Disk) rewriteFile(path string, content []byte) error {
+	f, err := d.real.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(content, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// rngStream is a mutex-guarded deterministic decision stream. Streams are
+// cached per (path, purpose), so successive rolls for the same file advance
+// one sequence instead of replaying the first value forever.
+type rngStream struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (r *rngStream) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+func (r *rngStream) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(n)
+}
+
+// rngFor derives the deterministic decision stream for (path, purpose):
+// keyed by content, not by global call order, so interleavings across
+// different files do not perturb each other's schedules. (Operations on one
+// file are serialized by its owner — heap latches, the WAL appender — so
+// per-stream order is deterministic too.)
+func (d *Disk) rngFor(path, purpose string) *rngStream {
+	key := path + "\x00" + purpose
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	if r, ok := d.rngs[key]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	mixed := int64(h.Sum64()&0x7FFFFFFFFFFFFFFF) * int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)
+	r := &rngStream{rng: rand.New(rand.NewSource(d.seed ^ mixed))}
+	d.rngs[key] = r
+	return r
+}
+
+func (d *Disk) withSite(dir string, fn func(*siteState)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.sites[dir]
+	if s == nil {
+		s = d.siteForLocked(dir + string(os.PathSeparator))
+	}
+	if s != nil {
+		fn(s)
+	}
+}
+
+// siteForLocked resolves a path to its registered site (longest prefix wins).
+func (d *Disk) siteForLocked(path string) *siteState {
+	var best *siteState
+	for dir, s := range d.sites {
+		if path == dir || strings.HasPrefix(path, dir+string(os.PathSeparator)) {
+			if best == nil || len(dir) > len(best.dir) {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// latencyOf returns the configured latency without holding the lock during
+// the sleep.
+func (d *Disk) pause(s *siteState) {
+	d.mu.Lock()
+	lat := s.latency
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+}
+
+// mutGate charges one mutating operation against the crash point. Returns
+// ErrCrashed once the budget is spent.
+func (d *Disk) mutGate(s *siteState, op, path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s.opCount++
+	if s.crashPoint < 0 {
+		return nil
+	}
+	if s.crashPoint == 0 {
+		d.tracefLocked("%s crash point: rejecting %s %s", s.name, op, filepath.Base(path))
+		return ErrCrashed
+	}
+	s.crashPoint--
+	return nil
+}
+
+// failGate rolls the injected-error dice for a read/write on path.
+func (d *Disk) failGate(s *siteState, path, purpose string) error {
+	d.mu.Lock()
+	p, errv := s.failProb, s.failErr
+	d.mu.Unlock()
+	if p <= 0 {
+		return nil
+	}
+	if d.rngFor(path, purpose).Float64() < p {
+		d.mu.Lock()
+		d.tracefLocked("%s injected %v on %s %s", s.name, errv, purpose, filepath.Base(path))
+		d.mu.Unlock()
+		if errv == nil {
+			errv = ErrInjectedIO
+		}
+		return errv
+	}
+	return nil
+}
+
+// --- vfs.FS implementation ---
+
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
+	s := d.siteForLocked2(name)
+	if s == nil {
+		return d.real.OpenFile(name, flag, perm)
+	}
+	d.pause(s)
+	f, err := d.real.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	fs := s.files[name]
+	if fs == nil {
+		size := int64(0)
+		if fi, err := d.real.Stat(name); err == nil {
+			size = fi.Size()
+		}
+		if flag&os.O_TRUNC != 0 {
+			size = 0
+		}
+		fs = &fileState{path: name, durableSize: size}
+		s.files[name] = fs
+	} else if flag&os.O_TRUNC != 0 {
+		fs.window = nil
+		fs.durableSize = 0
+	}
+	d.mu.Unlock()
+	return &file{d: d, s: s, fs: fs, real: f}, nil
+}
+
+// siteForLocked2 is the lock-acquiring wrapper of siteForLocked.
+func (d *Disk) siteForLocked2(path string) *siteState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.siteForLocked(path)
+}
+
+func (d *Disk) Rename(oldpath, newpath string) error {
+	s := d.siteForLocked2(newpath)
+	if s == nil {
+		return d.real.Rename(oldpath, newpath)
+	}
+	d.pause(s)
+	if err := d.mutGate(s, "rename", newpath); err != nil {
+		return err
+	}
+	// Stash the old target so a crash before the directory fsync can
+	// revert. Renamed files are small control structures (meta,
+	// checkpoint, master record), so buffering the content is cheap.
+	var oldContent []byte
+	hadOld := false
+	if b, err := readAll(d.real, newpath); err == nil {
+		oldContent, hadOld = b, true
+	}
+	if err := d.real.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if fs, ok := s.files[oldpath]; ok {
+		delete(s.files, oldpath)
+		fs.path = newpath
+		s.files[newpath] = fs
+	}
+	s.renames = append(s.renames, pendingRename{
+		dir: filepath.Dir(newpath), newpath: newpath, hadOld: hadOld, oldContent: oldContent,
+	})
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Disk) Remove(name string) error {
+	s := d.siteForLocked2(name)
+	if s == nil {
+		return d.real.Remove(name)
+	}
+	d.pause(s)
+	if err := d.mutGate(s, "remove", name); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(s.files, name)
+	d.mu.Unlock()
+	return d.real.Remove(name)
+}
+
+func (d *Disk) Stat(name string) (os.FileInfo, error) { return d.real.Stat(name) }
+
+func (d *Disk) MkdirAll(path string, perm os.FileMode) error {
+	return d.real.MkdirAll(path, perm)
+}
+
+func (d *Disk) ReadDir(name string) ([]os.DirEntry, error) { return d.real.ReadDir(name) }
+
+func (d *Disk) SyncDir(dir string) error {
+	s := d.siteForLocked2(dir)
+	if s == nil {
+		return d.real.SyncDir(dir)
+	}
+	d.pause(s)
+	if err := d.mutGate(s, "syncdir", dir); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	lying := s.lyingFsync
+	if lying {
+		d.tracefLocked("%s lied dir-fsync %s (%d renames still volatile)",
+			s.name, filepath.Base(dir), len(s.renames))
+	} else {
+		kept := s.renames[:0]
+		for _, pr := range s.renames {
+			if pr.dir != dir {
+				kept = append(kept, pr)
+			}
+		}
+		s.renames = kept
+	}
+	d.mu.Unlock()
+	if lying {
+		return nil
+	}
+	return d.real.SyncDir(dir)
+}
+
+// readAll reads a whole file through an FS.
+func readAll(fsys vfs.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 32<<10)
+	off := int64(0)
+	for {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// --- vfs.File implementation ---
+
+type file struct {
+	d    *Disk
+	s    *siteState
+	fs   *fileState
+	real vfs.File
+}
+
+func (f *file) Name() string { return f.real.Name() }
+func (f *file) Close() error { return f.real.Close() } // close ≠ durable: window stays
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.d.pause(f.s)
+	if err := f.d.failGate(f.s, f.fs.path, "read"); err != nil {
+		return 0, err
+	}
+	return f.real.ReadAt(p, off)
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	return f.real.Seek(offset, whence)
+}
+
+// track records a volatile write: capture the displaced bytes so a crash
+// can undo or tear it, bounding the window by promoting the oldest writes
+// to durable.
+func (f *file) track(off int64, n int) {
+	old := make([]byte, n)
+	if m, err := f.real.ReadAt(old, off); err != nil && err != io.EOF {
+		_ = m // best effort: zeros past EOF are already correct
+	}
+	f.d.mu.Lock()
+	f.fs.window = append(f.fs.window, pwrite{off: off, n: n, old: old})
+	if len(f.fs.window) > maxWindow {
+		promoted := f.fs.window[0]
+		if end := promoted.off + int64(promoted.n); end > f.fs.durableSize {
+			f.fs.durableSize = end
+		}
+		f.fs.window = f.fs.window[1:]
+	}
+	f.d.mu.Unlock()
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	f.d.pause(f.s)
+	if err := f.d.mutGate(f.s, "write", f.fs.path); err != nil {
+		return 0, err
+	}
+	if err := f.d.failGate(f.s, f.fs.path, "write"); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	if short := f.shortLen(n); short < n {
+		f.track(off, short)
+		m, _ := f.real.WriteAt(p[:short], off)
+		return m, fmt.Errorf("faultdisk: short write (%d of %d bytes): %w", short, n, syscall.EIO)
+	}
+	if n > 0 {
+		f.track(off, n)
+	}
+	return f.real.WriteAt(p, off)
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	pos, err := f.real.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.WriteAt(p, pos)
+	if n > 0 {
+		// Advance the cursor past what landed (WriteAt does not move it).
+		if _, serr := f.real.Seek(pos+int64(n), io.SeekStart); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return n, err
+}
+
+// shortLen rolls the short-write dice: returns len(p) normally, or a
+// strict prefix length when a short write fires.
+func (f *file) shortLen(n int) int {
+	f.d.mu.Lock()
+	p := f.s.shortWrite
+	d := f.d
+	f.d.mu.Unlock()
+	if p <= 0 || n < 2 {
+		return n
+	}
+	rng := d.rngFor(f.fs.path, "short")
+	if rng.Float64() >= p {
+		return n
+	}
+	short := 1 + rng.Intn(n-1)
+	d.mu.Lock()
+	d.tracefLocked("%s short write on %s: %d of %d bytes", f.s.name, filepath.Base(f.fs.path), short, n)
+	d.mu.Unlock()
+	return short
+}
+
+func (f *file) Sync() error {
+	f.d.pause(f.s)
+	if err := f.d.mutGate(f.s, "sync", f.fs.path); err != nil {
+		return err
+	}
+	f.d.mu.Lock()
+	if f.s.lyingFsync {
+		f.d.tracefLocked("%s lied fsync %s (%d writes still volatile)",
+			f.s.name, filepath.Base(f.fs.path), len(f.fs.window))
+		f.d.mu.Unlock()
+		return nil
+	}
+	f.d.mu.Unlock()
+	if err := f.real.Sync(); err != nil {
+		return err
+	}
+	f.d.mu.Lock()
+	f.fs.window = nil
+	if fi, err := f.d.real.Stat(f.fs.path); err == nil {
+		f.fs.durableSize = fi.Size()
+	}
+	f.d.mu.Unlock()
+	return nil
+}
+
+func (f *file) Truncate(size int64) error {
+	f.d.pause(f.s)
+	if err := f.d.mutGate(f.s, "truncate", f.fs.path); err != nil {
+		return err
+	}
+	if err := f.real.Truncate(size); err != nil {
+		return err
+	}
+	f.d.mu.Lock()
+	kept := f.fs.window[:0]
+	for _, w := range f.fs.window {
+		if w.off >= size {
+			continue
+		}
+		if w.off+int64(w.n) > size {
+			w.n = int(size - w.off)
+			w.old = w.old[:w.n]
+		}
+		kept = append(kept, w)
+	}
+	f.fs.window = kept
+	if f.fs.durableSize > size {
+		f.fs.durableSize = size
+	}
+	f.d.mu.Unlock()
+	return nil
+}

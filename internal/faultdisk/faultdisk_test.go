@@ -1,0 +1,312 @@
+package faultdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"harbor/internal/vfs"
+)
+
+// withDisk installs a fresh Disk over a temp site dir and returns both.
+func withDisk(t *testing.T, seed int64) (*Disk, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d := New(seed)
+	d.Register(dir, "site1")
+	d.Install()
+	t.Cleanup(d.Uninstall)
+	return d, dir
+}
+
+func writeAt(t *testing.T, path string, data []byte, off int64) vfs.File {
+	t.Helper()
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readRaw(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSyncedWritesSurviveCrash(t *testing.T) {
+	d, dir := withDisk(t, 1)
+	path := filepath.Join(dir, "data")
+	content := bytes.Repeat([]byte{0xAB}, 1000)
+	f := writeAt(t, path, content, 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d.CrashSite(dir)
+	if got := readRaw(t, path); !bytes.Equal(got, content) {
+		t.Fatalf("synced write lost in crash: got %d bytes", len(got))
+	}
+}
+
+func TestUnsyncedWritesTornOrDroppedOnCrash(t *testing.T) {
+	d, dir := withDisk(t, 2)
+	path := filepath.Join(dir, "data")
+	// Many separate unsynced writes: for any seed, the 0.40/0.30/0.30
+	// keep/drop/tear split makes losing all 40 of them astronomically
+	// unlikely to NOT happen at least once.
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte{0xCD}, 100)
+	for i := 0; i < 40; i++ {
+		if _, err := f.WriteAt(chunk, int64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	d.CrashSite(dir)
+	got := readRaw(t, path)
+	if len(got) == 4000 && bytes.Equal(got, bytes.Repeat([]byte{0xCD}, 4000)) {
+		t.Fatal("no unsynced write was dropped or torn")
+	}
+	var sawLoss bool
+	for _, line := range d.Trace() {
+		if strings.Contains(line, "dropped write") || strings.Contains(line, "torn write") {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Fatal("trace does not record any loss")
+	}
+}
+
+func TestLyingFsyncLeavesWritesVolatile(t *testing.T) {
+	d, dir := withDisk(t, 3)
+	d.SetLyingFsync(dir, true)
+	path := filepath.Join(dir, "data")
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte{0xEE}, 100)
+	for i := 0; i < 40; i++ {
+		if _, err := f.WriteAt(chunk, int64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying fsync must report success, got %v", err)
+	}
+	f.Close()
+	d.CrashSite(dir)
+	if got := readRaw(t, path); bytes.Equal(got, bytes.Repeat([]byte{0xEE}, 4000)) {
+		t.Fatal("lying fsync protected the data: no write was lost in the crash")
+	}
+}
+
+func TestRenameOldOrNewNeverMix(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			d, dir := withDisk(t, seed)
+			target := filepath.Join(dir, "master")
+			oldContent := []byte("old-master-record")
+			newContent := []byte("NEW-master-record!!")
+			if err := vfs.WriteFileAtomic(target, oldContent, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Replace without the directory fsync: write tmp, sync it, rename.
+			tmp := target + ".tmp"
+			f := writeAt(t, tmp, newContent, 0)
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if err := vfs.Rename(tmp, target); err != nil {
+				t.Fatal(err)
+			}
+			d.CrashSite(dir)
+			got := readRaw(t, target)
+			if !bytes.Equal(got, oldContent) && !bytes.Equal(got, newContent) {
+				t.Fatalf("crash left a mix: %q", got)
+			}
+		})
+	}
+}
+
+func TestSyncDirMakesRenameDurable(t *testing.T) {
+	d, dir := withDisk(t, 4)
+	target := filepath.Join(dir, "master")
+	if err := vfs.WriteFileAtomic(target, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFileAtomic(target, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashSite(dir)
+	if got := readRaw(t, target); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("dir-fsynced rename reverted: %q", got)
+	}
+}
+
+func TestCrashPointBudget(t *testing.T) {
+	d, dir := withDisk(t, 5)
+	path := filepath.Join(dir, "data")
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d.SetCrashPoint(dir, 2)
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("op 1 within budget failed: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("op 2 within budget failed: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 3 past budget: got %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync past budget: got %v, want ErrCrashed", err)
+	}
+}
+
+func TestShortWriteReturnsError(t *testing.T) {
+	d, dir := withDisk(t, 6)
+	d.SetShortWrites(dir, 1.0)
+	path := filepath.Join(dir, "data")
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.WriteAt(bytes.Repeat([]byte{1}, 512), 0)
+	if err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write should error with EIO, got n=%d err=%v", n, err)
+	}
+	if n <= 0 || n >= 512 {
+		t.Fatalf("short write landed %d bytes, want strict prefix", n)
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	d, dir := withDisk(t, 7)
+	d.SetFailOps(dir, 1.0, ErrNoSpace)
+	path := filepath.Join(dir, "data")
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	d.SetFailOps(dir, 1.0, ErrInjectedIO)
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	d.SetFailOps(dir, 0, nil)
+}
+
+func TestOpCountAndReset(t *testing.T) {
+	d, dir := withDisk(t, 8)
+	path := filepath.Join(dir, "data")
+	f := writeAt(t, path, []byte("abc"), 0)
+	f.Sync()
+	f.Close()
+	if n := d.OpCount(dir); n != 2 { // write + sync
+		t.Fatalf("OpCount = %d, want 2", n)
+	}
+	d.ResetOpCount(dir)
+	if n := d.OpCount(dir); n != 0 {
+		t.Fatalf("OpCount after reset = %d", n)
+	}
+}
+
+// script runs a fixed logical operation sequence against dir and returns
+// the disk's normalized trace (timestamps stripped).
+func script(t *testing.T, seed int64, dir string) []string {
+	t.Helper()
+	d := New(seed)
+	d.Register(dir, "site1")
+	d.Install()
+	defer d.Uninstall()
+	d.SetShortWrites(dir, 0.3)
+	path := filepath.Join(dir, "wal")
+	f, err := vfs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(0)
+	for i := 0; i < 30; i++ {
+		n, _ := f.WriteAt(bytes.Repeat([]byte{byte(i)}, 64), off)
+		off += int64(n)
+		if i%7 == 0 {
+			f.Sync()
+		}
+	}
+	f.Close()
+	_ = vfs.WriteFileAtomic(filepath.Join(dir, "meta"), []byte("m1"), 0o644)
+	d.CrashSite(dir)
+	var out []string
+	for _, line := range d.Trace() {
+		if i := strings.Index(line, " disk "); i >= 0 {
+			out = append(out, line[i+6:])
+		}
+	}
+	return out
+}
+
+// TestDeterministicSchedule: the same seed over the same logical operation
+// sequence yields the identical fault schedule — the reproducibility
+// contract chaos violation dumps rely on.
+func TestDeterministicSchedule(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "site")
+	runOnce := func() []string {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return script(t, 12345, dir)
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 {
+		t.Fatal("empty trace; script exercised nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d\nA:\n%s\nB:\n%s",
+			len(a), len(b), strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at line %d:\nA: %s\nB: %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must yield a different schedule.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c := script(t, 54321, dir)
+	if strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

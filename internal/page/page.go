@@ -10,6 +10,8 @@
 //	bytes 8..9    slot count (uint16)
 //	bytes 10..    slot-used bitmap, ceil(slots/8) bytes
 //	...           slot array: slots × tupleWidth bytes
+//	last 4 bytes  CRC32 trailer (written and verified by internal/storage;
+//	              the slot layout never reaches into it)
 //
 // Header pages of segmented heap files use the same 4 KB frame but their
 // own layout (see internal/storage).
@@ -22,6 +24,13 @@ import (
 
 // Size is the page size in bytes (§6.1.1).
 const Size = 4096
+
+// TrailerSize is the per-page integrity trailer: a CRC32 of the first
+// Size-TrailerSize bytes, stamped on every page write and verified on every
+// page read by internal/storage. SlotsPerPage keeps the slot array clear of
+// it, so torn or bit-rotted pages are detectable (and repairable from a
+// buddy) instead of silently serving garbage tuples.
+const TrailerSize = 4
 
 // LSN is a log sequence number: the byte offset of a record in a site's log.
 // Zero means "never logged" (HARBOR mode never assigns LSNs).
@@ -54,9 +63,10 @@ func SlotsPerPage(tupleWidth int) int {
 	if tupleWidth <= 0 {
 		panic("page: non-positive tuple width")
 	}
-	// slots*width + ceil(slots/8) + headerBase <= Size.
-	slots := (Size - headerBase) * 8 / (tupleWidth*8 + 1)
-	for slots > 0 && headerBase+(slots+7)/8+slots*tupleWidth > Size {
+	// slots*width + ceil(slots/8) + headerBase <= Size - TrailerSize.
+	const usable = Size - TrailerSize
+	slots := (usable - headerBase) * 8 / (tupleWidth*8 + 1)
+	for slots > 0 && headerBase+(slots+7)/8+slots*tupleWidth > usable {
 		slots--
 	}
 	return slots

@@ -9,18 +9,20 @@ import (
 
 func TestSlotsPerPage(t *testing.T) {
 	// 64-byte tuples (the thesis benchmark tuple size): the packing must
-	// never exceed the page and should waste less than one tuple's space.
+	// never reach into the CRC trailer and should waste less than one
+	// tuple's space of the usable area.
+	const usable = Size - TrailerSize
 	for _, w := range []int{1, 8, 17, 64, 100, 512, 4000} {
 		slots := SlotsPerPage(w)
 		if slots < 0 {
 			t.Fatalf("width %d: negative slots", w)
 		}
 		used := headerBase + (slots+7)/8 + slots*w
-		if used > Size {
-			t.Fatalf("width %d: %d slots overflow the page (%d bytes)", w, slots, used)
+		if used > usable {
+			t.Fatalf("width %d: %d slots overflow into the trailer (%d bytes)", w, slots, used)
 		}
 		usedNext := headerBase + (slots+1+7)/8 + (slots+1)*w
-		if w <= Size-headerBase-1 && usedNext <= Size {
+		if w <= usable-headerBase-1 && usedNext <= usable {
 			t.Fatalf("width %d: packing not maximal (%d slots fits, computed %d)", w, slots+1, slots)
 		}
 	}

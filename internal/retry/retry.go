@@ -1,0 +1,71 @@
+// Package retry provides capped, jittered exponential backoff for the
+// transient-failure retry loops: the §5.5.2 recovery replan-retry (a buddy
+// died mid-copy; the plan is recomputed against whoever is still alive) and
+// the comm borrow-path fresh-dial retry. Without backoff a flapping buddy
+// turns either loop into a hot spin — each retry dials, fails, and retries
+// within microseconds, hammering both the network and the failing peer.
+package retry
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes per-attempt sleep durations: Base doubling per attempt,
+// capped at Max, with the final duration drawn uniformly from
+// [d/2, d) (full jitter halves synchronized retry herds). The zero value is
+// a no-op (Sleep returns immediately), so callers can make backoff strictly
+// opt-in.
+type Backoff struct {
+	Base time.Duration // first-attempt sleep (0 disables backoff entirely)
+	Max  time.Duration // cap on the exponential growth (0 = uncapped)
+
+	mu  sync.Mutex
+	rng *rand.Rand // optional deterministic source; nil uses the global rng
+}
+
+// Seeded returns a Backoff with a private deterministic jitter stream, for
+// tests and the chaos harness (same seed ⇒ same sleep schedule).
+func Seeded(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Duration returns the sleep for the given zero-based attempt number.
+func (b *Backoff) Duration(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	// Full jitter over the upper half: uniform in [d/2, d).
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	b.mu.Lock()
+	var f float64
+	if b.rng != nil {
+		f = b.rng.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	b.mu.Unlock()
+	return half + time.Duration(f*float64(half))
+}
+
+// Sleep blocks for Duration(attempt). Attempt 0 is the first retry.
+func (b *Backoff) Sleep(attempt int) {
+	if d := b.Duration(attempt); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,45 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueIsNoOp(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 5; i++ {
+		if d := b.Duration(i); d != 0 {
+			t.Fatalf("attempt %d: zero-value backoff slept %v", i, d)
+		}
+	}
+}
+
+func TestExponentialGrowthAndCap(t *testing.T) {
+	b := Seeded(10*time.Millisecond, 80*time.Millisecond, 1)
+	prevMax := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		// Uncapped ideal: 10ms << i; jitter keeps it in [ideal/2, ideal).
+		ideal := 10 * time.Millisecond << i
+		if ideal > 80*time.Millisecond {
+			ideal = 80 * time.Millisecond
+		}
+		d := b.Duration(i)
+		if d < ideal/2 || d >= ideal {
+			t.Fatalf("attempt %d: duration %v outside [%v, %v)", i, d, ideal/2, ideal)
+		}
+		if d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: duration %v exceeds cap", i, d)
+		}
+		_ = prevMax
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a := Seeded(5*time.Millisecond, 50*time.Millisecond, 42)
+	b := Seeded(5*time.Millisecond, 50*time.Millisecond, 42)
+	for i := 0; i < 10; i++ {
+		if da, db := a.Duration(i), b.Duration(i); da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", i, da, db)
+		}
+	}
+}

@@ -7,37 +7,25 @@ import (
 	"os"
 
 	"harbor/internal/tuple"
+	"harbor/internal/vfs"
 )
 
 // WriteCheckpointFile durably records the HARBOR checkpoint time T at a
 // well-known location (the last step of the Figure 3-2 algorithm): all
-// updates committed at or before T are guaranteed flushed.
+// updates committed at or before T are guaranteed flushed. The atomic
+// replace includes the parent-directory fsync — without it a crash after
+// the rename could lose the new checkpoint even though the write "succeeded"
+// (the bug this shared helper fixed; see vfs.WriteFileAtomic).
 func WriteCheckpointFile(path string, t tuple.Timestamp) error {
 	buf := binary.LittleEndian.AppendUint64(nil, uint64(t))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(buf); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return vfs.WriteFileAtomic(path, buf, 0o644)
 }
 
 // ReadCheckpointFile returns the recorded checkpoint time, or 0 when no
 // checkpoint has ever been written.
 func ReadCheckpointFile(path string) (tuple.Timestamp, error) {
-	raw, err := os.ReadFile(path)
+	raw, err := vfs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return 0, nil
 	}

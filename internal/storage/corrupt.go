@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrPageCorrupt is the sentinel matched by errors.Is when a page image
+// fails the CRC32 trailer check. The concrete error is *PageCorruptError,
+// which carries the page identity so the read path and recovery can map it
+// to its segment's timestamp bounds and repair it from a live buddy.
+var ErrPageCorrupt = errors.New("storage: page corrupt")
+
+// PageCorruptError identifies a page whose on-disk image failed
+// verification: a torn write, bit rot, or a mid-page truncation.
+type PageCorruptError struct {
+	Table  int32
+	PageNo int32
+	Reason string
+}
+
+func (e *PageCorruptError) Error() string {
+	return fmt.Sprintf("storage: table %d page %d corrupt: %s", e.Table, e.PageNo, e.Reason)
+}
+
+func (e *PageCorruptError) Unwrap() error { return ErrPageCorrupt }
+
+// QuarantinedPages returns the page numbers that failed verification since
+// open (sorted ascending), still awaiting repair.
+func (h *HeapFile) QuarantinedPages() []int32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int32, 0, len(h.quarantined))
+	for p := range h.quarantined {
+		out = append(out, p)
+	}
+	sortInt32s(out)
+	return out
+}
+
+// ClearQuarantine marks a page healthy again; WritePageData calls it when a
+// full image (repaired or rewritten) lands.
+func (h *HeapFile) ClearQuarantine(pageNo int32) {
+	h.mu.Lock()
+	delete(h.quarantined, pageNo)
+	h.mu.Unlock()
+}
+
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func leUint32(b []byte) uint32       { return binary.LittleEndian.Uint32(b) }
+func putLeUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }

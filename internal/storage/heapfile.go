@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -12,6 +14,7 @@ import (
 	"harbor/internal/obs"
 	"harbor/internal/page"
 	"harbor/internal/tuple"
+	"harbor/internal/vfs"
 )
 
 // HeapFile is one table's segmented heap file on one site. All methods are
@@ -22,7 +25,7 @@ type HeapFile struct {
 	mu sync.Mutex
 
 	dir  string
-	file *os.File
+	file vfs.File
 	meta *Meta
 
 	// metaDirty is set whenever meta changed since the last FlushMeta. The
@@ -44,13 +47,19 @@ type HeapFile struct {
 	tupleWidth int
 	slots      int
 
+	// quarantined holds page numbers whose on-disk image failed the CRC
+	// trailer check. A quarantined page is skipped by ScanDirect (so index
+	// rebuild and site restart survive it) until recovery repairs it from a
+	// buddy and calls ClearQuarantine.
+	quarantined map[int32]bool
+
 	// Stats counters (atomic not needed; guarded by mu).
 	pageReads, pageWrites, syncs int64
 
 	// Site-wide registry counters mirrored alongside the per-file stats
-	// (storage.page.reads, storage.page.writes, storage.fsyncs); bound by
-	// the owning Manager's Instrument.
-	ioReads, ioWrites, ioSyncs *obs.Counter
+	// (storage.page.reads, storage.page.writes, storage.fsyncs,
+	// storage.corrupt_pages); bound by the owning Manager's Instrument.
+	ioReads, ioWrites, ioSyncs, ioCorrupt *obs.Counter
 }
 
 // Paths for a table's files within a site directory.
@@ -66,10 +75,10 @@ func Create(dir string, table int32, desc *tuple.Desc, segPages int32) (*HeapFil
 	if segPages <= 0 {
 		return nil, fmt.Errorf("storage: segment size must be positive, got %d", segPages)
 	}
-	if _, err := os.Stat(metaPath(dir, table)); err == nil {
+	if _, err := vfs.Stat(metaPath(dir, table)); err == nil {
 		return nil, fmt.Errorf("storage: table %d already exists in %s", table, dir)
 	}
-	f, err := os.OpenFile(heapPath(dir, table), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := vfs.OpenFile(heapPath(dir, table), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +94,7 @@ func Create(dir string, table int32, desc *tuple.Desc, segPages int32) (*HeapFil
 		},
 		pageSeg:          map[int32]int32{},
 		uncommittedBySeg: map[int32]int{},
+		quarantined:      map[int32]bool{},
 		insertHint:       -1,
 		tupleWidth:       desc.Width(),
 		slots:            page.SlotsPerPage(desc.Width()),
@@ -100,7 +110,7 @@ func Create(dir string, table int32, desc *tuple.Desc, segPages int32) (*HeapFil
 
 // Open loads an existing table's heap file and rebuilds in-memory state.
 func Open(dir string, table int32) (*HeapFile, error) {
-	raw, err := os.ReadFile(metaPath(dir, table))
+	raw, err := vfs.ReadFile(metaPath(dir, table))
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +121,7 @@ func Open(dir string, table int32) (*HeapFile, error) {
 	if m.TableID != table {
 		return nil, fmt.Errorf("storage: meta says table %d, expected %d", m.TableID, table)
 	}
-	f, err := os.OpenFile(heapPath(dir, table), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := vfs.OpenFile(heapPath(dir, table), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +131,7 @@ func Open(dir string, table int32) (*HeapFile, error) {
 		meta:             m,
 		pageSeg:          map[int32]int32{},
 		uncommittedBySeg: map[int32]int{},
+		quarantined:      map[int32]bool{},
 		insertHint:       -1,
 		tupleWidth:       m.Desc.Width(),
 		slots:            page.SlotsPerPage(m.Desc.Width()),
@@ -200,8 +211,12 @@ func (h *HeapFile) SegmentFor(pageNo int32) int32 {
 	return -1
 }
 
-// ReadPageData reads the raw image of a page. Pages past the OS file's end
-// (allocated but never flushed) read as zeroes and are formatted fresh.
+// ReadPageData reads the raw image of a page and verifies its CRC32
+// trailer. Pages past the OS file's end (allocated but never flushed) read
+// as zeroes and are formatted fresh; so do all-zero sparse holes — both are
+// exempt from the trailer check because no write ever stamped them. Any
+// other mismatch (torn write, bit rot, mid-page truncation) quarantines the
+// page and returns a *PageCorruptError (errors.Is ErrPageCorrupt).
 func (h *HeapFile) ReadPageData(pageNo int32) ([]byte, error) {
 	h.mu.Lock()
 	if pageNo < 0 || pageNo >= h.meta.NextPage {
@@ -221,7 +236,8 @@ func (h *HeapFile) ReadPageData(pageNo int32) ([]byte, error) {
 			p := page.New(page.ID{Table: h.meta.TableID, PageNo: pageNo}, h.tupleWidth)
 			return p.Bytes(), nil
 		}
-		return nil, fmt.Errorf("storage: table %d page %d short read (%d bytes)", h.meta.TableID, pageNo, n)
+		// Data but not a whole page: a write torn by mid-page truncation.
+		return nil, h.corruptPage(pageNo, fmt.Sprintf("short read (%d bytes)", n))
 	}
 	if err != nil {
 		return nil, err
@@ -231,7 +247,23 @@ func (h *HeapFile) ReadPageData(pageNo int32) ([]byte, error) {
 		p := page.New(page.ID{Table: h.meta.TableID, PageNo: pageNo}, h.tupleWidth)
 		return p.Bytes(), nil
 	}
+	const crcOff = page.Size - page.TrailerSize
+	if crc32.ChecksumIEEE(buf[:crcOff]) != leUint32(buf[crcOff:]) {
+		return nil, h.corruptPage(pageNo, "CRC trailer mismatch")
+	}
 	return buf, nil
+}
+
+// corruptPage records a failed trailer check: bump the counter, quarantine
+// the page, and build the typed error.
+func (h *HeapFile) corruptPage(pageNo int32, reason string) error {
+	h.mu.Lock()
+	if !h.quarantined[pageNo] {
+		h.quarantined[pageNo] = true
+		h.ioCorrupt.Inc()
+	}
+	h.mu.Unlock()
+	return &PageCorruptError{Table: h.meta.TableID, PageNo: pageNo, Reason: reason}
 }
 
 func allZero(b []byte) bool {
@@ -243,7 +275,9 @@ func allZero(b []byte) bool {
 	return true
 }
 
-// WritePageData writes a page image without syncing.
+// WritePageData writes a page image without syncing, stamping the CRC32
+// trailer. The image is copied first so the shared in-memory page (whose
+// trailer bytes may be stale) is never mutated and never raced.
 func (h *HeapFile) WritePageData(pageNo int32, data []byte) error {
 	if len(data) != page.Size {
 		return fmt.Errorf("storage: page image is %d bytes", len(data))
@@ -252,7 +286,14 @@ func (h *HeapFile) WritePageData(pageNo int32, data []byte) error {
 	h.pageWrites++
 	h.ioWrites.Inc()
 	h.mu.Unlock()
-	_, err := h.file.WriteAt(data, int64(pageNo)*page.Size)
+	const crcOff = page.Size - page.TrailerSize
+	img := make([]byte, page.Size)
+	copy(img, data)
+	putLeUint32(img[crcOff:], crc32.ChecksumIEEE(img[:crcOff]))
+	_, err := h.file.WriteAt(img, int64(pageNo)*page.Size)
+	if err == nil {
+		h.ClearQuarantine(pageNo)
+	}
 	return err
 }
 
@@ -266,13 +307,25 @@ func (h *HeapFile) SyncData() error {
 }
 
 // instrument binds the shared storage.* counters (the per-file Stats
-// counters are unaffected).
+// counters are unaffected). Counts accumulated before the rebind — Open and
+// Create start on a private registry, and the open-time index rebuild can
+// already discover corrupt pages — are carried into the new registry so a
+// quarantine found before the Site wires observability still shows up in
+// storage.corrupt_pages.
 func (h *HeapFile) instrument(reg *obs.Registry) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.ioReads = reg.Counter("storage.page.reads")
-	h.ioWrites = reg.Counter("storage.page.writes")
-	h.ioSyncs = reg.Counter("storage.fsyncs")
+	carry := func(old *obs.Counter, name string) *obs.Counter {
+		c := reg.Counter(name)
+		if old != nil && old != c {
+			c.Add(old.Load())
+		}
+		return c
+	}
+	h.ioReads = carry(h.ioReads, "storage.page.reads")
+	h.ioWrites = carry(h.ioWrites, "storage.page.writes")
+	h.ioSyncs = carry(h.ioSyncs, "storage.fsyncs")
+	h.ioCorrupt = carry(h.ioCorrupt, "storage.corrupt_pages")
 }
 
 // Stats returns IO counters (reads, writes, syncs).
@@ -293,29 +346,8 @@ func (h *HeapFile) flushMetaLocked() error {
 	if !h.metaDirty {
 		return nil
 	}
-	path := metaPath(h.dir, h.meta.TableID)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := vfs.WriteFileAtomic(metaPath(h.dir, h.meta.TableID), h.meta.marshal(), 0o644); err != nil {
 		return err
-	}
-	if _, err := f.Write(h.meta.marshal()); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	if d, err := os.Open(h.dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
 	}
 	h.metaDirty = false
 	return nil
@@ -680,11 +712,16 @@ func (h *HeapFile) DropOldestSegment() error {
 // ScanDirect iterates every used slot of the listed segments straight from
 // disk, bypassing the buffer pool. The key index rebuild and tests use it;
 // online scans go through the buffer pool instead. fn returning false stops
-// the scan.
+// the scan. Corrupt pages are skipped, not fatal: they are already
+// quarantined by ReadPageData and the site repairs them from a buddy —
+// the hole is a missing key range, not a dead table.
 func (h *HeapFile) ScanDirect(segs []int32, fn func(rid page.RecordID, t tuple.Tuple) bool) error {
 	for _, si := range segs {
 		for _, pno := range h.SegmentPages(si) {
 			img, err := h.ReadPageData(pno)
+			if errors.Is(err, ErrPageCorrupt) {
+				continue
+			}
 			if err != nil {
 				return err
 			}

@@ -68,6 +68,31 @@ func (x *KeyIndex) Remove(key int64, rid page.RecordID) {
 	}
 }
 
+// DropPage removes every record id that lives on the given page — the
+// quarantine step of torn-page repair, where the page's keys cannot be read
+// back to Remove them one by one. Returns the number of entries dropped.
+func (x *KeyIndex) DropPage(pid page.ID) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	dropped := 0
+	for key, lst := range x.m {
+		kept := lst[:0]
+		for _, r := range lst {
+			if r.Page == pid {
+				dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(x.m, key)
+		} else {
+			x.m[key] = kept
+		}
+	}
+	return dropped
+}
+
 // Lookup returns a copy of the record ids stored under key.
 func (x *KeyIndex) Lookup(key int64) []page.RecordID {
 	x.mu.RLock()

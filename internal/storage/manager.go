@@ -10,6 +10,7 @@ import (
 
 	"harbor/internal/obs"
 	"harbor/internal/tuple"
+	"harbor/internal/vfs"
 )
 
 // Manager owns every heap file of one site (the thesis's "Heap File /
@@ -30,11 +31,11 @@ type Table struct {
 // NewManager creates a manager rooted at dir, creating the directory and
 // opening any tables already present (site restart).
 func NewManager(dir string) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := vfs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	m := &Manager{dir: dir, tables: map[int32]*Table{}, reg: obs.NewRegistry()}
-	entries, err := os.ReadDir(dir)
+	entries, err := vfs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -134,10 +135,10 @@ func (m *Manager) Drop(id int32) error {
 	}
 	delete(m.tables, id)
 	_ = t.Heap.Close()
-	if err := os.Remove(heapPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
+	if err := vfs.Remove(heapPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	if err := os.Remove(metaPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
+	if err := vfs.Remove(metaPath(m.dir, id)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 
 	"harbor/internal/catalog"
 	"harbor/internal/coord"
+	"harbor/internal/core"
 	"harbor/internal/expr"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -80,6 +81,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			cl.Close()
 			return nil, err
 		}
+		installRepairHook(w, cat)
 		cl.Workers = append(cl.Workers, w)
 		cat.AddSite(site, w.Addr())
 	}
@@ -186,9 +188,20 @@ func (cl *Cluster) RestartWorker(i int) (*worker.Site, error) {
 	if err != nil {
 		return nil, err
 	}
+	installRepairHook(w, cl.Catalog)
 	cl.Workers[i] = w
 	cl.Catalog.AddSite(site, w.Addr())
 	return w, nil
+}
+
+// installRepairHook arms the worker's online torn-page repair with the
+// recovery engine's repair-from-buddy path, mirroring cmd/harbor-worker.
+func installRepairHook(w *worker.Site, cat *catalog.Catalog) {
+	rec := core.New(w, cat)
+	w.SetRepairHook(func(table int32) error {
+		_, err := rec.RepairTable(table)
+		return err
+	})
 }
 
 // Close shuts everything down.

@@ -1,0 +1,174 @@
+// Package vfs is the filesystem seam between HARBOR's storage layers and
+// the operating system. Every durable structure (heap files, segment meta,
+// checkpoints, the WAL and its master record) performs its I/O through the
+// package-level functions here, which delegate to a swappable FS
+// implementation. The default is a thin zero-cost wrapper over the os
+// package; internal/faultdisk swaps in a seeded fault-injecting
+// implementation the same way internal/faultnet swaps the comm dial hooks.
+//
+// The seam exists so the crash-consistency contract (DESIGN.md) is testable:
+// torn writes, lying fsyncs, and crash points between the write/sync/rename
+// steps of an atomic replace are only observable if all file I/O funnels
+// through one interface.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// File is the subset of *os.File the storage layers need. ReadAt/WriteAt
+// serve page I/O, Write serves append-style WAL batches, Sync is the
+// durability point, Truncate/Seek serve WAL torn-tail cleanup.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+// FS is the filesystem operations surface. SyncDir makes a preceding rename
+// in dir durable (fsync of the directory inode); implementations where that
+// is a no-op may return nil.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem: direct delegation to package os.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// holder wraps the active FS so swaps are a single atomic pointer store
+// (safe under -race even if a background flusher races an Install).
+type holder struct{ fs FS }
+
+var active atomic.Pointer[holder]
+
+func init() {
+	active.Store(&holder{fs: osFS{}})
+}
+
+// Swap installs fs as the active filesystem and returns the previous one.
+// Restore the returned value when done (faultdisk.Uninstall does this).
+func Swap(fs FS) FS {
+	old := active.Swap(&holder{fs: fs})
+	return old.fs
+}
+
+// Current returns the active filesystem.
+func Current() FS { return active.Load().fs }
+
+// Package-level delegates: call sites use these instead of package os.
+
+func OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return Current().OpenFile(name, flag, perm)
+}
+
+// Open opens name read-only.
+func Open(name string) (File, error) { return Current().OpenFile(name, os.O_RDONLY, 0) }
+
+// Create truncate-creates name for writing.
+func Create(name string) (File, error) {
+	return Current().OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func Rename(oldpath, newpath string) error         { return Current().Rename(oldpath, newpath) }
+func Remove(name string) error                     { return Current().Remove(name) }
+func Stat(name string) (os.FileInfo, error)        { return Current().Stat(name) }
+func MkdirAll(path string, perm os.FileMode) error { return Current().MkdirAll(path, perm) }
+func ReadDir(name string) ([]os.DirEntry, error)   { return Current().ReadDir(name) }
+func SyncDir(dir string) error                     { return Current().SyncDir(dir) }
+
+// ReadFile reads the whole of name through the seam.
+func ReadFile(name string) ([]byte, error) {
+	f, err := Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	off := int64(0)
+	for {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// WriteFileAtomic durably replaces path with data: write a temp file in the
+// same directory, fsync it, rename over path, then fsync the parent
+// directory so the rename itself survives a crash. This is the single
+// atomic-replace helper behind segment meta, checkpoint files, and the WAL
+// master record — the crash-consistency contract is "old content or new
+// content, never a mix, and new content once WriteFileAtomic returns".
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		Remove(tmp)
+		return fmt.Errorf("vfs: atomic write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		Remove(tmp)
+		return fmt.Errorf("vfs: atomic sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		Remove(tmp)
+		return err
+	}
+	if err := Rename(tmp, path); err != nil {
+		Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}

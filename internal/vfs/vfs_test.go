@@ -1,0 +1,70 @@
+package vfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target.dat")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+
+	// Replace leaves no temp file behind.
+	if err := WriteFileAtomic(path, []byte("second, longer"), 0o644); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	got, _ = ReadFile(path)
+	if !bytes.Equal(got, []byte("second, longer")) {
+		t.Fatalf("content after replace = %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}
+
+// countingFS proves the Swap seam routes package-level calls.
+type countingFS struct {
+	FS
+	opens int
+}
+
+func (c *countingFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	c.opens++
+	return c.FS.OpenFile(name, flag, perm)
+}
+
+func TestSwapRoutesCalls(t *testing.T) {
+	c := &countingFS{FS: Current()}
+	prev := Swap(c)
+	defer Swap(prev)
+
+	path := filepath.Join(t.TempDir(), "x")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f.Close()
+	if c.opens != 1 {
+		t.Fatalf("opens = %d, want 1", c.opens)
+	}
+}

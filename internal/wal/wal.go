@@ -22,6 +22,7 @@ import (
 
 	"harbor/internal/obs"
 	"harbor/internal/page"
+	"harbor/internal/vfs"
 )
 
 // RecType enumerates log record types.
@@ -160,7 +161,7 @@ type TxnStatus struct {
 // Manager is one site's log manager.
 type Manager struct {
 	mu      sync.Mutex
-	file    *os.File
+	file    vfs.File
 	buf     []byte   // unflushed tail
 	bufLSN  page.LSN // LSN of buf[0]
 	nextLSN page.LSN
@@ -198,7 +199,7 @@ func MasterPath(dir string) string { return filepath.Join(dir, "wal.master") }
 // after the last complete record. groupDelay widens group-commit batches
 // (0 = flush as soon as a flusher is free, the thesis default).
 func Open(dir string, groupDelay time.Duration) (*Manager, error) {
-	f, err := os.OpenFile(Path(dir), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := vfs.OpenFile(Path(dir), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -240,12 +241,11 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.fsyncNS = reg.Histogram("wal.fsync.ns")
 }
 
-func scanEnd(f *os.File) (int64, error) {
-	info, err := f.Stat()
+func scanEnd(f vfs.File) (int64, error) {
+	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return 0, err
 	}
-	size := info.Size()
 	var off int64
 	hdr := make([]byte, 8)
 	for off+8 <= size {
@@ -432,29 +432,21 @@ func (m *Manager) ResetCounters() {
 	m.appends.Store(0)
 }
 
-// WriteMaster durably records the LSN of the latest checkpoint record.
+// WriteMaster durably records the LSN of the latest checkpoint record via
+// the shared atomic-replace helper. The old implementation synced a
+// read-only handle of the temp file (a no-op for durability on some
+// platforms) and never fsynced the parent directory, so a crash after the
+// rename could roll the master record back; WriteFileAtomic does both
+// steps correctly.
 func WriteMaster(dir string, lsn page.LSN) error {
-	tmp := MasterPath(dir) + ".tmp"
 	buf := binary.LittleEndian.AppendUint64(nil, uint64(lsn))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	f, err := os.Open(tmp)
-	if err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	f.Close()
-	return os.Rename(tmp, MasterPath(dir))
+	return vfs.WriteFileAtomic(MasterPath(dir), buf, 0o644)
 }
 
 // ReadMaster returns the last checkpoint LSN, or 0 if none exists.
 func ReadMaster(dir string) (page.LSN, error) {
-	raw, err := os.ReadFile(MasterPath(dir))
+	raw, err := vfs.ReadFile(MasterPath(dir))
 	if os.IsNotExist(err) {
 		return 0, nil
 	}

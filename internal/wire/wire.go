@@ -12,6 +12,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -196,9 +197,21 @@ type AggCol struct {
 // Yes reports the FlagYes bit.
 func (m *Msg) Yes() bool { return m.Flags&FlagYes != 0 }
 
-// Err converts a MsgErr into an error (nil otherwise).
+// ErrRemoteCorrupt marks a MsgErr caused by a CRC-quarantined page on the
+// serving site. Error text alone cannot carry a typed identity across the
+// wire, and recovery must tell this apart from a fatal remote error: the
+// failed read has already armed the server's background repair-from-buddy,
+// so the right client move is back off and retry, not give up.
+var ErrRemoteCorrupt = errors.New("remote page corrupt")
+
+// Err converts a MsgErr into an error (nil otherwise). A MsgErr with
+// FlagYes set reports a corrupt page on the server and wraps
+// ErrRemoteCorrupt for errors.Is.
 func (m *Msg) Err() error {
 	if m.Type == MsgErr {
+		if m.Yes() {
+			return fmt.Errorf("%w: %s", ErrRemoteCorrupt, m.Text)
+		}
 		return fmt.Errorf("remote: %s", m.Text)
 	}
 	return nil

@@ -1,0 +1,56 @@
+package worker
+
+import (
+	"errors"
+
+	"harbor/internal/storage"
+)
+
+// SetRepairHook installs the online torn-page repair callback. The worker
+// itself cannot import the recovery engine (core imports worker), so the
+// process that assembles a site — the cluster harness or the worker binary —
+// wires core's Recoverer.RepairTable in here. With no hook installed,
+// corrupt pages simply stay quarantined.
+func (s *Site) SetRepairHook(fn func(table int32) error) {
+	s.repairMu.Lock()
+	s.repairHook = fn
+	s.repairMu.Unlock()
+}
+
+// noteCorrupt inspects a data-path error and, on the first ErrPageCorrupt
+// sighting for a table, fires the repair hook in the background. The failing
+// request still returns its error — the coordinator replans it to a healthy
+// replica — while the repair restores the page from a buddy so later reads
+// here succeed. At most one repair runs per table at a time; a failed
+// attempt (buddy down, repair deferred) re-arms on the next corrupt read.
+func (s *Site) noteCorrupt(err error) {
+	var pce *storage.PageCorruptError
+	if err == nil || !errors.As(err, &pce) || s.crashed.Load() {
+		return
+	}
+	s.repairMu.Lock()
+	fn := s.repairHook
+	if fn == nil || s.repairBusy[pce.Table] {
+		s.repairMu.Unlock()
+		return
+	}
+	if s.repairBusy == nil {
+		s.repairBusy = map[int32]bool{}
+	}
+	s.repairBusy[pce.Table] = true
+	s.repairMu.Unlock()
+
+	table := pce.Table
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.repairMu.Lock()
+			delete(s.repairBusy, table)
+			s.repairMu.Unlock()
+		}()
+		if err := fn(table); err != nil {
+			s.reg.Counter("recover.page_repair_errors").Inc()
+		}
+	}()
+}

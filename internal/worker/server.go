@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"harbor/internal/expr"
 	"harbor/internal/lockmgr"
 	"harbor/internal/obs"
+	"harbor/internal/storage"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/wire"
@@ -52,6 +54,21 @@ func errMsg(err error) *wire.Msg {
 	return &wire.Msg{Type: wire.MsgErr, Text: err.Error()}
 }
 
+// dataErr is errMsg for the tuple data path: it additionally routes the
+// error past the torn-page watchdog, which kicks off a background
+// repair-from-buddy the first time a read trips ErrPageCorrupt — and marks
+// the outgoing MsgErr (FlagYes) so the peer sees a typed
+// wire.ErrRemoteCorrupt: a retryable condition (this site is already
+// repairing itself), not a fatal answer.
+func (s *Site) dataErr(err error) *wire.Msg {
+	s.noteCorrupt(err)
+	m := errMsg(err)
+	if errors.Is(err, storage.ErrPageCorrupt) {
+		m.Flags |= wire.FlagYes
+	}
+	return m
+}
+
 // phaseHandlers is the worker half of the commit-protocol engine: the
 // per-phase handlers keyed by wire message kind. Which of these a worker
 // ever receives is decided entirely by the coordinator's phase plan; the
@@ -74,7 +91,14 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 	}
 	switch m.Type {
 	case wire.MsgPing:
-		return okMsg()
+		// FlagYes advertises readiness as a recovery source: the site is
+		// not itself rejoining from a crash. Plain liveness checks ignore
+		// the flag; recovery's buddy probe requires it.
+		out := okMsg()
+		if !s.needsRecovery.Load() {
+			out.Flags |= wire.FlagYes
+		}
+		return out
 
 	case wire.MsgCrash:
 		go s.Crash()
@@ -107,7 +131,7 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		w.didWrite = true
 		tp := wire.ToTuple(m.Tuple)
 		if _, err := s.Store.InsertTuple(lockmgr.TxnID(m.Txn), m.Table, tp); err != nil {
-			return errMsg(err)
+			return s.dataErr(err)
 		}
 		return okMsg()
 
@@ -117,7 +141,7 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		w.didWrite = true
 		found, err := exec.DeleteByKey(s.Store, lockmgr.TxnID(m.Txn), m.Table, m.Key)
 		if err != nil {
-			return errMsg(err)
+			return s.dataErr(err)
 		}
 		out := okMsg()
 		if found {
@@ -137,7 +161,7 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 				return out
 			})
 		if err != nil {
-			return errMsg(err)
+			return s.dataErr(err)
 		}
 		out := okMsg()
 		if found {
@@ -155,13 +179,21 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		s.getTxn(m.Txn, true)
 		owned[m.Txn] = true
 		if err := s.streamScan(c, m); err != nil {
-			return errMsg(err)
+			return s.dataErr(err)
 		}
 		return nil
 
 	case wire.MsgRecoveryScan:
+		// A site that rejoined from a crash may be missing commits it once
+		// acknowledged (crash losses, lying fsyncs) while still counted in
+		// the coordinator's update set. Serving as a recovery source before
+		// its own recovery completes would silently seed that staleness
+		// into another replica — refuse loudly instead.
+		if s.needsRecovery.Load() {
+			return errMsg(fmt.Errorf("worker: site %d rejoined from a crash and has not completed recovery; not a valid recovery source", s.Cfg.Site))
+		}
 		if err := s.streamRecoveryScan(c, m); err != nil {
-			return errMsg(err)
+			return s.dataErr(err)
 		}
 		return nil
 

@@ -8,7 +8,7 @@ package worker
 
 import (
 	"fmt"
-	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +23,7 @@ import (
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
 	"harbor/internal/version"
+	"harbor/internal/vfs"
 	"harbor/internal/wal"
 	"harbor/internal/wire"
 )
@@ -125,8 +126,23 @@ type Site struct {
 	ckptPause atomic.Int32
 	wg        sync.WaitGroup
 
+	// needsRecovery is set when Open finds prior state without the clean-
+	// shutdown marker: the previous incarnation fail-stopped, so this site's
+	// replicas may be missing commits it once acknowledged (crash losses,
+	// lying fsyncs) even though the coordinator never evicted it. Until its
+	// own recovery completes (SetRecovered), the site answers pings without
+	// the ready flag and refuses to serve recovery scans — seeding another
+	// site's catch-up from here would silently lose committed data.
+	needsRecovery atomic.Bool
+
 	// failNextPrepare makes the next PREPARE vote NO (abort-path tests).
 	failNextPrepare atomic.Bool
+
+	// Online torn-page repair (see repair.go): the installed hook and the
+	// set of tables with a repair already in flight.
+	repairMu   sync.Mutex
+	repairHook func(table int32) error
+	repairBusy map[int32]bool
 
 	// msgDelay (ns) stalls every received request before dispatch —
 	// simulated network/processing latency in the spirit of §6.3.2's
@@ -155,6 +171,12 @@ type Site struct {
 	aggFrames *obs.Counter // worker.agg.frames — MsgAggBatch frames sent
 }
 
+// cleanShutdownFile marks a site directory as closed via Close(): the final
+// checkpoint ran and nothing acknowledged is volatile-only. Open consumes
+// the marker; a directory with prior state but no marker belonged to a
+// crashed incarnation, and the new site starts in needs-recovery state.
+const cleanShutdownFile = "clean_shutdown"
+
 // Open builds the site stack from its directory (creating it if needed) and
 // starts the TCP server. In ARIES mode with existing state, the caller is
 // responsible for running Recover (the benches time it separately).
@@ -164,8 +186,22 @@ func Open(cfg Config) (*Site, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("worker: protocol %v has no phase plan", cfg.Protocol)
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := vfs.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
+	}
+	// Consume the clean-shutdown marker before anything else: removing it
+	// durably (dir fsync) means a crash from here on is detected as such by
+	// the next incarnation.
+	marker := filepath.Join(cfg.Dir, cleanShutdownFile)
+	_, merr := vfs.Stat(marker)
+	cleanPrior := merr == nil
+	if cleanPrior {
+		if err := vfs.Remove(marker); err != nil {
+			return nil, err
+		}
+		if err := vfs.SyncDir(cfg.Dir); err != nil {
+			return nil, err
+		}
 	}
 	reg := obs.NewRegistry()
 	mgr, err := storage.NewManager(cfg.Dir)
@@ -212,6 +248,7 @@ func Open(cfg Config) (*Site, error) {
 	s.aggRowsIn = reg.Counter("worker.agg.rows_in")
 	s.aggFrames = reg.Counter("worker.agg.frames")
 	s.ts.init()
+	s.needsRecovery.Store(!cleanPrior && len(mgr.IDs()) > 0)
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
 		mgr.Close()
@@ -260,7 +297,9 @@ func (s *Site) Crash() {
 	s.wg.Wait()
 }
 
-// Close shuts the site down cleanly (flushing a final checkpoint).
+// Close shuts the site down cleanly (flushing a final checkpoint), then
+// leaves the clean-shutdown marker so the next incarnation knows it is not
+// rejoining from a crash.
 func (s *Site) Close() error {
 	if s.crashed.Load() {
 		return nil
@@ -268,12 +307,26 @@ func (s *Site) Close() error {
 	if s.Cfg.Mode == HARBOR {
 		_ = s.CheckpointNow()
 	}
+	if err := vfs.WriteFileAtomic(filepath.Join(s.Cfg.Dir, cleanShutdownFile), []byte("clean\n"), 0o644); err != nil {
+		s.Crash()
+		return err
+	}
 	s.Crash()
 	return nil
 }
 
 // Crashed reports whether the site has fail-stopped.
 func (s *Site) Crashed() bool { return s.crashed.Load() }
+
+// NeedsRecovery reports whether the site rejoined from a crash and has not
+// yet completed recovery. While true, the site is not a legitimate recovery
+// source: pings omit the ready flag and recovery scans are refused.
+func (s *Site) NeedsRecovery() bool { return s.needsRecovery.Load() }
+
+// SetRecovered marks the site fully rejoined: HARBOR RecoverSite (or ARIES
+// restart recovery) completed, so its replicas hold every commit through
+// the recovery's high water mark and may again seed other sites' catch-up.
+func (s *Site) SetRecovered() { s.needsRecovery.Store(false) }
 
 // FailNextPrepare arms the abort-path test hook: the next PREPARE received
 // votes NO (simulating a consistency-constraint violation, §4.3).
@@ -414,7 +467,11 @@ func (s *Site) RecoverARIES() (*aries.Stats, error) {
 			}
 		}
 	}
-	return aries.Recover(s.Mgr, s.Pool, s.Log, resolver)
+	st, err := aries.Recover(s.Mgr, s.Pool, s.Log, resolver)
+	if err == nil {
+		s.SetRecovered()
+	}
+	return st, err
 }
 
 func queryOutcome(addr string, id int64) (aries.Outcome, error) {
