@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-scan bench-agg chaos soak smoke
+.PHONY: all build test race vet check bench bench-scan bench-agg bench-recovery chaos soak smoke
 
 all: check
 
@@ -48,6 +48,12 @@ bench-scan:
 # grouped sum. Regenerates BENCH_agg.json.
 bench-agg:
 	$(GO) run ./cmd/harbor-bench agg -iters 5 | tee BENCH_agg.json
+
+# MTTR split of per-object recovery: time until the first historical query
+# is answered by a recovering multi-object site vs time until full catch-up.
+# Regenerates BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/harbor-bench recovery | tee BENCH_recovery.json
 
 # Boots a standalone worker with -debug-addr and validates the
 # /debug/harbor observability endpoint's JSON shape.

@@ -13,6 +13,7 @@
 //	harbor-bench fig67 [-seconds 12]
 //	harbor-bench scan [-rows 100000] [-iters 3]
 //	harbor-bench agg [-rows 100000] [-iters 5]
+//	harbor-bench recovery [-rows 100000] [-objects 4]
 //	harbor-bench all
 //
 // Absolute numbers depend on the host (fsync latency, loopback RTT, core
@@ -49,6 +50,7 @@ func main() {
 	seconds := fs.Int("seconds", 12, "timeline length (fig67)")
 	rows := fs.Int("rows", 100000, "table cardinality (scan)")
 	iters := fs.Int("iters", 3, "timed scan repetitions (scan)")
+	objects := fs.Int("objects", 4, "tables on the recovering site (recovery)")
 	_ = fs.Parse(os.Args[2:])
 
 	var err error
@@ -79,6 +81,8 @@ func main() {
 		err = runScan(*rows, *iters)
 	case "agg":
 		err = runAgg(*rows, *iters)
+	case "recovery":
+		err = runRecovery(*rows, *objects)
 	case "all":
 		err = runAll(parseInts(*concList), *txns, *segments, int32(*segPages), time.Duration(*seconds)*time.Second)
 	default:
@@ -92,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|agg|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|agg|recovery|all> [flags]`)
 }
 
 func parseInts(s string) []int {

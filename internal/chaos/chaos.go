@@ -91,6 +91,9 @@ type Result struct {
 	Disturbed    []int // worker indexes that ran HARBOR recovery post-heal
 	PageRepairs  int   // buddy page repairs observed (recover.page_repairs)
 	CorruptPages int   // CRC-quarantined pages observed (storage.corrupt_pages)
+	ScrubPages   int   // CRC trailers verified by the background scrubbers
+	ScrubRepairs int   // pages the background scrubbers repaired from a buddy
+	CommitP99NS  int64 // p99 commit latency over the round (coord.commit.latency.ns)
 	Violations   []string
 	Trace        []string // the fault schedule as executed (network + disk)
 }
@@ -237,7 +240,13 @@ func Run(sc Scenario, seed int64, baseDir string) (*Result, error) {
 	for i := range cl.Workers {
 		res.PageRepairs += int(cl.Workers[i].Obs().Counter("recover.page_repairs").Load())
 		res.CorruptPages += int(cl.Workers[i].Obs().Counter("storage.corrupt_pages").Load())
+		res.ScrubPages += int(cl.Workers[i].Obs().Counter("storage.scrub.pages").Load())
+		res.ScrubRepairs += int(cl.Workers[i].Obs().Counter("storage.scrub.repairs").Load())
 	}
+	// Latency SLO signal for the soak driver: the round's commit p99. A
+	// round where this explodes means queries/commits stalled behind a
+	// recovery or fault window even though the end-state invariants held.
+	res.CommitP99NS = cl.Coord.Obs().Histogram("coord.commit.latency.ns").Snapshot().P99
 	res.Trace = append(nw.Trace(), fd.Trace()...)
 	return res, nil
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harbor/internal/comm"
@@ -61,7 +62,90 @@ func Scenarios() []Scenario {
 	// creates the PTC state (Plan.EarlyVote re-introduces blocking), so
 	// only the 3PC plan runs this scenario.
 	out = append(out, CoordKill3PC(txn.OptThreePC))
+	// instant-serve checks availability, not outcome, so one protocol's
+	// run covers the claim; the per-protocol matrix above already stresses
+	// recovery under every plan.
+	out = append(out, InstantServe(txn.OptThreePC))
 	return out
+}
+
+// InstantServe pins the MTTR-split claim under chaos: a continuous query
+// client runs across a worker crash, restart, and full HARBOR recovery —
+// with the recovery window stretched by a throttled buddy — and the round
+// is a violation if the cluster answered zero queries during a long
+// recovery window. Per-object routing is what makes this pass comfortably:
+// survivors serve throughout, and the recovering site's objects rejoin the
+// read plan one by one as they turn Ready instead of all-at-once at the
+// end of catch-up. Result contents are verified post-heal by the standing
+// invariants.
+func InstantServe(p txn.Protocol) Scenario {
+	return Scenario{
+		Name:     "instant-serve-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
+		Drive: func(h *Harness) {
+			var served atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := h.Cl.Coord.Scan(tableStreams, coord.QueryOptions{Historical: true}); err == nil {
+						served.Add(1)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+			h.RunWorkload(4, 40, func() {
+				for round := 0; round < 2; round++ {
+					var online []int
+					for i := range h.Cl.Workers {
+						if !h.Cl.Coord.SiteDown(testutil.WorkerSiteID(i)) {
+							online = append(online, i)
+						}
+					}
+					if len(online) < 2 {
+						return // never take down the final survivor
+					}
+					vi := h.rng.Intn(len(online))
+					victim := online[vi]
+					h.CrashWorker(victim)
+					h.sleepMS(50, 120)
+					// Throttle a buddy so the recovery window is long enough
+					// to be observable; the query client must keep landing
+					// successful reads inside it.
+					bw := h.workerAddr(online[(vi+1+h.rng.Intn(len(online)-1))%len(online)])
+					h.Net.SetBandwidth(bw, 256<<10)
+					if w, err := h.Cl.RestartWorker(victim); err == nil {
+						before := served.Load()
+						recStart := time.Now()
+						if _, rerr := core.New(w, h.Cl.Catalog).RecoverSite(core.Options{Parallel: true}); rerr == nil {
+							h.mu.Lock()
+							delete(h.crashed, victim)
+							h.mu.Unlock()
+						}
+						recDur := time.Since(recStart)
+						// A sub-250ms recovery can legitimately fit between two
+						// query ticks; only a long window with zero successes
+						// means reads stalled behind recovery.
+						if during := served.Load() - before; during == 0 && recDur > 250*time.Millisecond {
+							h.violatef("instant-serve: zero queries succeeded during worker %d's %v recovery window", victim, recDur)
+						}
+					}
+					h.Net.SetBandwidth(bw, 0)
+					h.sleepMS(50, 120)
+				}
+			})
+			close(stop)
+			wg.Wait()
+		},
+	}
 }
 
 // PartitionHeal partitions one worker at a time — sometimes one-way, so

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"harbor/internal/coord"
+	"harbor/internal/core"
 	"harbor/internal/testutil"
 	"harbor/internal/txn"
 )
@@ -31,14 +32,27 @@ type SoakOptions struct {
 	Logf     func(format string, args ...any) // optional per-round progress sink
 }
 
+// soakCommitP99SLO is the per-round commit-latency ceiling the soak flags
+// against: generous enough for lock waits, partitions and round-timeout
+// evictions (all sub-second by harness config), but far below a round whose
+// commits stalled for a whole multi-second recovery window — the regression
+// the flag exists to catch.
+const soakCommitP99SLO = 5 * time.Second
+
 // SoakResult aggregates the rounds. Violations empty = every invariant held
-// in every round.
+// in every round. SLOBreaches counts rounds whose commit p99 blew through
+// soakCommitP99SLO — a latency flag, deliberately separate from the
+// correctness violations: the invariants say the data healed, the SLO says
+// whether queries could get at it meanwhile.
 type SoakResult struct {
 	Rounds       int
 	Commits      int
 	Aborts       int
 	CorruptPages int
 	PageRepairs  int
+	ScrubPages   int
+	ScrubRepairs int
+	SLOBreaches  int
 	Violations   []string
 	Schedules    []string // executed fault schedules of the violating rounds
 }
@@ -66,6 +80,15 @@ func Soak(opt SoakOptions) (*SoakResult, error) {
 		res.Aborts += r.Aborts
 		res.CorruptPages += r.CorruptPages
 		res.PageRepairs += r.PageRepairs
+		res.ScrubPages += r.ScrubPages
+		res.ScrubRepairs += r.ScrubRepairs
+		if p99 := time.Duration(r.CommitP99NS); p99 > soakCommitP99SLO {
+			res.SLOBreaches++
+			if opt.Logf != nil {
+				opt.Logf("soak round %d (%s seed=%d): SLO FLAG: commit p99 %v exceeds %v — commits stalled across a fault/recovery window",
+					round, sc.Name, seed, p99, soakCommitP99SLO)
+			}
+		}
 		if len(r.Violations) > 0 {
 			res.Violations = append(res.Violations, r.Violations...)
 			res.Schedules = append(res.Schedules,
@@ -77,15 +100,17 @@ func Soak(opt SoakOptions) (*SoakResult, error) {
 			os.RemoveAll(filepath.Join(opt.BaseDir, fmt.Sprintf("%s-%d", sc.Name, seed)))
 		}
 		if opt.Logf != nil {
-			opt.Logf("soak round %d (%s seed=%d): %d commits, %d aborts, %d corrupt pages, %d page repairs, %d violations",
-				round, sc.Name, seed, r.Commits, r.Aborts, r.CorruptPages, r.PageRepairs, len(r.Violations))
+			opt.Logf("soak round %d (%s seed=%d): %d commits, %d aborts, %d corrupt pages, %d page repairs, %d scrubbed pages, %d scrub repairs, commit p99 %v, %d violations",
+				round, sc.Name, seed, r.Commits, r.Aborts, r.CorruptPages, r.PageRepairs, r.ScrubPages, r.ScrubRepairs, time.Duration(r.CommitP99NS), len(r.Violations))
 		}
 	}
 	return res, nil
 }
 
 // soakRound is one soak iteration: zipfian streams under the compound fault
-// schedule, then — once the cluster has healed and recovered — a torn page
+// schedule — with background scrubbers ticking on every worker throughout,
+// so proactive CRC verification runs concurrently with live flushes, crashes
+// and repairs — then, once the cluster has healed and recovered, a torn page
 // under a running worker that must be repaired online from a buddy.
 func soakRound(p txn.Protocol) Scenario {
 	return Scenario{
@@ -93,7 +118,18 @@ func soakRound(p txn.Protocol) Scenario {
 		Protocol: p,
 		Workers:  3,
 		Drive: func(h *Harness) {
+			// One scrubber per worker at a deliberately hot interval (a real
+			// deployment would tick in minutes; the soak wants coverage in
+			// seconds). A scrubber whose site crashes exits on its own; Stop
+			// then just reaps the goroutine.
+			var scrubs []*core.Scrubber
+			for i := range h.Cl.Workers {
+				scrubs = append(scrubs, core.New(h.Cl.Workers[i], h.Cl.Catalog).StartScrubber(30*time.Millisecond))
+			}
 			h.RunZipfWorkload(4, 30, h.compoundFaults)
+			for _, s := range scrubs {
+				s.Stop()
+			}
 		},
 		After: (*Harness).OnlineRepairProbe,
 	}

@@ -29,13 +29,16 @@ func TestSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("soak: %d rounds, %d commits, %d aborts, %d corrupt pages, %d page repairs",
-		res.Rounds, res.Commits, res.Aborts, res.CorruptPages, res.PageRepairs)
+	t.Logf("soak: %d rounds, %d commits, %d aborts, %d corrupt pages, %d page repairs, %d scrubbed pages, %d scrub repairs, %d SLO breaches",
+		res.Rounds, res.Commits, res.Aborts, res.CorruptPages, res.PageRepairs, res.ScrubPages, res.ScrubRepairs, res.SLOBreaches)
 	if res.Commits == 0 {
 		t.Error("soak: no transaction committed; the run verified nothing")
 	}
 	if res.PageRepairs == 0 {
 		t.Error("soak: no buddy page repair observed; the corruption path was never exercised")
+	}
+	if res.ScrubPages == 0 {
+		t.Error("soak: background scrubbers verified no pages; the proactive scrub path was never exercised")
 	}
 	for _, v := range res.Violations {
 		t.Error(v)

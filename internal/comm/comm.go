@@ -467,17 +467,30 @@ func Ping(addr string, timeout time.Duration) bool {
 // from a crash — i.e. it is a legitimate recovery source. Liveness checks
 // use Ping and ignore readiness; recovery's buddy probe requires both.
 func PingReady(addr string, timeout time.Duration) (live, ready bool) {
+	live, ready, _ = PingObjects(addr, timeout)
+	return live, ready
+}
+
+// PingObjects is PingReady plus the reply's per-object readiness list: one
+// entry per replica object on the peer, carrying its recovery state
+// (worker.ObjState code) and the historical horizon it can serve. A peer
+// that is not site-ready may still list Ready objects — those completed
+// their own catch-up and are legitimate recovery sources and read targets.
+func PingObjects(addr string, timeout time.Duration) (live, ready bool, objs []wire.ObjReady) {
 	c, err := DialTimeout(addr, timeout)
 	if err != nil {
-		return false, false
+		return false, false, nil
 	}
 	defer c.Close()
 	if err := c.SendTimeout(&wire.Msg{Type: wire.MsgPing}, timeout); err != nil {
-		return false, false
+		return false, false, nil
 	}
 	resp, err := c.RecvTimeout(timeout)
 	live = err == nil && resp.Type == wire.MsgOK
-	return live, live && resp.Flags&wire.FlagYes != 0
+	if !live {
+		return false, false, nil
+	}
+	return true, resp.Flags&wire.FlagYes != 0, resp.Objs
 }
 
 // ErrCrashed is a sentinel used by servers simulating fail-stop.

@@ -23,6 +23,7 @@ import (
 	"harbor/internal/txn"
 	"harbor/internal/wal"
 	"harbor/internal/wire"
+	"harbor/internal/worker"
 )
 
 // Config configures a coordinator.
@@ -114,6 +115,15 @@ type Coordinator struct {
 	// replica comes back online.
 	finalSurvivor map[int32]catalog.SiteID
 
+	// readiness caches per-object recovery state probed from sites that are
+	// out of the update set (MsgPing replies carry the per-object bitmap).
+	// It powers objectReadableFor: a recovering site's Ready objects — and,
+	// for historical reads, objects whose copied-through watermark already
+	// covers the asOf — serve queries long before the site's full catch-up
+	// completes. Guarded by readyMu, never co.mu (probes do network I/O).
+	readyMu   sync.Mutex
+	readiness map[catalog.SiteID]*siteReadiness
+
 	// Observability: every coordinator owns a registry (coord.*, wal.*, and
 	// per-site comm.* metrics) and a per-transaction tracer; cmds mount them
 	// at /debug/harbor, benches snapshot them, and the chaos harness dumps
@@ -161,6 +171,7 @@ func New(cfg Config) (*Coordinator, error) {
 		objectOnline:  map[int32]map[catalog.SiteID]bool{},
 		siteDown:      map[catalog.SiteID]bool{},
 		finalSurvivor: map[int32]catalog.SiteID{},
+		readiness:     map[catalog.SiteID]*siteReadiness{},
 		reg:           obs.NewRegistry(),
 		trace:         obs.NewTracer(),
 	}
@@ -429,6 +440,92 @@ func (co *Coordinator) markObjectOnline(table int32, site catalog.SiteID) {
 	// the table is no longer fully offline.
 	co.siteDown[site] = false
 	delete(co.finalSurvivor, table)
+}
+
+// siteReadiness is one cached per-object readiness probe of a site.
+type siteReadiness struct {
+	at      time.Time
+	live    bool
+	ready   bool // aggregate all-objects-Ready bit
+	objs    map[int32]wire.ObjReady
+	probing bool
+}
+
+const (
+	// readinessTTL bounds probe traffic to a recovering site: continuous
+	// queries share one probe per window instead of pinging per read.
+	readinessTTL = 100 * time.Millisecond
+	// readinessProbeTimeout keeps a dead site's dial from stalling read
+	// planning: a site that cannot answer a ping this fast cannot serve
+	// the read either.
+	readinessProbeTimeout = 150 * time.Millisecond
+)
+
+// siteObjReadiness returns the (possibly cached) per-object readiness of a
+// site. Probes are single-flight: while one caller refreshes, concurrent
+// callers use the stale entry rather than piling dials onto the site.
+func (co *Coordinator) siteObjReadiness(site catalog.SiteID) *siteReadiness {
+	co.readyMu.Lock()
+	r := co.readiness[site]
+	if r == nil {
+		r = &siteReadiness{}
+		co.readiness[site] = r
+	}
+	if r.probing || time.Since(r.at) < readinessTTL {
+		co.readyMu.Unlock()
+		return r
+	}
+	r.probing = true
+	co.readyMu.Unlock()
+
+	var live, ready bool
+	var objs []wire.ObjReady
+	if addr, ok := co.cfg.Catalog.SiteAddr(site); ok {
+		live, ready, objs = comm.PingObjects(addr, readinessProbeTimeout)
+	}
+	m := make(map[int32]wire.ObjReady, len(objs))
+	for _, o := range objs {
+		m[o.Table] = o
+	}
+	nr := &siteReadiness{at: time.Now(), live: live, ready: ready, objs: m}
+	co.readyMu.Lock()
+	co.readiness[site] = nr
+	co.readyMu.Unlock()
+	return nr
+}
+
+// objectReadableFor reports whether a replica can serve a read. An online
+// replica always can. A replica on a site that left the update set can still
+// serve once its own recovery state says so: Ready objects serve anything,
+// and an object mid historical-copy or catch-up serves a historical read
+// asOf A the moment its copied-through watermark reaches A (the copied
+// prefix is byte-identical to a healthy replica's view at A — later-window
+// arrivals carry insertion stamps above A and deletions only gain stamps
+// above A, so both are invisible to the read). This is what splits MTTR:
+// time-to-first-query is when the first object covers the asOf, not when
+// the whole site finishes catch-up.
+func (co *Coordinator) objectReadableFor(table int32, site catalog.SiteID, historical bool, asOf tuple.Timestamp) bool {
+	if co.objectIsOnline(table, site) {
+		return true
+	}
+	r := co.siteObjReadiness(site)
+	if !r.live {
+		return false
+	}
+	o, ok := r.objs[table]
+	if !ok {
+		// Pre-bitmap worker: fall back to the aggregate ready bit.
+		return r.ready
+	}
+	if worker.ObjState(o.State) == worker.ObjReady {
+		return true
+	}
+	if !historical || asOf == 0 {
+		return false
+	}
+	st := worker.ObjState(o.State)
+	return (st == worker.ObjHistoricalCopy || st == worker.ObjCatchup) &&
+		tuple.Timestamp(o.CopiedThrough) >= asOf
 }
 
 // Outcome returns the recorded outcome of a transaction. ok=false means the

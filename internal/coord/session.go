@@ -516,19 +516,6 @@ func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tup
 // planRead computes the slot assignment and invariant parameters shared by
 // every distributed read (ScanStream and Aggregate).
 func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *scanQuery, error) {
-	live := func(s catalog.SiteID) bool { return co.objectIsOnline(table, s) }
-	srcs, err := co.cfg.Catalog.ReadSites(table, live)
-	if err != nil {
-		return nil, nil, err
-	}
-	if opt.PreferSite != 0 {
-		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
-			return s == opt.PreferSite && live(s)
-		})
-		if err == nil {
-			srcs = single
-		}
-	}
 	spec, ok := co.cfg.Catalog.Table(table)
 	if !ok {
 		return nil, nil, fmt.Errorf("coord: unknown table %d", table)
@@ -542,6 +529,27 @@ func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *sca
 		locked = false
 		if asOf == 0 {
 			asOf = co.Authority.HWM()
+		}
+	}
+	// Visibility and asOf resolve before the liveness predicate is built:
+	// readability is per replica object, not per site, and for historical
+	// reads it depends on the concrete asOf (a recovering object serves the
+	// read once its copied-through watermark covers it). The predicate is
+	// also the query's failover filter (q.live), so a mid-stream replan can
+	// land on a recovering site's readable objects too.
+	live := func(s catalog.SiteID) bool {
+		return co.objectReadableFor(table, s, opt.Historical, asOf)
+	}
+	srcs, err := co.cfg.Catalog.ReadSites(table, live)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.PreferSite != 0 {
+		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
+			return s == opt.PreferSite && live(s)
+		})
+		if err == nil {
+			srcs = single
 		}
 	}
 	slots := make([]scanSlot, len(srcs))

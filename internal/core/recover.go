@@ -21,6 +21,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,8 +65,12 @@ type SiteStats struct {
 
 // Options tune the recovery run.
 type Options struct {
-	// Parallel recovers all objects concurrently (§5.1); serial otherwise.
+	// Parallel recovers objects concurrently (§5.1); serial otherwise.
 	Parallel bool
+	// Concurrency bounds the number of objects recovering at once when
+	// Parallel is set (0 = min(4, object count)). Objects beyond the bound
+	// wait in the priority queue, where a fault-in can still reorder them.
+	Concurrency int
 	// RepeatThreshold re-runs Phase 2 while the coordinator's HWM has
 	// advanced by more than this many timestamps since the last round
 	// (§5.3). Zero uses a sensible default.
@@ -156,6 +162,16 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 		}
 	}
 
+	// Demote every replica object before touching any: whatever this
+	// incarnation held, it is about to be rewound, and reads must not land
+	// on a half-rewound object. Each object transitions forward through the
+	// state machine independently as its own recovery progresses, becoming
+	// servable again the moment its history covers the read — not when the
+	// last object catches up.
+	for _, rep := range reps {
+		r.Site.SetObjectState(rep.Table, worker.ObjNeedsRecovery, 0)
+	}
+
 	stats := &SiteStats{Objects: make([]ObjectStats, len(reps))}
 	finalTs := make([]tuple.Timestamp, len(reps))
 	runOne := func(i int) error {
@@ -183,31 +199,55 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 		}
 		stats.Objects[i] = os
 		finalTs[i] = ft
+		if err != nil {
+			// Whatever phase failed, the object is not servable; the
+			// per-object checkpoint file keeps the durable resume point.
+			r.Site.SetObjectState(reps[i].Table, worker.ObjNeedsRecovery, 0)
+		}
 		return err
 	}
 
+	// Objects recover through a priority queue, hottest first: the per-table
+	// read counters say which objects queries actually touch, and recovering
+	// those first minimizes time-to-first-query. An incoming query or
+	// recovery scan that lands on a still-queued object promotes it to the
+	// front via the site's fault-in hook.
+	sched := newObjSched(reps, r.Site.Obs())
+	r.Site.SetFaultInHook(sched.promote)
+	defer r.Site.SetFaultInHook(nil)
+
+	workers := 1
 	if opt.Parallel {
-		var wg sync.WaitGroup
-		errs := make([]error, len(reps))
-		for i := range reps {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
+		workers = opt.Concurrency
+		if workers <= 0 {
+			workers = 4
+		}
+		if workers > len(reps) {
+			workers = len(reps)
+		}
+	}
+	errs := make([]error, len(reps))
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := sched.next()
+				if !ok {
+					return
+				}
 				errs[i] = runOne(i)
-			}(i)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
 			}
-		}
-	} else {
-		for i := range reps {
-			if err := runOne(i); err != nil {
-				return nil, err
-			}
-		}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		// Partial failure: objects that DID complete stay Ready and keep
+		// serving — per-object recovery means one unreachable buddy no
+		// longer takes the whole site's progress down with it. The joined
+		// error reports every failed object, not just the first.
+		return nil, err
 	}
 
 	// All objects online: resume the single global checkpoint (§5.3) at
@@ -232,6 +272,64 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	r.Site.SetRecovered()
 	stats.Total = time.Since(start)
 	return stats, nil
+}
+
+// objSched is the per-object recovery queue: replica indices ordered by
+// read hotness (the worker.table.reads{table=N} counters), popped by the
+// recovery workers, with promote() moving a still-queued object to the
+// front when a query faults it in.
+type objSched struct {
+	mu      sync.Mutex
+	pending []int         // rep indices awaiting recovery, front = next
+	idxOf   map[int32]int // table -> rep index
+}
+
+func newObjSched(reps []catalog.Replica, reg *obs.Registry) *objSched {
+	hot := func(table int32) int64 {
+		return reg.Counter(obs.Name("worker.table.reads", "table", strconv.Itoa(int(table)))).Load()
+	}
+	s := &objSched{
+		pending: make([]int, len(reps)),
+		idxOf:   make(map[int32]int, len(reps)),
+	}
+	for i, rep := range reps {
+		s.pending[i] = i
+		s.idxOf[rep.Table] = i
+	}
+	sort.SliceStable(s.pending, func(a, b int) bool {
+		return hot(reps[s.pending[a]].Table) > hot(reps[s.pending[b]].Table)
+	})
+	return s
+}
+
+// next pops the highest-priority pending object (false when drained).
+func (s *objSched) next() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return 0, false
+	}
+	i := s.pending[0]
+	s.pending = s.pending[1:]
+	return i, true
+}
+
+// promote moves table's object to the front of the queue if it is still
+// pending (no-op once recovery of the object has started or finished).
+func (s *objSched) promote(table int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want, ok := s.idxOf[table]
+	if !ok {
+		return
+	}
+	for j, i := range s.pending {
+		if i == want {
+			copy(s.pending[1:j+1], s.pending[:j])
+			s.pending[0] = i
+			return
+		}
+	}
 }
 
 // errBuddyFailed marks a recovery-buddy connection failure (§5.5.2). It is
@@ -282,6 +380,7 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	// Pages whose CRC trailer failed verification are restored from a buddy
 	// before Phase 1 touches them, capped at the checkpoint: Phase 1's
 	// rewind and Phase 2's window copy rebuild everything newer anyway.
+	r.Site.SetObjectState(rep.Table, worker.ObjScrubbing, 0)
 	if n, err := r.repairTable(tb, rep, ckpt, survivor); err != nil {
 		return st, 0, err
 	} else if n > 0 {
@@ -301,6 +400,13 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	reg.Histogram("recovery.phase1.ns").Observe(st.Phase1.Nanoseconds())
 	tr.Recordf(traceID, obs.EvRecovery,
 		"phase1 done table=%d deleted=%d undeleted=%d survivor=%v", rep.Table, del, undel, survivor)
+
+	// The rewound object IS the historical snapshot at its checkpoint:
+	// everything Phase 2/3 adds from here carries an insertion (or
+	// deletion) time above the copied horizon, so historical reads asOf ≤
+	// copiedThrough are byte-correct from this point on and the object
+	// starts serving them (time-to-first-query), long before full catch-up.
+	r.Site.SetObjectState(rep.Table, worker.ObjHistoricalCopy, ckpt)
 
 	// ---- Phase 2: lock-free historical catch-up (§5.3) ----
 	cur := ckpt
@@ -342,10 +448,13 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 		if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), hwm); err != nil {
 			return st, 0, err
 		}
+		// The window is durably applied: advance the servable horizon.
+		r.Site.SetObjectState(rep.Table, worker.ObjHistoricalCopy, hwm)
 		cur = hwm
 	}
 
 	// ---- Phase 3: locked catch-up + join pending transactions (§5.4) ----
+	r.Site.SetObjectState(rep.Table, worker.ObjCatchup, cur)
 	p3 := time.Now()
 	finalT, err := r.phase3(tb, rep, cur, &st, survivor)
 	if err != nil {
@@ -356,6 +465,9 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	reg.Counter("recovery.phase3.tuples").Add(int64(st.Phase3Deletes + st.Phase3Inserts))
 	reg.Histogram("recovery.phase3.ns").Observe(st.Phase3.Nanoseconds())
 	reg.Counter("recovery.objects").Inc()
+	// This object is fully caught up and online: Ready, independent of how
+	// far the site's other objects are.
+	r.Site.SetObjectState(rep.Table, worker.ObjReady, finalT)
 	tr.Recordf(traceID, obs.EvRecovery,
 		"phase3 done table=%d deletes=%d inserts=%d finalT=%d", rep.Table, st.Phase3Deletes, st.Phase3Inserts, finalT)
 	return st, finalT, nil
@@ -867,13 +979,14 @@ func (r *Recoverer) coordinatorHWM() (tuple.Timestamp, error) {
 	return resp.TS, nil
 }
 
-// buddyLive is the recovery-time failure detector: a site is usable as a
-// buddy if its server accepts connections AND it claims readiness — a site
-// that rejoined from a crash answers pings immediately but withholds the
-// ready flag until its own recovery completes, because its disk may be
-// missing commits it acknowledged before the crash (lying fsyncs, lost
-// volatile state) even though the coordinator never evicted it.
-func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
+// buddyObjectReady is the recovery-time failure detector, per object: a
+// site is usable as a buddy for one table if its server accepts connections
+// AND that table's object is Ready there. The ping reply's per-object list
+// makes the distinction — a site still recovering its other objects is a
+// legitimate source for the objects whose own catch-up completed, where the
+// old whole-site ready flag would have rejected it. A peer that lists no
+// objects falls back to the site-level ready flag.
+func (r *Recoverer) buddyObjectReady(s catalog.SiteID, table int32) bool {
 	if s == r.Site.Cfg.Site {
 		return false
 	}
@@ -881,21 +994,30 @@ func (r *Recoverer) buddyLive(s catalog.SiteID) bool {
 	if !ok {
 		return false
 	}
-	_, ready := comm.PingReady(addr, time.Second)
+	live, ready, objs := comm.PingObjects(addr, time.Second)
+	if !live {
+		return false
+	}
+	for _, o := range objs {
+		if o.Table == table {
+			return worker.ObjState(o.State) == worker.ObjReady
+		}
+	}
 	return ready
 }
 
-// buddyLiveFor refines buddyLive for one object: besides answering pings,
-// a recovery source must still be in the coordinator's update set for the
-// table. An evicted-but-reachable buddy (itself crashed or partitioned
-// earlier and not yet rejoined) is missing every commit since its eviction
-// — seeding catch-up from it would silently lose committed data when two
-// replicas are down at once. If the coordinator is unreachable the check
-// degrades to ping-only (recovery can still make progress; Phase 2's HWM
-// query will fail loudly anyway if the coordinator stays gone).
+// buddyLiveFor refines buddyObjectReady for one object: besides the buddy's
+// own readiness claim, a recovery source must still be in the coordinator's
+// update set for the table. An evicted-but-reachable buddy (itself crashed
+// or partitioned earlier and not yet rejoined) is missing every commit
+// since its eviction — seeding catch-up from it would silently lose
+// committed data when two replicas are down at once. If the coordinator is
+// unreachable the check degrades to ping-only (recovery can still make
+// progress; Phase 2's HWM query will fail loudly anyway if the coordinator
+// stays gone).
 func (r *Recoverer) buddyLiveFor(table int32) func(catalog.SiteID) bool {
 	return func(s catalog.SiteID) bool {
-		if !r.buddyLive(s) {
+		if !r.buddyObjectReady(s, table) {
 			return false
 		}
 		online, err := r.objectOnlineAt(s, table)

@@ -185,6 +185,13 @@ type Msg struct {
 	// signalled by len(Aggs) > 0.
 	AggGroup int32
 	Aggs     []AggCol
+
+	// Objs is the per-object readiness list of a PING reply: one entry per
+	// replica object on the answering site, carrying its recovery state and
+	// the historical horizon it can serve. FlagYes on the reply remains the
+	// aggregate all-objects-Ready bit, so old-style whole-site readiness is
+	// the degenerate reading of the same message.
+	Objs []ObjReady
 }
 
 // AggCol is one pushed-down partial aggregate column: the function code
@@ -192,6 +199,15 @@ type Msg struct {
 type AggCol struct {
 	Fn    uint8
 	Field int32
+}
+
+// ObjReady is one object's entry in a ping reply's readiness list: the
+// worker.ObjState code and the copiedThrough horizon (historical reads asOf
+// ≤ CopiedThrough are servable even before the object is fully Ready).
+type ObjReady struct {
+	Table         int32
+	State         uint8
+	CopiedThrough int64
 }
 
 // Yes reports the FlagYes bit.
@@ -288,6 +304,12 @@ func (m *Msg) AppendTo(b []byte) []byte {
 	for _, a := range m.Aggs {
 		u8(a.Fn)
 		u32(uint32(a.Field))
+	}
+	u32(uint32(len(m.Objs)))
+	for _, o := range m.Objs {
+		u32(uint32(o.Table))
+		u8(o.State)
+		u64(uint64(o.CopiedThrough))
 	}
 	return b
 }
@@ -511,6 +533,18 @@ func Unmarshal(b []byte) (*Msg, error) {
 			return fail()
 		}
 		m.Aggs = append(m.Aggs, AggCol{Fn: fn, Field: int32(field)})
+	}
+	if v32, ok = u32(); !ok {
+		return fail()
+	}
+	for i := uint32(0); i < v32; i++ {
+		table, ok1 := u32()
+		state, ok2 := u8()
+		ct, ok3 := u64()
+		if !ok1 || !ok2 || !ok3 {
+			return fail()
+		}
+		m.Objs = append(m.Objs, ObjReady{Table: int32(table), State: state, CopiedThrough: int64(ct)})
 	}
 	return m, nil
 }

@@ -1,0 +1,274 @@
+package worker
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"harbor/internal/tuple"
+	"harbor/internal/vfs"
+	"harbor/internal/wire"
+)
+
+// ObjState is the recovery state of one replica object (one table's local
+// replica). Recovery used to be site-granular: a single needs-recovery bool
+// withheld the ping ready flag and refused every read until the last object
+// caught up. The per-object state machine replaces it —
+//
+//	NeedsRecovery → Scrubbing → HistoricalCopy → Catchup → Ready
+//
+// — so each object becomes servable independently: a Ready object on a
+// still-recovering site serves immediately, and historical reads against an
+// object in HistoricalCopy/Catchup become legal the moment the copy horizon
+// (copiedThrough) passes the read time. The old whole-site behavior is the
+// degenerate case of every object transitioning in lockstep.
+type ObjState uint8
+
+const (
+	// ObjNeedsRecovery: the object belongs to a crashed incarnation and no
+	// recovery phase has run; it may be missing acknowledged commits and
+	// must not serve reads or seed another site's catch-up.
+	ObjNeedsRecovery ObjState = iota + 1
+	// ObjScrubbing: Phase 0 CRC scrub / torn-page repair in progress.
+	ObjScrubbing
+	// ObjHistoricalCopy: Phase 1 rewound the object to its checkpoint (so it
+	// IS the historical snapshot at copiedThrough) and Phase 2 is copying
+	// forward; historical reads asOf ≤ copiedThrough are byte-correct.
+	ObjHistoricalCopy
+	// ObjCatchup: Phase 3 locked catch-up; historical reads asOf ≤
+	// copiedThrough remain legal.
+	ObjCatchup
+	// ObjReady: fully caught up and online; serves everything, including
+	// recovery scans for other sites.
+	ObjReady
+)
+
+// String renders the state.
+func (st ObjState) String() string {
+	switch st {
+	case ObjNeedsRecovery:
+		return "NeedsRecovery"
+	case ObjScrubbing:
+		return "Scrubbing"
+	case ObjHistoricalCopy:
+		return "HistoricalCopy"
+	case ObjCatchup:
+		return "Catchup"
+	case ObjReady:
+		return "Ready"
+	default:
+		return fmt.Sprintf("ObjState(%d)", uint8(st))
+	}
+}
+
+// objStatus is one object's entry in the site's recovery state table.
+type objStatus struct {
+	state ObjState
+	// copiedThrough is the timestamp horizon through which this object's
+	// contents are a byte-correct historical snapshot. It starts at the
+	// object's rewind checkpoint (after Phase 1 the object IS the snapshot
+	// at the checkpoint) and advances only after each Phase 2/3 window is
+	// durably flushed, so it never claims more than disk holds.
+	copiedThrough tuple.Timestamp
+}
+
+// objStateFile persists the recovery state table across restarts. The file
+// is advisory — the durable resume point of an interrupted recovery is the
+// per-object checkpoint file (recoverObject re-reads it) — but persisting
+// states lets a restarted incarnation report progress per object and seed
+// recovery priority. One line per object: "<table> <state> <copiedThrough>".
+const objStateFile = "recovery_state"
+
+// seedObjectStates initializes the state table in Open. A clean prior
+// shutdown means every object holds everything it ever acknowledged: all
+// Ready. A dirty start demotes every object to NeedsRecovery regardless of
+// what the persisted file claims — any state buffered after the last flush
+// died with the crash — keeping only the persisted copiedThrough as a hint.
+func (s *Site) seedObjectStates(dirty bool, ids []int32) {
+	s.objMu.Lock()
+	s.startedDirty = dirty
+	s.objs = make(map[int32]objStatus, len(ids))
+	prior := s.readObjStateFile()
+	for _, id := range ids {
+		if dirty {
+			s.objs[id] = objStatus{state: ObjNeedsRecovery, copiedThrough: prior[id].copiedThrough}
+		} else {
+			s.objs[id] = objStatus{state: ObjReady}
+		}
+	}
+	data := s.renderObjStatesLocked()
+	s.objMu.Unlock()
+	s.writeObjStates(data)
+}
+
+// readObjStateFile parses the persisted state table (empty map if absent).
+func (s *Site) readObjStateFile() map[int32]objStatus {
+	out := map[int32]objStatus{}
+	data, err := vfs.ReadFile(filepath.Join(s.Cfg.Dir, objStateFile))
+	if err != nil {
+		return out
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			continue
+		}
+		table, err1 := strconv.ParseInt(fields[0], 10, 32)
+		st, err2 := strconv.ParseUint(fields[1], 10, 8)
+		ct, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		out[int32(table)] = objStatus{state: ObjState(st), copiedThrough: tuple.Timestamp(ct)}
+	}
+	return out
+}
+
+// renderObjStatesLocked serializes the state table. Callers hold objMu; the
+// actual file write happens in writeObjStates AFTER objMu is released —
+// ObjectState sits on every scan's serving path, and an fsync under the
+// same mutex would stall reads behind each state transition.
+func (s *Site) renderObjStatesLocked() []byte {
+	ids := make([]int32, 0, len(s.objs))
+	for id := range s.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, id := range ids {
+		st := s.objs[id]
+		fmt.Fprintf(&b, "%d %d %d\n", id, uint8(st.state), int64(st.copiedThrough))
+	}
+	return []byte(b.String())
+}
+
+// writeObjStates persists one rendered state table atomically. Failures are
+// swallowed: the file is an observability/priority hint, not the durability
+// mechanism (per-object checkpoint files are). Writers racing here can land
+// a snapshot slightly out of order; that only ever under-reports progress,
+// which the dirty-restart demotion re-derives anyway.
+func (s *Site) writeObjStates(data []byte) {
+	s.objPersistMu.Lock()
+	defer s.objPersistMu.Unlock()
+	_ = vfs.WriteFileAtomic(filepath.Join(s.Cfg.Dir, objStateFile), data, 0o644)
+}
+
+// ObjectState returns one object's recovery state and copy horizon. Objects
+// the table doesn't know (created before the state machine, or raced with
+// CreateTable) default by incarnation: Ready on a cleanly-started site,
+// NeedsRecovery on one that rejoined from a crash.
+func (s *Site) ObjectState(table int32) (ObjState, tuple.Timestamp) {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	if st, ok := s.objs[table]; ok {
+		return st.state, st.copiedThrough
+	}
+	if s.startedDirty {
+		return ObjNeedsRecovery, 0
+	}
+	return ObjReady, 0
+}
+
+// SetObjectState transitions one object and persists the table. Recovery
+// (core.Recoverer) drives the transitions; copiedThrough must only be
+// advanced after the corresponding window is durably flushed.
+func (s *Site) SetObjectState(table int32, st ObjState, copiedThrough tuple.Timestamp) {
+	s.objMu.Lock()
+	if s.objs == nil {
+		s.objs = map[int32]objStatus{}
+	}
+	s.objs[table] = objStatus{state: st, copiedThrough: copiedThrough}
+	data := s.renderObjStatesLocked()
+	s.objMu.Unlock()
+	s.writeObjStates(data)
+}
+
+// ObjectStates snapshots the state table in wire form, for the ping reply's
+// per-object readiness list (sorted by table for determinism).
+func (s *Site) ObjectStates() []wire.ObjReady {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	out := make([]wire.ObjReady, 0, len(s.objs))
+	for id, st := range s.objs {
+		out = append(out, wire.ObjReady{
+			Table:         id,
+			State:         uint8(st.state),
+			CopiedThrough: int64(st.copiedThrough),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// NeedsRecovery reports whether any object still needs recovery. While true
+// the site as a whole is not fully rejoined — pings omit the site-level
+// ready flag — but individual Ready objects serve normally.
+func (s *Site) NeedsRecovery() bool {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	for _, st := range s.objs {
+		if st.state != ObjReady {
+			return true
+		}
+	}
+	return false
+}
+
+// SetRecovered marks every object Ready: HARBOR RecoverSite (or ARIES
+// restart recovery, which is whole-site by construction) completed, so the
+// site's replicas hold every commit through the recovery's high water mark
+// and may again seed other sites' catch-up.
+func (s *Site) SetRecovered() {
+	s.objMu.Lock()
+	for id, st := range s.objs {
+		st.state = ObjReady
+		s.objs[id] = st
+	}
+	s.startedDirty = false
+	data := s.renderObjStatesLocked()
+	s.objMu.Unlock()
+	s.writeObjStates(data)
+}
+
+// SetFaultInHook installs the on-demand fault-in hook: requestFaultIn calls
+// it (in the background, deduplicated per table) when a query or recovery
+// scan lands on a not-yet-Ready object, so the recovery driver can promote
+// that object to the front of its queue. Pass nil to uninstall.
+func (s *Site) SetFaultInHook(fn func(table int32)) {
+	s.faultMu.Lock()
+	s.faultInHook = fn
+	s.faultMu.Unlock()
+}
+
+// requestFaultIn asks the recovery driver (if one is attached) to
+// prioritize table. Deduplicated per table and dispatched on a background
+// goroutine so the serving path never blocks on the recovery scheduler.
+func (s *Site) requestFaultIn(table int32) {
+	if s.crashed.Load() {
+		return
+	}
+	s.faultMu.Lock()
+	hook := s.faultInHook
+	if hook == nil || s.faultBusy[table] {
+		s.faultMu.Unlock()
+		return
+	}
+	if s.faultBusy == nil {
+		s.faultBusy = map[int32]bool{}
+	}
+	s.faultBusy[table] = true
+	s.faultMu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.faultMu.Lock()
+			delete(s.faultBusy, table)
+			s.faultMu.Unlock()
+		}()
+		hook(table)
+	}()
+}

@@ -1,0 +1,171 @@
+package worker_test
+
+import (
+	"testing"
+	"time"
+
+	"harbor/internal/comm"
+	"harbor/internal/exec"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/wire"
+	"harbor/internal/worker"
+)
+
+// recvTerminal drains a scan stream to its terminal frame without fataling
+// on MsgErr — refusals are an expected outcome in the gating tests below.
+func recvTerminal(t *testing.T, c *comm.Conn) *wire.Msg {
+	t.Helper()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m.Type {
+		case wire.MsgScanEnd, wire.MsgErr:
+			return m
+		case wire.MsgTuple, wire.MsgTupleBatch:
+			// drain
+		default:
+			t.Fatalf("unexpected %v in stream", m.Type)
+		}
+	}
+}
+
+// TestObjectStateGatesWireReads walks the per-object recovery state machine
+// at the wire level: a NeedsRecovery object refuses every read; a
+// HistoricalCopy object serves historical reads at or below its copied
+// horizon and refuses everything past it (plus all current-visibility
+// reads); a Ready object serves everything, recovery scans included.
+func TestObjectStateGatesWireReads(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	var preTS tuple.Timestamp
+	for i := int64(1); i <= 5; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, mk(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preTS = ts
+	}
+	for _, w := range cl.Workers {
+		if err := w.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Workers[0].Crash()
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty restart: the clean-shutdown marker is missing, so Open demotes
+	// every object and the ping bitmap says so.
+	if st, _ := w.ObjectState(1); st != worker.ObjNeedsRecovery {
+		t.Fatalf("dirty open: state = %v, want NeedsRecovery", st)
+	}
+	live, ready, objs := comm.PingObjects(w.Addr(), time.Second)
+	if !live || ready {
+		t.Fatalf("ping: live=%v ready=%v, want live and not ready", live, ready)
+	}
+	if len(objs) != 1 || objs[0].Table != 1 || worker.ObjState(objs[0].State) != worker.ObjNeedsRecovery {
+		t.Fatalf("ping bitmap: %+v", objs)
+	}
+
+	c := dialWorker(t, cl, 0)
+	scan := func(vis exec.Visibility, asOf tuple.Timestamp) *wire.Msg {
+		if err := c.Send(&wire.Msg{Type: wire.MsgScan, Txn: 900, Table: 1,
+			Vis: uint8(vis), TS: int64(asOf)}); err != nil {
+			t.Fatal(err)
+		}
+		return recvTerminal(t, c)
+	}
+	// NeedsRecovery: every visibility refused.
+	if m := scan(exec.Current, 0); m.Type != wire.MsgErr {
+		t.Fatalf("current scan of NeedsRecovery object answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Historical, preTS); m.Type != wire.MsgErr {
+		t.Fatalf("historical scan of NeedsRecovery object answered %v, want refusal", m.Type)
+	}
+
+	// Mid historical copy with horizon preTS: historical reads at or below
+	// the horizon serve, anything past it — and any current read — refuses.
+	w.SetObjectState(1, worker.ObjHistoricalCopy, preTS)
+	if m := scan(exec.Historical, preTS); m.Type != wire.MsgScanEnd {
+		t.Fatalf("historical scan at the copied horizon answered %v (%s), want a served stream", m.Type, m.Text)
+	} else if m.Count != 5 {
+		t.Fatalf("historical scan at horizon returned %d rows, want 5", m.Count)
+	}
+	if m := scan(exec.Historical, preTS+1); m.Type != wire.MsgErr {
+		t.Fatalf("historical scan past the copied horizon answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Current, 0); m.Type != wire.MsgErr {
+		t.Fatalf("current scan of HistoricalCopy object answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Historical, 0); m.Type != wire.MsgErr {
+		t.Fatalf("historical scan with unresolved asOf answered %v, want refusal", m.Type)
+	}
+	// A refused read fault-ins the object: the recovery driver's hook fires.
+	faulted := make(chan int32, 8)
+	w.SetFaultInHook(func(table int32) { faulted <- table })
+	_ = scan(exec.Current, 0)
+	select {
+	case tb := <-faulted:
+		if tb != 1 {
+			t.Fatalf("fault-in hook fired for table %d, want 1", tb)
+		}
+	default:
+		t.Fatal("refused read did not fire the fault-in hook")
+	}
+
+	// Ready: everything serves again, recovery scans included, and the
+	// bitmap flips.
+	w.SetObjectState(1, worker.ObjReady, preTS)
+	if m := scan(exec.Current, 0); m.Type != wire.MsgScanEnd {
+		t.Fatalf("current scan of Ready object answered %v (%s), want a served stream", m.Type, m.Text)
+	}
+	if _, ready, _ := comm.PingObjects(w.Addr(), time.Second); !ready {
+		t.Fatal("ping: site with all objects Ready must advertise readiness")
+	}
+}
+
+// TestCleanShutdownSeedsReady pins the seeding rule: a clean shutdown writes
+// the marker, so reopening the same directory brings every object up Ready —
+// no recovery pass, no read refusals.
+func TestCleanShutdownSeedsReady(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	old := cl.Workers[1]
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := worker.Open(worker.Config{
+		Site:        testutil.WorkerSiteID(1),
+		Dir:         old.Cfg.Dir,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		LockTimeout: old.Cfg.LockTimeout,
+		GroupCommit: true,
+		Catalog:     cl.Catalog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Workers[1] = w // hand ownership to cl.Close
+	cl.Catalog.AddSite(testutil.WorkerSiteID(1), w.Addr())
+	if w.NeedsRecovery() {
+		t.Fatal("clean reopen must not need recovery")
+	}
+	if st, _ := w.ObjectState(1); st != worker.ObjReady {
+		t.Fatalf("clean reopen: state = %v, want Ready", st)
+	}
+}

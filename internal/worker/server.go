@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"harbor/internal/comm"
@@ -69,6 +70,36 @@ func (s *Site) dataErr(err error) *wire.Msg {
 	return m
 }
 
+// noteTableRead bumps the per-table read-hotness counter. The recovery
+// driver reads these to order its per-object queue: objects queries
+// actually touch recover first.
+func (s *Site) noteTableRead(table int32) {
+	s.reg.Counter(obs.Name("worker.table.reads", "table", strconv.Itoa(int(table)))).Add(1)
+}
+
+// objectReadable decides whether a scan may be served from one object given
+// its recovery state. A Ready object always serves. A recovering object can
+// serve a historical read asOf A once its copy horizon covers A: after the
+// Phase 1 rewind the object IS the snapshot at its checkpoint, and every
+// tuple Phase 2/3 adds carries an insertion (or deletion) time above the
+// durably-copied horizon — invisible at A — so contents at or below
+// copiedThrough are byte-identical to a healthy replica's. Anything else is
+// refused; the refusal also fires the fault-in hook so the recovery driver
+// promotes the object the query wanted.
+func (s *Site) objectReadable(table int32, vis exec.Visibility, asOf tuple.Timestamp) error {
+	st, copied := s.ObjectState(table)
+	if st == ObjReady {
+		return nil
+	}
+	s.requestFaultIn(table)
+	if vis == exec.Historical && asOf > 0 && asOf <= copied &&
+		(st == ObjHistoricalCopy || st == ObjCatchup) {
+		return nil
+	}
+	return fmt.Errorf("worker: site %d object %d is recovering (state %v, copied through %d); cannot serve read asOf %d",
+		s.Cfg.Site, table, st, copied, asOf)
+}
+
 // phaseHandlers is the worker half of the commit-protocol engine: the
 // per-phase handlers keyed by wire message kind. Which of these a worker
 // ever receives is decided entirely by the coordinator's phase plan; the
@@ -91,13 +122,15 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 	}
 	switch m.Type {
 	case wire.MsgPing:
-		// FlagYes advertises readiness as a recovery source: the site is
-		// not itself rejoining from a crash. Plain liveness checks ignore
-		// the flag; recovery's buddy probe requires it.
+		// FlagYes advertises whole-site readiness as a recovery source:
+		// every object Ready. The Objs list carries the finer per-object
+		// states so peers (coordinator routing, buddy probes) can use a
+		// Ready object on a site whose other objects still recover.
 		out := okMsg()
-		if !s.needsRecovery.Load() {
+		if !s.NeedsRecovery() {
 			out.Flags |= wire.FlagYes
 		}
+		out.Objs = s.ObjectStates()
 		return out
 
 	case wire.MsgCrash:
@@ -176,6 +209,10 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		return okMsg()
 
 	case wire.MsgScan:
+		s.noteTableRead(m.Table)
+		if err := s.objectReadable(m.Table, exec.Visibility(m.Vis), tuple.Timestamp(m.TS)); err != nil {
+			return errMsg(err)
+		}
 		s.getTxn(m.Txn, true)
 		owned[m.Txn] = true
 		if err := s.streamScan(c, m); err != nil {
@@ -184,13 +221,17 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		return nil
 
 	case wire.MsgRecoveryScan:
-		// A site that rejoined from a crash may be missing commits it once
-		// acknowledged (crash losses, lying fsyncs) while still counted in
-		// the coordinator's update set. Serving as a recovery source before
-		// its own recovery completes would silently seed that staleness
-		// into another replica — refuse loudly instead.
-		if s.needsRecovery.Load() {
-			return errMsg(fmt.Errorf("worker: site %d rejoined from a crash and has not completed recovery; not a valid recovery source", s.Cfg.Site))
+		// An object that rejoined from a crash may be missing commits it
+		// once acknowledged (crash losses, lying fsyncs) while still counted
+		// in the coordinator's update set. Serving as a recovery source
+		// before its own recovery completes would silently seed that
+		// staleness into another replica — refuse loudly instead. The check
+		// is per object: a Ready object on a still-recovering site is a
+		// legitimate source (its catch-up ran to completion).
+		s.noteTableRead(m.Table)
+		if st, _ := s.ObjectState(m.Table); st != ObjReady {
+			s.requestFaultIn(m.Table)
+			return errMsg(fmt.Errorf("worker: site %d object %d rejoined from a crash and has not completed recovery (state %v); not a valid recovery source", s.Cfg.Site, m.Table, st))
 		}
 		if err := s.streamRecoveryScan(c, m); err != nil {
 			return s.dataErr(err)

@@ -126,14 +126,26 @@ type Site struct {
 	ckptPause atomic.Int32
 	wg        sync.WaitGroup
 
-	// needsRecovery is set when Open finds prior state without the clean-
-	// shutdown marker: the previous incarnation fail-stopped, so this site's
-	// replicas may be missing commits it once acknowledged (crash losses,
-	// lying fsyncs) even though the coordinator never evicted it. Until its
-	// own recovery completes (SetRecovered), the site answers pings without
-	// the ready flag and refuses to serve recovery scans — seeding another
-	// site's catch-up from here would silently lose committed data.
-	needsRecovery atomic.Bool
+	// Per-object recovery state (see objstate.go). When Open finds prior
+	// state without the clean-shutdown marker, the previous incarnation
+	// fail-stopped: every object seeds NeedsRecovery, and until recovery
+	// brings an object to Ready it refuses reads (except covered historical
+	// reads) and recovery scans — seeding another site's catch-up from a
+	// demoted object would silently lose committed data. startedDirty
+	// records which incarnation this is, for objects not yet in the table.
+	objMu        sync.Mutex
+	objs         map[int32]objStatus
+	startedDirty bool
+	// objPersistMu serializes writes of the advisory recovery_state file,
+	// which happen outside objMu so state transitions (two fsyncs each)
+	// never stall the per-scan ObjectState lookups.
+	objPersistMu sync.Mutex
+
+	// On-demand fault-in (see objstate.go): the recovery driver's promote
+	// hook and the per-table dedup set.
+	faultMu     sync.Mutex
+	faultInHook func(table int32)
+	faultBusy   map[int32]bool
 
 	// failNextPrepare makes the next PREPARE vote NO (abort-path tests).
 	failNextPrepare atomic.Bool
@@ -248,7 +260,8 @@ func Open(cfg Config) (*Site, error) {
 	s.aggRowsIn = reg.Counter("worker.agg.rows_in")
 	s.aggFrames = reg.Counter("worker.agg.frames")
 	s.ts.init()
-	s.needsRecovery.Store(!cleanPrior && len(mgr.IDs()) > 0)
+	ids := mgr.IDs()
+	s.seedObjectStates(!cleanPrior && len(ids) > 0, ids)
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
 		mgr.Close()
@@ -269,10 +282,33 @@ func Open(cfg Config) (*Site, error) {
 // Addr returns the server's listen address.
 func (s *Site) Addr() string { return s.server.Addr() }
 
-// CreateTable creates a local replica of a table.
+// CreateTable creates a local replica of a table. The new object seeds
+// Ready on a cleanly-started site; on an incarnation that rejoined from a
+// crash it seeds NeedsRecovery — such tables are created by the recovery
+// driver for replicas the catalog assigns here, and hold nothing until the
+// driver copies them from a buddy.
 func (s *Site) CreateTable(id int32, desc *tuple.Desc, segPages int32) error {
-	_, err := s.Mgr.Create(id, desc, segPages)
-	return err
+	if _, err := s.Mgr.Create(id, desc, segPages); err != nil {
+		return err
+	}
+	s.objMu.Lock()
+	var data []byte
+	if _, ok := s.objs[id]; !ok {
+		if s.objs == nil {
+			s.objs = map[int32]objStatus{}
+		}
+		st := ObjReady
+		if s.startedDirty {
+			st = ObjNeedsRecovery
+		}
+		s.objs[id] = objStatus{state: st}
+		data = s.renderObjStatesLocked()
+	}
+	s.objMu.Unlock()
+	if data != nil {
+		s.writeObjStates(data)
+	}
+	return nil
 }
 
 // Crash fail-stops the site: the server and every connection close abruptly,
@@ -317,16 +353,6 @@ func (s *Site) Close() error {
 
 // Crashed reports whether the site has fail-stopped.
 func (s *Site) Crashed() bool { return s.crashed.Load() }
-
-// NeedsRecovery reports whether the site rejoined from a crash and has not
-// yet completed recovery. While true, the site is not a legitimate recovery
-// source: pings omit the ready flag and recovery scans are refused.
-func (s *Site) NeedsRecovery() bool { return s.needsRecovery.Load() }
-
-// SetRecovered marks the site fully rejoined: HARBOR RecoverSite (or ARIES
-// restart recovery) completed, so its replicas hold every commit through
-// the recovery's high water mark and may again seed other sites' catch-up.
-func (s *Site) SetRecovered() { s.needsRecovery.Store(false) }
 
 // FailNextPrepare arms the abort-path test hook: the next PREPARE received
 // votes NO (simulating a consistency-constraint violation, §4.3).
