@@ -15,7 +15,7 @@ vet:
 
 # Race-detector pass over the packages with coordinator/network concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/coord/ ./internal/comm/ ./internal/faultnet/ ./internal/chaos/
+	$(GO) test -race -count=1 ./internal/coord/ ./internal/comm/ ./internal/faultnet/ ./internal/chaos/ ./internal/worker/ ./internal/core/
 
 # The CI gate: vet + race on the concurrent packages, then the full suite.
 check: vet race test

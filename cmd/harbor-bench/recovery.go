@@ -171,13 +171,13 @@ func runRecovery(rows, objects int) error {
 	// measure when the site starts answering, not how long one maximal scan
 	// takes while recovery saturates the disk.
 	const probeKeys = 1000
-	probePred := expr.KeyRange{Lo: 0, Hi: probeKeys}.Pred(desc)
+	probeRng := expr.KeyRange{Lo: 0, Hi: probeKeys}
 	// Prime the read-hotness counter before the driver starts: the queries
 	// were arriving before the site came back (that is what the MTTR split
 	// is for), so the driver must order table 1 first by observed demand,
 	// not by luck of catalog iteration order.
 	for i := 0; i < 3; i++ {
-		tryHistoricalScan(addr, 1, 1, probePred)
+		tryHistoricalScan(addr, 1, 1, probeRng, desc)
 	}
 	start := time.Now()
 	type firstQuery struct {
@@ -193,7 +193,7 @@ func runRecovery(rows, objects int) error {
 				return
 			default:
 			}
-			if n, ok := tryHistoricalScan(addr, 1, 1, probePred); ok {
+			if n, ok := tryHistoricalScan(addr, 1, 1, probeRng, desc); ok {
 				firstCh <- firstQuery{after: time.Since(start), rows: n}
 				return
 			}
@@ -221,6 +221,11 @@ func runRecovery(rows, objects int) error {
 		return fmt.Errorf("recovery bench: first served query returned %d rows, want %d", first.rows, wantRows)
 	}
 
+	hot, err := runHotSegment(25_000)
+	if err != nil {
+		return fmt.Errorf("hot-segment scenario: %w", err)
+	}
+
 	out := struct {
 		Bench               string         `json:"bench"`
 		Workers             int            `json:"workers"`
@@ -234,6 +239,7 @@ func runRecovery(rows, objects int) error {
 		TimeToFullCatchupMS float64        `json:"time_to_full_catchup_ms"`
 		Ratio               float64        `json:"ratio"`
 		PerObject           []recObjResult `json:"per_object"`
+		HotSegment          *hotSegResult  `json:"hot_segment"`
 	}{
 		Bench:               "recovery",
 		Workers:             2,
@@ -245,6 +251,7 @@ func runRecovery(rows, objects int) error {
 		TimeToFirstQueryMS:  first.after.Seconds() * 1000,
 		FirstQueryRows:      first.rows,
 		TimeToFullCatchupMS: catchup.Seconds() * 1000,
+		HotSegment:          hot,
 	}
 	if catchup > 0 {
 		out.Ratio = first.after.Seconds() / catchup.Seconds()
@@ -265,18 +272,222 @@ func runRecovery(rows, objects int) error {
 	return enc.Encode(out)
 }
 
-// tryHistoricalScan issues one raw historical scan against a worker and
-// reports whether it was served, with the row count from the stream's end
-// frame. A refusal (the object's recovery state does not cover asOf yet)
-// comes back as ok=false.
-func tryHistoricalScan(addr string, table int32, asOf int64, pred expr.Pred) (rows int, ok bool) {
+// hotSegResult is the segment-granularity half of the recovery bench
+// output: how long the first read of a hot key range inside one big fact
+// table waited, versus that same table's full catch-up.
+type hotSegResult struct {
+	FactRows       int     `json:"fact_rows"`
+	Segments       int     `json:"segments"`
+	ProbeKeyLo     int64   `json:"probe_key_lo"`
+	ProbeKeyHi     int64   `json:"probe_key_hi"`
+	FirstReadRows  int     `json:"first_read_rows"`
+	FirstReadMS    float64 `json:"first_read_ms"`
+	TableCatchupMS float64 `json:"table_catchup_ms"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// runHotSegment measures what segment-granular recovery states buy INSIDE
+// one object: a single large fact table crashes and misses a delta, and the
+// waiting query wants a recent (post-delta) slice of one key range in the
+// middle of the table. With whole-object states that read is refused until
+// the entire table's Phase 2 pass covers the delta; with per-segment states
+// the refusals fault-in the range, Phase 2 copies that segment's window
+// first and publishes its horizon independently, so the read lands after
+// roughly one shard of the copy work. The probe's asOf is deliberately the
+// post-delta high-water mark — a pre-crash asOf would be servable right
+// after the Phase 1 rewind and would measure nothing segment-specific.
+func runHotSegment(rows int) (*hotSegResult, error) {
+	if rows < 8000 {
+		rows = 8000
+	}
+	dir := tmp()
+	defer os.RemoveAll(dir)
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     2,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		BaseDir:     dir,
+		PoolFrames:  1 << 16,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	desc := sim.BenchDesc()
+	if err := cl.CreateReplicatedTable(1, desc, 64, 0, 1); err != nil {
+		return nil, err
+	}
+	const chunk = 8192
+	for wi := 0; wi < 2; wi++ {
+		tb, err := cl.Workers[wi].Mgr.Get(1)
+		if err != nil {
+			return nil, err
+		}
+		for lo := 0; lo < rows; lo += chunk {
+			n := rows - lo
+			if n > chunk {
+				n = chunk
+			}
+			batch := make([]tuple.Tuple, n)
+			for i := 0; i < n; i++ {
+				tp := sim.BenchTuple(desc, int64(lo+i))
+				tp.SetInsTS(1)
+				batch[i] = tp
+			}
+			if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cl.Coord.Authority.Advance(2)
+	for _, w := range cl.Workers {
+		w.SeedAppliedTS(2)
+		if err := w.CheckpointNow(); err != nil {
+			return nil, err
+		}
+		if err := w.Mgr.RebuildIndexes(); err != nil {
+			return nil, err
+		}
+	}
+
+	// The missed delta touches the WHOLE key space — deletes across the
+	// preloaded range plus appended inserts — so every segment has real
+	// Phase 2 work and the hot segment's early horizon is not an artifact
+	// of an empty window.
+	cl.Workers[0].Crash()
+	const perTxn = 100
+	deletes, inserts := rows/5, rows/2
+	commit := func(total int, op func(tx *coord.Txn, i int) error) error {
+		for lo := 0; lo < total; lo += perTxn {
+			hi := lo + perTxn
+			if hi > total {
+				hi = total
+			}
+			tx := cl.Coord.Begin()
+			for i := lo; i < hi; i++ {
+				if err := op(tx, i); err != nil {
+					return err
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := commit(deletes, func(tx *coord.Txn, i int) error {
+		return tx.DeleteKey(1, int64(i*5))
+	}); err != nil {
+		return nil, err
+	}
+	if err := commit(inserts, func(tx *coord.Txn, i int) error {
+		return tx.Insert(1, sim.BenchTuple(desc, int64(1_000_000+i)))
+	}); err != nil {
+		return nil, err
+	}
+	// The post-delta high-water mark: only servable once the hot segment's
+	// Phase 2 window has been copied and flushed.
+	asOf := int64(cl.Coord.Authority.HWM())
+
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		return nil, err
+	}
+	addr := w.Addr()
+	hotLo := int64(rows / 2)
+	hotRng := expr.KeyRange{Lo: hotLo, Hi: hotLo + 1000}
+	// Expected answer: the preloaded keys in the hot range minus the ones
+	// the delta deleted (every 5th key across [0, deletes*5)).
+	expected := 0
+	for k := hotRng.Lo; k < hotRng.Hi; k++ {
+		if k%5 == 0 && k/5 < int64(deletes) {
+			continue
+		}
+		expected++
+	}
+
+	// Prime the hot range before the driver starts: this refused probe is
+	// buffered by the site and replayed when RecoverSite attaches its
+	// fault-in hook, so the very first Phase 2 scheduling decision already
+	// knows which segment the waiting query wants.
+	if _, ok := tryHistoricalScan(addr, 1, asOf, hotRng, desc); ok {
+		return nil, fmt.Errorf("hot-segment probe served before recovery ran")
+	}
+
+	start := time.Now()
+	type firstQuery struct {
+		after time.Duration
+		rows  int
+		segs  int
+	}
+	firstCh := make(chan firstQuery, 1)
+	stopPoll := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			// Each refusal faults in the declared range, feeding the
+			// recovery driver's hot-segment ordering.
+			if n, ok := tryHistoricalScan(addr, 1, asOf, hotRng, desc); ok {
+				// Sample the segment table now, mid-recovery: completion
+				// collapses it back to one full-range Ready segment.
+				firstCh <- firstQuery{after: time.Since(start), rows: n,
+					segs: len(w.ObjectSegments(1))}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	_, err = core.New(w, cl.Catalog).RecoverSite(core.Options{Parallel: true, Concurrency: 1})
+	catchup := time.Since(start)
+	close(stopPoll)
+	if err != nil {
+		return nil, err
+	}
+	var first firstQuery
+	select {
+	case first = <-firstCh:
+	default:
+		return nil, fmt.Errorf("no hot-segment read was served during the whole %v catch-up", catchup)
+	}
+	if first.rows != expected {
+		return nil, fmt.Errorf("first served hot-segment read returned %d rows, want %d", first.rows, expected)
+	}
+
+	out := &hotSegResult{
+		FactRows:       rows,
+		Segments:       first.segs,
+		ProbeKeyLo:     hotRng.Lo,
+		ProbeKeyHi:     hotRng.Hi,
+		FirstReadRows:  first.rows,
+		FirstReadMS:    first.after.Seconds() * 1000,
+		TableCatchupMS: catchup.Seconds() * 1000,
+	}
+	if catchup > 0 {
+		out.Ratio = first.after.Seconds() / catchup.Seconds()
+	}
+	return out, nil
+}
+
+// tryHistoricalScan issues one raw historical scan of one key range against
+// a worker and reports whether it was served, with the row count from the
+// stream's end frame. The range is declared on the message (KeyLo/KeyHi) so
+// the worker's segment-granular gate consults only the segments the read
+// touches — and a refusal faults in exactly that range. A refusal (the
+// range's recovery state does not cover asOf yet) comes back as ok=false.
+func tryHistoricalScan(addr string, table int32, asOf int64, rng expr.KeyRange, desc *tuple.Desc) (rows int, ok bool) {
 	c, err := comm.Dial(addr)
 	if err != nil {
 		return 0, false
 	}
 	defer c.Close()
 	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Txn: 7777, Table: table,
-		Vis: uint8(exec.Historical), TS: asOf, Pred: pred.Terms}); err != nil {
+		Vis: uint8(exec.Historical), TS: asOf, Pred: rng.Pred(desc).Terms,
+		KeyLo: rng.Lo, KeyHi: rng.Hi}); err != nil {
 		return 0, false
 	}
 	for {

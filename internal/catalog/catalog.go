@@ -252,7 +252,7 @@ func (c *Catalog) RecoveryPlan(table int32, rec expr.KeyRange, failed SiteID, li
 // `exclude` if >= 0), preferring replicas that extend furthest.
 func (c *Catalog) coverage(table int32, target expr.KeyRange, live func(SiteID) bool, exclude SiteID) ([]RecoverySource, error) {
 	c.mu.RLock()
-	var cands []Replica
+	var cands []RangeCandidate
 	for _, r := range c.replicas[table] {
 		if exclude >= 0 && r.Site == exclude {
 			continue
@@ -260,15 +260,43 @@ func (c *Catalog) coverage(table int32, target expr.KeyRange, live func(SiteID) 
 		if live != nil && !live(r.Site) {
 			continue
 		}
-		if r.Range.Intersect(target).Empty() && !(r.Range == expr.FullKeyRange()) {
-			continue
-		}
-		cands = append(cands, r)
+		cands = append(cands, RangeCandidate{Site: r.Site, Table: r.Table, Range: r.Range})
 	}
 	c.mu.RUnlock()
+	plan, err := CoverTarget(target, cands)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: table %d: %w", table, err)
+	}
+	return plan, nil
+}
+
+// RangeCandidate is one servable key range offered by a site: a whole
+// replica when the site is healthy, or a single readable segment of a
+// still-recovering replica. CoverTarget composes a cover out of them
+// without caring which kind each one is.
+type RangeCandidate struct {
+	Site  SiteID
+	Table int32
+	Range expr.KeyRange
+}
+
+// CoverTarget greedily covers `target` with the candidate ranges,
+// preferring at each cursor position the candidate that extends furthest.
+// The returned sources carry mutually exclusive predicates whose union is
+// exactly `target`. ErrKSafetyExceeded (wrapped) reports an uncoverable
+// position.
+func CoverTarget(target expr.KeyRange, cands []RangeCandidate) ([]RecoverySource, error) {
 	if target.Empty() {
 		return nil, nil
 	}
+	kept := cands[:0:0]
+	for _, r := range cands {
+		if r.Range.Intersect(target).Empty() && !(r.Range == expr.FullKeyRange()) {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	cands = kept
 	var plan []RecoverySource
 	cursor := target.Lo
 	full := expr.FullKeyRange()
@@ -287,8 +315,8 @@ func (c *Catalog) coverage(table int32, target expr.KeyRange, live func(SiteID) 
 			}
 		}
 		if best == -1 {
-			return nil, fmt.Errorf("catalog: table %d range %v not coverable at key %d: %w",
-				table, target, cursor, ErrKSafetyExceeded)
+			return nil, fmt.Errorf("range %v not coverable at key %d: %w",
+				target, cursor, ErrKSafetyExceeded)
 		}
 		r := cands[best]
 		pred := expr.KeyRange{Lo: cursor, Hi: minI64(bestHi, target.Hi)}

@@ -120,8 +120,8 @@ func soakRound(p txn.Protocol) Scenario {
 		Drive: func(h *Harness) {
 			// One scrubber per worker at a deliberately hot interval (a real
 			// deployment would tick in minutes; the soak wants coverage in
-			// seconds). A scrubber whose site crashes exits on its own; Stop
-			// then just reaps the goroutine.
+			// seconds). A scrubber whose site crashes idles (skipping ticks)
+			// until Stop reaps it.
 			var scrubs []*core.Scrubber
 			for i := range h.Cl.Workers {
 				scrubs = append(scrubs, core.New(h.Cl.Workers[i], h.Cl.Catalog).StartScrubber(30*time.Millisecond))

@@ -146,14 +146,18 @@ func (aq *aggQuery) readAggSlot(slot scanSlot) (*exec.GroupTable, error) {
 		return nil, err
 	}
 	pred := aq.pred
-	if slot.rng != expr.FullKeyRange() {
-		pred = pred.And(slot.rng.Pred(aq.spec.Desc).Terms...)
-	}
 	m := &wire.Msg{
 		Type: wire.MsgScan, Txn: aq.id, Table: aq.table,
 		Vis: uint8(aq.vis), TS: aq.asOf, Pred: pred.Terms,
 		AggGroup: int32(aq.plan.GroupField),
 		Aggs:     make([]wire.AggCol, len(aq.partial)),
+	}
+	if slot.rng != expr.FullKeyRange() {
+		pred = pred.And(slot.rng.Pred(aq.spec.Desc).Terms...)
+		m.Pred = pred.Terms
+		// Declare the touched key range for the worker's per-segment
+		// recovery gate (see readSlot).
+		m.KeyLo, m.KeyHi = slot.rng.Lo, slot.rng.Hi
 	}
 	for i, a := range aq.partial {
 		m.Aggs[i] = wire.AggCol{Fn: uint8(a.Fn), Field: int32(a.Field)}

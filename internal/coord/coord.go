@@ -17,6 +17,7 @@ import (
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/expr"
 	"harbor/internal/obs"
 	"harbor/internal/retry"
 	"harbor/internal/tuple"
@@ -442,12 +443,14 @@ func (co *Coordinator) markObjectOnline(table int32, site catalog.SiteID) {
 	delete(co.finalSurvivor, table)
 }
 
-// siteReadiness is one cached per-object readiness probe of a site.
+// siteReadiness is one cached per-object readiness probe of a site. objs
+// holds one entry per segment of each object, sorted by range Lo (the order
+// the worker's readiness list reports them).
 type siteReadiness struct {
 	at      time.Time
 	live    bool
 	ready   bool // aggregate all-objects-Ready bit
-	objs    map[int32]wire.ObjReady
+	objs    map[int32][]wire.ObjReady
 	probing bool
 }
 
@@ -483,9 +486,9 @@ func (co *Coordinator) siteObjReadiness(site catalog.SiteID) *siteReadiness {
 	if addr, ok := co.cfg.Catalog.SiteAddr(site); ok {
 		live, ready, objs = comm.PingObjects(addr, readinessProbeTimeout)
 	}
-	m := make(map[int32]wire.ObjReady, len(objs))
+	m := make(map[int32][]wire.ObjReady, len(objs))
 	for _, o := range objs {
-		m[o.Table] = o
+		m[o.Table] = append(m[o.Table], o)
 	}
 	nr := &siteReadiness{at: time.Now(), live: live, ready: ready, objs: m}
 	co.readyMu.Lock()
@@ -512,20 +515,75 @@ func (co *Coordinator) objectReadableFor(table int32, site catalog.SiteID, histo
 	if !r.live {
 		return false
 	}
-	o, ok := r.objs[table]
+	segs, ok := r.objs[table]
 	if !ok {
 		// Pre-bitmap worker: fall back to the aggregate ready bit.
 		return r.ready
 	}
-	if worker.ObjState(o.State) == worker.ObjReady {
+	for _, o := range segs {
+		if !segmentServable(o, historical, asOf) {
+			return false
+		}
+	}
+	return true
+}
+
+// segmentServable reports whether one advertised segment state can serve a
+// read. Ready serves anything. A recovering segment serves a historical
+// read asOf A once its copied-through watermark reaches A; a segment in
+// locked catch-up whose drained horizon reaches the read's start timestamp
+// additionally serves current reads (the buddy table locks freeze commits,
+// so the drained contents equal a healthy replica's).
+func segmentServable(o wire.ObjReady, historical bool, asOf tuple.Timestamp) bool {
+	st := worker.ObjState(o.State)
+	if st == worker.ObjReady {
 		return true
 	}
-	if !historical || asOf == 0 {
+	if asOf == 0 || tuple.Timestamp(o.CopiedThrough) < asOf {
 		return false
 	}
-	st := worker.ObjState(o.State)
-	return (st == worker.ObjHistoricalCopy || st == worker.ObjCatchup) &&
-		tuple.Timestamp(o.CopiedThrough) >= asOf
+	if historical {
+		return st == worker.ObjHistoricalCopy || st == worker.ObjCatchup
+	}
+	return st == worker.ObjCatchup
+}
+
+// readCandidates assembles the servable key-range candidates for planning a
+// read of table: an online replica offers its whole catalog range, a
+// replica on a recovering site offers exactly the segments whose advertised
+// recovery state can serve this read. CoverTarget then composes a scan from
+// Ready segments on the recovering site and healthy buddies for the rest —
+// the routing half of segment-granular recovery.
+func (co *Coordinator) readCandidates(table int32, historical bool, asOf tuple.Timestamp) []catalog.RangeCandidate {
+	var cands []catalog.RangeCandidate
+	for _, rep := range co.cfg.Catalog.Replicas(table) {
+		if co.objectIsOnline(table, rep.Site) {
+			cands = append(cands, catalog.RangeCandidate{Site: rep.Site, Table: rep.Table, Range: rep.Range})
+			continue
+		}
+		r := co.siteObjReadiness(rep.Site)
+		if !r.live {
+			continue
+		}
+		segs, ok := r.objs[table]
+		if !ok {
+			if r.ready {
+				cands = append(cands, catalog.RangeCandidate{Site: rep.Site, Table: rep.Table, Range: rep.Range})
+			}
+			continue
+		}
+		for _, o := range segs {
+			if !segmentServable(o, historical, asOf) {
+				continue
+			}
+			rng := expr.KeyRange{Lo: o.Lo, Hi: o.Hi}.Intersect(rep.Range)
+			if rng.Empty() {
+				continue
+			}
+			cands = append(cands, catalog.RangeCandidate{Site: rep.Site, Table: rep.Table, Range: rng})
+		}
+	}
+	return cands
 }
 
 // Outcome returns the recorded outcome of a transaction. ok=false means the

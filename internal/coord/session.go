@@ -521,34 +521,44 @@ func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *sca
 		return nil, nil, fmt.Errorf("coord: unknown table %d", table)
 	}
 	vis := exec.Current
-	asOf := tuple.Timestamp(0)
 	locked := true
+	// Every read resolves a concrete timestamp before planning. Historical
+	// reads use it as the snapshot time. Current reads keep TS semantics
+	// unchanged at the executor (locked, latest-state) but carry the
+	// plan-time HWM as the read's *start timestamp*: a recovering segment
+	// in locked catch-up whose drained horizon covers that timestamp holds
+	// contents equal to a healthy replica's (the catch-up locks freeze
+	// commits to the table), so it may serve the read mid-recovery.
+	asOf := co.Authority.HWM()
 	if opt.Historical {
 		vis = exec.Historical
-		asOf = opt.AsOf
 		locked = false
-		if asOf == 0 {
-			asOf = co.Authority.HWM()
+		if opt.AsOf != 0 {
+			asOf = opt.AsOf
 		}
 	}
-	// Visibility and asOf resolve before the liveness predicate is built:
-	// readability is per replica object, not per site, and for historical
-	// reads it depends on the concrete asOf (a recovering object serves the
-	// read once its copied-through watermark covers it). The predicate is
-	// also the query's failover filter (q.live), so a mid-stream replan can
-	// land on a recovering site's readable objects too.
+	// Visibility and asOf resolve before the candidate set is built:
+	// readability is per *segment*, not per site, and depends on the
+	// concrete timestamp (a recovering segment serves the read once its
+	// copied-through watermark covers it). The per-site predicate remains
+	// the query's failover filter (q.live), so a mid-stream replan can land
+	// on a recovering site's readable objects too.
 	live := func(s catalog.SiteID) bool {
 		return co.objectReadableFor(table, s, opt.Historical, asOf)
 	}
-	srcs, err := co.cfg.Catalog.ReadSites(table, live)
+	cands := co.readCandidates(table, opt.Historical, asOf)
+	srcs, err := catalog.CoverTarget(expr.FullKeyRange(), cands)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("coord: table %d: %w", table, err)
 	}
 	if opt.PreferSite != 0 {
-		single, err := co.cfg.Catalog.ReadSites(table, func(s catalog.SiteID) bool {
-			return s == opt.PreferSite && live(s)
-		})
-		if err == nil {
+		var only []catalog.RangeCandidate
+		for _, c := range cands {
+			if c.Site == opt.PreferSite {
+				only = append(only, c)
+			}
+		}
+		if single, err := catalog.CoverTarget(expr.FullKeyRange(), only); err == nil {
 			srcs = single
 		}
 	}
@@ -667,12 +677,17 @@ func (q *scanQuery) readSlot(slot scanSlot, push func([]tuple.Tuple) bool) error
 		return err
 	}
 	pred := q.pred
-	if slot.rng != expr.FullKeyRange() {
-		pred = pred.And(slot.rng.Pred(q.spec.Desc).Terms...)
-	}
 	m := &wire.Msg{
 		Type: wire.MsgScan, Txn: q.id, Table: q.table,
 		Vis: uint8(q.vis), TS: q.asOf, Pred: pred.Terms,
+	}
+	if slot.rng != expr.FullKeyRange() {
+		pred = pred.And(slot.rng.Pred(q.spec.Desc).Terms...)
+		m.Pred = pred.Terms
+		// Declare the touched key range so the worker's recovery gate checks
+		// only the segments this slot actually reads — the slot may exist
+		// precisely because those segments recovered ahead of their table.
+		m.KeyLo, m.KeyHi = slot.rng.Lo, slot.rng.Hi
 	}
 	if q.locked {
 		m.Flags |= wire.FlagYes

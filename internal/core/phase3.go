@@ -11,6 +11,7 @@ import (
 	"harbor/internal/tuple"
 	"harbor/internal/vfs"
 	"harbor/internal/wire"
+	"harbor/internal/worker"
 )
 
 // phase3 runs §5.4: acquire table-granularity read locks on every recovery
@@ -119,6 +120,15 @@ func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Tim
 	if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), finalT); err != nil {
 		return 0, err
 	}
+
+	// The locked copy has drained and is durable: every segment's contents
+	// now equal a healthy replica's at finalT, and the buddy table locks
+	// still exclude new commits to this table. Advance every segment's
+	// horizon to finalT while still in Catchup — from here the worker serves
+	// not just covered historical reads but *current* reads whose
+	// coordinator-assigned start timestamp is ≤ finalT, shaving the
+	// object-online round trip off current-read MTTR.
+	r.Site.SetObjectState(rep.Table, worker.ObjCatchup, finalT)
 
 	// Figure 5-4: announce to the coordinator; it replays the queued
 	// update requests of every relevant pending transaction into this

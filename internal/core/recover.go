@@ -28,6 +28,7 @@ import (
 
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/expr"
 	"harbor/internal/obs"
 	"harbor/internal/page"
 	"harbor/internal/retry"
@@ -93,11 +94,20 @@ type Options struct {
 	// the loop into a hot spin. Zero uses a sensible default; set Base < 0
 	// via a custom Backoff to disable (tests).
 	RetryBackoff *retry.Backoff
+	// SegmentShards is how many key-range segments each object's recovery
+	// state is tracked at (boundaries are quantiles of the object's local
+	// key distribution). More shards means a faulted-in hot range becomes
+	// servable after copying less of its table; each shard costs one extra
+	// flush per Phase 2 round. 0 uses a sensible default.
+	SegmentShards int
 }
 
 func (o Options) withDefaults() Options {
 	if o.RepeatThreshold == 0 {
 		o.RepeatThreshold = 64
+	}
+	if o.SegmentShards == 0 {
+		o.SegmentShards = 8
 	}
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 4
@@ -120,13 +130,65 @@ type Recoverer struct {
 	// noPrune and tupleAtATime mirror the Options for the remote scans.
 	noPrune      bool
 	tupleAtATime bool
+
+	// hotRanges records, per table, the key ranges refused reads faulted in
+	// (fed by the site's fault-in hook). Phase 2 copies the segments those
+	// ranges intersect first, so the read that is actually waiting becomes
+	// servable after copying a fraction of its table.
+	hotMu     sync.Mutex
+	hotRanges map[int32][]expr.KeyRange
 }
 
 // New builds a Recoverer.
 func New(site *worker.Site, cat *catalog.Catalog) *Recoverer {
 	// Recovery transactions need ids that cannot collide with coordinator
 	// ids; offset the site id into a reserved band.
-	return &Recoverer{Site: site, Cat: cat, ids: txn.NewIDSource(int32(site.Cfg.Site) + 1<<20)}
+	return &Recoverer{Site: site, Cat: cat,
+		ids:       txn.NewIDSource(int32(site.Cfg.Site) + 1<<20),
+		hotRanges: map[int32][]expr.KeyRange{}}
+}
+
+// noteHotRange records a faulted-in key range for segment prioritization.
+// A full-range fault-in carries no locality information and is dropped —
+// promote() already handles whole-object priority.
+func (r *Recoverer) noteHotRange(table int32, rng expr.KeyRange) {
+	if rng == expr.FullKeyRange() {
+		return
+	}
+	r.hotMu.Lock()
+	defer r.hotMu.Unlock()
+	for _, h := range r.hotRanges[table] {
+		if h == rng {
+			return
+		}
+	}
+	r.hotRanges[table] = append(r.hotRanges[table], rng)
+}
+
+// nextSeg elects the next segment Phase 2 should copy: the first unvisited
+// segment a refused read has faulted in, else the first unvisited segment in
+// key order. Consulted before every segment copy rather than once per round,
+// so a fault-in that arrives mid-round reorders the remainder of the round
+// immediately.
+func (r *Recoverer) nextSeg(table int32, segs []worker.SegmentStatus, visited []bool) int {
+	r.hotMu.Lock()
+	hot := append([]expr.KeyRange(nil), r.hotRanges[table]...)
+	r.hotMu.Unlock()
+	first := -1
+	for i := range segs {
+		if visited[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		for _, h := range hot {
+			if !segs[i].Range.Intersect(h).Empty() {
+				return i
+			}
+		}
+	}
+	return first
 }
 
 // RecoverSite revives every database object on the site, then brings the
@@ -167,9 +229,16 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	// on a half-rewound object. Each object transitions forward through the
 	// state machine independently as its own recovery progresses, becoming
 	// servable again the moment its history covers the read — not when the
-	// last object catches up.
+	// last object catches up. Demotion also carves each object into
+	// key-range segments at quantiles of its local key distribution:
+	// Phase 2 advances the segments independently, so a faulted-in hot
+	// range serves after copying only its own shard of the table.
 	for _, rep := range reps {
-		r.Site.SetObjectState(rep.Table, worker.ObjNeedsRecovery, 0)
+		var bounds []int64
+		if tb, err := r.Site.Mgr.Get(rep.Table); err == nil {
+			bounds = tb.Index.Quantiles(opt.SegmentShards)
+		}
+		r.Site.SetObjectSegments(rep.Table, bounds, worker.ObjNeedsRecovery, 0)
 	}
 
 	stats := &SiteStats{Objects: make([]ObjectStats, len(reps))}
@@ -213,7 +282,10 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 	// recovery scan that lands on a still-queued object promotes it to the
 	// front via the site's fault-in hook.
 	sched := newObjSched(reps, r.Site.Obs())
-	r.Site.SetFaultInHook(sched.promote)
+	r.Site.SetFaultInHook(func(table int32, rng expr.KeyRange) {
+		r.noteHotRange(table, rng)
+		sched.promote(table)
+	})
 	defer r.Site.SetFaultInHook(nil)
 
 	workers := 1
@@ -408,7 +480,16 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	// starts serving them (time-to-first-query), long before full catch-up.
 	r.Site.SetObjectState(rep.Table, worker.ObjHistoricalCopy, ckpt)
 
-	// ---- Phase 2: lock-free historical catch-up (§5.3) ----
+	// ---- Phase 2: lock-free historical catch-up (§5.3), per segment ----
+	// Each round copies the window (cur, hwm] one segment at a time,
+	// flushing and advancing that segment's servable horizon before moving
+	// to the next — with faulted-in segments first, the read that is
+	// actually waiting serves after a fraction of the table's copy work.
+	// Within a round the segments' horizons diverge transiently; the round
+	// ends with every segment at hwm, so the resume point (the per-object
+	// checkpoint, written once the whole round is durable) stays scalar, and
+	// an interrupted round is re-rewound by the next incarnation's Phase 1.
+	segs := r.Site.ObjectSegments(rep.Table)
 	cur := ckpt
 	for round := 0; round < opt.MaxRounds; round++ {
 		hwm, err := r.coordinatorHWM()
@@ -419,37 +500,50 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 			break
 		}
 		st.Rounds++
-		var plan []catalog.RecoverySource
-		if !survivor {
-			plan, err = r.Cat.RecoveryPlan(rep.Table, rep.Range, r.Site.Cfg.Site, r.buddyLiveFor(rep.Table))
-			if err != nil {
+		buddies := 0
+		// The next segment is re-elected after every copy, not frozen at
+		// round start: a read refused mid-round faults its range in and the
+		// very next pick honors it, instead of waiting a whole round.
+		visited := make([]bool, len(segs))
+		for done := 0; done < len(segs); done++ {
+			si := r.nextSeg(rep.Table, segs, visited)
+			visited[si] = true
+			target := segs[si].Range.Intersect(rep.Range)
+			var plan []catalog.RecoverySource
+			if !survivor {
+				plan, err = r.Cat.RecoveryPlan(rep.Table, target, r.Site.Cfg.Site, r.buddyLiveFor(rep.Table))
+				if err != nil {
+					return st, 0, err
+				}
+			}
+			buddies += len(plan)
+			for _, src := range plan {
+				du, di, nDel, nIns, err := r.copyWindow(tb, src, cur, hwm, true, 0)
+				st.Phase2Update += du
+				st.Phase2Insert += di
+				st.Phase2Deletes += nDel
+				st.Phase2Inserts += nIns
+				reg.Counter("recovery.phase2.tuples").Add(int64(nDel + nIns))
+				if err != nil {
+					return st, 0, err
+				}
+			}
+			// This segment's window is durably applied: advance its servable
+			// horizon independently of the segments still waiting.
+			if err := r.flushObject(tb); err != nil {
 				return st, 0, err
 			}
-		}
-		for _, src := range plan {
-			du, di, nDel, nIns, err := r.copyWindow(tb, src, cur, hwm, true, 0)
-			st.Phase2Update += du
-			st.Phase2Insert += di
-			st.Phase2Deletes += nDel
-			st.Phase2Inserts += nIns
-			reg.Counter("recovery.phase2.tuples").Add(int64(nDel + nIns))
-			if err != nil {
-				return st, 0, err
-			}
+			r.Site.SetSegmentState(rep.Table, segs[si].Range, worker.ObjHistoricalCopy, hwm)
 		}
 		reg.Counter("recovery.phase2.rounds").Inc()
 		tr.Recordf(traceID, obs.EvRecovery,
-			"phase2 round=%d table=%d window=(%d,%d] buddies=%d", st.Rounds, rep.Table, cur, hwm, len(plan))
-		// Record the finer-granularity per-object checkpoint (§5.3): make
-		// the copied state durable first.
-		if err := r.flushObject(tb); err != nil {
-			return st, 0, err
-		}
+			"phase2 round=%d table=%d window=(%d,%d] segments=%d buddies=%d", st.Rounds, rep.Table, cur, hwm, len(segs), buddies)
+		// Record the finer-granularity per-object checkpoint (§5.3) only now
+		// that every segment of the round is durable — it is the whole
+		// object's resume point.
 		if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), hwm); err != nil {
 			return st, 0, err
 		}
-		// The window is durably applied: advance the servable horizon.
-		r.Site.SetObjectState(rep.Table, worker.ObjHistoricalCopy, hwm)
 		cur = hwm
 	}
 

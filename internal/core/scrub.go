@@ -55,8 +55,14 @@ func (s *Scrubber) loop() {
 		case <-s.stop:
 			return
 		case <-t.C:
+			// A crashed site has its files closed under the scrubber, so
+			// ticking would only chase errors — but exiting for good here
+			// meant a scrubber that merely RACED a crash observation never
+			// resumed once recovery brought the site back, silently ending
+			// all scrub coverage. Skip the tick and keep the loop alive;
+			// Stop() remains the only way out.
 			if s.r.Site.Crashed() {
-				return
+				continue
 			}
 			s.tick()
 		}
@@ -101,7 +107,14 @@ func (s *Scrubber) tick() {
 			reg.Counter("storage.scrub.pages").Inc()
 			continue
 		} else if !errors.Is(err, storage.ErrPageCorrupt) {
-			return // I/O trouble (file closed, EIO burst): retry next tick
+			// I/O trouble (file closed, EIO burst): skip the segment and
+			// ADVANCE — returning with segIdx in place pinned the round-robin
+			// on a persistently-failing segment forever, starving every other
+			// table of scrub coverage. The skipped counter makes the blind
+			// spot visible; the round-robin retries the segment next pass.
+			reg.Counter("storage.scrub.skipped").Inc()
+			s.segIdx++
+			return
 		}
 		// A trailer mismatch here may be a scrub read racing a concurrent
 		// pool flush of the same page (the two are not serialized), not

@@ -1,0 +1,156 @@
+package core
+
+// White-box scrubber tests: the round-robin cursor (tableIdx/segIdx) and
+// tick() are package-private, and the two regressions pinned here are about
+// exactly that cursor — an I/O-failing segment must not wedge it, and a
+// crashed site must not terminate the loop for good.
+
+import (
+	"testing"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/faultdisk"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+func scrubDesc() *tuple.Desc {
+	return tuple.MustDesc("id",
+		tuple.FieldDef{Name: "id", Type: tuple.Int64},
+		tuple.FieldDef{Name: "v", Type: tuple.Int32},
+	)
+}
+
+// newScrubSite opens one standalone worker site under dir with `tables`
+// tables of two bulk-loaded heap segments each, pages on disk.
+func newScrubSite(t *testing.T, dir string, tables int) *worker.Site {
+	t.Helper()
+	cat := catalog.New(0)
+	cat.AddSite(1, "")
+	w, err := worker.Open(worker.Config{
+		Site: 1, Dir: dir, Protocol: txn.OptThreePC, Mode: worker.HARBOR,
+		LockTimeout: time.Second, Catalog: cat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	desc := scrubDesc()
+	for id := int32(1); id <= int32(tables); id++ {
+		if err := w.CreateTable(id, desc, 2); err != nil {
+			t.Fatal(err)
+		}
+		tb, err := w.Mgr.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seg := 0; seg < 2; seg++ {
+			batch := make([]tuple.Tuple, 8)
+			for i := range batch {
+				tp := tuple.MustMake(desc, tuple.VInt(int64(seg*100+i)), tuple.VInt(int64(i)))
+				tp.SetInsTS(1)
+				batch[i] = tp
+			}
+			if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return w
+}
+
+// TestScrubSkipsFailingSegmentAndAdvances pins the skip-and-advance fix: a
+// segment whose pages return a persistent non-corruption I/O error (EIO via
+// faultdisk) must be counted as skipped and the round-robin must move past
+// it to the other tables — the old early return left segIdx in place, so
+// one bad segment pinned the scrubber forever and every other table lost
+// scrub coverage.
+func TestScrubSkipsFailingSegmentAndAdvances(t *testing.T) {
+	dir := t.TempDir()
+	d := faultdisk.New(1)
+	d.Register(dir, "scrubsite")
+	d.Install()
+	t.Cleanup(d.Uninstall)
+
+	w := newScrubSite(t, dir, 2)
+	s := &Scrubber{r: New(w, nil)}
+	reg := w.Obs()
+	pages := reg.Counter("storage.scrub.pages")
+	skipped := reg.Counter("storage.scrub.skipped")
+
+	// Healthy pass first: 2 tables × (2 segments + 1 table-advance tick).
+	for i := 0; i < 6; i++ {
+		s.tick()
+	}
+	if pages.Load() == 0 {
+		t.Fatal("healthy pass verified no pages")
+	}
+	if skipped.Load() != 0 {
+		t.Fatalf("healthy pass skipped %d segments, want 0", skipped.Load())
+	}
+
+	// Every read under the site now fails with EIO. One full rotation of
+	// ticks must visit (and skip) all 4 segments across BOTH tables: the
+	// cursor advances past trouble instead of wedging on the first segment.
+	d.SetFailOps(dir, 1, faultdisk.ErrInjectedIO)
+	base := pages.Load()
+	for i := 0; i < 6; i++ {
+		s.tick()
+	}
+	if got := skipped.Load(); got != 4 {
+		t.Fatalf("EIO rotation skipped %d segments, want 4 (both tables visited)", got)
+	}
+	if pages.Load() != base {
+		t.Fatal("EIO rotation must not count failed reads as verified pages")
+	}
+
+	// Trouble clears: the same cursor resumes verifying everything.
+	d.SetFailOps(dir, 0, nil)
+	for i := 0; i < 6; i++ {
+		s.tick()
+	}
+	if pages.Load() <= base {
+		t.Fatal("scrubbing did not resume after the EIO burst cleared")
+	}
+	if skipped.Load() != 4 {
+		t.Fatalf("healthy resume skipped %d total, want the 4 from the burst", skipped.Load())
+	}
+}
+
+// TestScrubberSurvivesCrashedSite pins the loop-exit fix: a scrubber that
+// observes Site.Crashed() must idle, not return — the old code terminated
+// the goroutine for good, so a scrubber racing a crash never resumed after
+// recovery brought the site back, silently ending all scrub coverage.
+func TestScrubberSurvivesCrashedSite(t *testing.T) {
+	w := newScrubSite(t, t.TempDir(), 1)
+	pages := w.Obs().Counter("storage.scrub.pages")
+
+	s := New(w, nil).StartScrubber(2 * time.Millisecond)
+	defer s.Stop()
+	waitAbove := func(floor int64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for pages.Load() <= floor {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for scrub progress %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitAbove(0, "before the crash")
+
+	// Crash observed: ticks must stop but the loop must stay alive.
+	w.SetCrashedForTest(true)
+	time.Sleep(20 * time.Millisecond) // let in-flight ticks drain
+	frozen := pages.Load()
+	time.Sleep(30 * time.Millisecond)
+	if got := pages.Load(); got != frozen {
+		t.Fatalf("scrubbed %d pages while crashed, want none", got-frozen)
+	}
+
+	// Recovery brings the site back: the same scrubber resumes.
+	w.SetCrashedForTest(false)
+	waitAbove(frozen, "after the site recovered")
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sort"
 	"sync"
 
 	"harbor/internal/page"
@@ -116,6 +117,38 @@ func (x *KeyIndex) Clear() {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.m = map[int64][]page.RecordID{}
+}
+
+// Quantiles returns up to n-1 interior key boundaries that split the
+// indexed key population into n roughly equal-count shards. Recovery uses
+// them to carve a replica's key range into segments whose recovery states
+// advance independently: quantiles of the *local* key distribution give
+// balanced copy work per segment, which boundary arithmetic over the range
+// endpoints (often ±∞) cannot. Returns nil when the index holds fewer
+// distinct keys than shards — callers fall back to one whole-range segment.
+func (x *KeyIndex) Quantiles(n int) []int64 {
+	if n < 2 {
+		return nil
+	}
+	x.mu.RLock()
+	keys := make([]int64, 0, len(x.m))
+	for k := range x.m {
+		keys = append(keys, k)
+	}
+	x.mu.RUnlock()
+	if len(keys) < n {
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	bounds := make([]int64, 0, n-1)
+	for i := 1; i < n; i++ {
+		b := keys[i*len(keys)/n]
+		if len(bounds) > 0 && bounds[len(bounds)-1] == b {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	return bounds
 }
 
 // Rebuild rescans the heap file and atomically replaces the index contents.

@@ -201,13 +201,16 @@ type AggCol struct {
 	Field int32
 }
 
-// ObjReady is one object's entry in a ping reply's readiness list: the
-// worker.ObjState code and the copiedThrough horizon (historical reads asOf
-// ≤ CopiedThrough are servable even before the object is fully Ready).
+// ObjReady is one segment's entry in a ping reply's readiness list: the
+// worker.ObjState code, the copiedThrough horizon (historical reads asOf
+// ≤ CopiedThrough are servable even before the segment is fully Ready),
+// and the half-open key range [Lo, Hi) the entry covers. A whole-object
+// entry is the degenerate single segment spanning the replica's range.
 type ObjReady struct {
 	Table         int32
 	State         uint8
 	CopiedThrough int64
+	Lo, Hi        int64
 }
 
 // Yes reports the FlagYes bit.
@@ -310,6 +313,8 @@ func (m *Msg) AppendTo(b []byte) []byte {
 		u32(uint32(o.Table))
 		u8(o.State)
 		u64(uint64(o.CopiedThrough))
+		u64(uint64(o.Lo))
+		u64(uint64(o.Hi))
 	}
 	return b
 }
@@ -541,10 +546,13 @@ func Unmarshal(b []byte) (*Msg, error) {
 		table, ok1 := u32()
 		state, ok2 := u8()
 		ct, ok3 := u64()
-		if !ok1 || !ok2 || !ok3 {
+		lo, ok4 := u64()
+		hi, ok5 := u64()
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
 			return fail()
 		}
-		m.Objs = append(m.Objs, ObjReady{Table: int32(table), State: state, CopiedThrough: int64(ct)})
+		m.Objs = append(m.Objs, ObjReady{Table: int32(table), State: state,
+			CopiedThrough: int64(ct), Lo: int64(lo), Hi: int64(hi)})
 	}
 	return m, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"harbor/internal/comm"
 	"harbor/internal/exec"
+	"harbor/internal/expr"
 	"harbor/internal/testutil"
 	"harbor/internal/tuple"
 	"harbor/internal/txn"
@@ -108,14 +109,22 @@ func TestObjectStateGatesWireReads(t *testing.T) {
 	if m := scan(exec.Historical, 0); m.Type != wire.MsgErr {
 		t.Fatalf("historical scan with unresolved asOf answered %v, want refusal", m.Type)
 	}
-	// A refused read fault-ins the object: the recovery driver's hook fires.
-	faulted := make(chan int32, 8)
-	w.SetFaultInHook(func(table int32) { faulted <- table })
+	// A refused read fault-ins the object: the recovery driver's hook fires,
+	// carrying the key range the read declared (full range when undeclared).
+	type faultIn struct {
+		table int32
+		rng   expr.KeyRange
+	}
+	faulted := make(chan faultIn, 8)
+	w.SetFaultInHook(func(table int32, rng expr.KeyRange) { faulted <- faultIn{table, rng} })
 	_ = scan(exec.Current, 0)
 	select {
-	case tb := <-faulted:
-		if tb != 1 {
-			t.Fatalf("fault-in hook fired for table %d, want 1", tb)
+	case f := <-faulted:
+		if f.table != 1 {
+			t.Fatalf("fault-in hook fired for table %d, want 1", f.table)
+		}
+		if f.rng != expr.FullKeyRange() {
+			t.Fatalf("undeclared scan range faulted in %+v, want the full range", f.rng)
 		}
 	default:
 		t.Fatal("refused read did not fire the fault-in hook")
@@ -129,6 +138,165 @@ func TestObjectStateGatesWireReads(t *testing.T) {
 	}
 	if _, ready, _ := comm.PingObjects(w.Addr(), time.Second); !ready {
 		t.Fatal("ping: site with all objects Ready must advertise readiness")
+	}
+}
+
+// TestSegmentStateGatesWireReads exercises the segment-granular gate: with
+// one table split into two key-range segments, reads declaring a range
+// inside the recovered segment serve while reads touching the lagging
+// segment refuse — and the refusal's fault-in carries the declared range so
+// recovery can pull exactly that segment forward.
+func TestSegmentStateGatesWireReads(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	var preTS tuple.Timestamp
+	for i := int64(1); i <= 8; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, mk(i*50, i)); err != nil { // keys 50..400 straddle the 200 boundary
+			t.Fatal(err)
+		}
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preTS = ts
+	}
+	for _, wk := range cl.Workers {
+		if err := wk.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Workers[0].Crash()
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := expr.FullKeyRange()
+	low := expr.KeyRange{Lo: full.Lo, Hi: 200}
+	high := expr.KeyRange{Lo: 200, Hi: full.Hi}
+	w.SetObjectSegments(1, []int64{200}, worker.ObjNeedsRecovery, 0)
+
+	c := dialWorker(t, cl, 0)
+	scan := func(vis exec.Visibility, ts tuple.Timestamp, rng expr.KeyRange) *wire.Msg {
+		if err := c.Send(&wire.Msg{Type: wire.MsgScan, Txn: 901, Table: 1,
+			Vis: uint8(vis), TS: int64(ts), KeyLo: rng.Lo, KeyHi: rng.Hi}); err != nil {
+			t.Fatal(err)
+		}
+		return recvTerminal(t, c)
+	}
+
+	// The low segment finishes its historical copy through preTS; the high
+	// segment hasn't started. Only reads confined to the low range serve.
+	w.SetSegmentState(1, low, worker.ObjHistoricalCopy, preTS)
+	if m := scan(exec.Historical, preTS, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgScanEnd {
+		t.Fatalf("historical scan of the copied segment answered %v (%s), want a served stream", m.Type, m.Text)
+	}
+	if m := scan(exec.Historical, preTS, expr.KeyRange{Lo: 200, Hi: 400}); m.Type != wire.MsgErr {
+		t.Fatalf("historical scan of the uncopied segment answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Historical, preTS, full); m.Type != wire.MsgErr {
+		t.Fatalf("full-range historical scan answered %v, want refusal (one segment lags)", m.Type)
+	}
+	if m := scan(exec.Historical, preTS+1, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgErr {
+		t.Fatalf("historical scan past the segment's horizon answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Current, preTS, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgErr {
+		t.Fatalf("current scan of a HistoricalCopy segment answered %v, want refusal", m.Type)
+	}
+
+	// A refused range-declared read faults in exactly that range. Installing
+	// the hook also replays the ranges the scans above buffered while no
+	// driver was attached, so drain until the declared range shows up.
+	type faultIn struct {
+		table int32
+		rng   expr.KeyRange
+	}
+	faulted := make(chan faultIn, 16)
+	w.SetFaultInHook(func(table int32, rng expr.KeyRange) { faulted <- faultIn{table, rng} })
+	_ = scan(exec.Historical, preTS, expr.KeyRange{Lo: 200, Hi: 400})
+	sawRange := false
+	deadline := time.After(2 * time.Second)
+	for !sawRange {
+		select {
+		case f := <-faulted:
+			if f.table != 1 {
+				t.Fatalf("fault-in hook fired for table %d, want 1", f.table)
+			}
+			if (f.rng == expr.KeyRange{Lo: 200, Hi: 400}) {
+				sawRange = true
+			}
+		case <-deadline:
+			t.Fatal("no fault-in carried the declared range [200,400)")
+		}
+	}
+	w.SetFaultInHook(nil)
+
+	// Catchup with a drained horizon ≥ the start timestamp serves current
+	// reads on that segment; a later start timestamp still refuses.
+	w.SetSegmentState(1, low, worker.ObjCatchup, preTS)
+	if m := scan(exec.Current, preTS, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgScanEnd {
+		t.Fatalf("current scan of a drained Catchup segment answered %v (%s), want a served stream", m.Type, m.Text)
+	}
+	if m := scan(exec.Current, preTS+1, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgErr {
+		t.Fatalf("current scan starting past the drain horizon answered %v, want refusal", m.Type)
+	}
+	if m := scan(exec.Current, 0, expr.KeyRange{Lo: 0, Hi: 200}); m.Type != wire.MsgErr {
+		t.Fatalf("current scan with no start timestamp answered %v, want refusal", m.Type)
+	}
+
+	// Both segments Ready: the full range serves again and the ping bitmap
+	// carries one entry per segment.
+	w.SetSegmentState(1, low, worker.ObjReady, preTS)
+	w.SetSegmentState(1, high, worker.ObjReady, preTS)
+	if m := scan(exec.Current, 0, full); m.Type != wire.MsgScanEnd {
+		t.Fatalf("full-range current scan after both segments Ready answered %v (%s), want a served stream", m.Type, m.Text)
+	} else if m.Count != 8 {
+		t.Fatalf("full-range scan returned %d rows, want 8", m.Count)
+	}
+	_, ready, objs := comm.PingObjects(w.Addr(), time.Second)
+	if !ready {
+		t.Fatal("ping: site with all segments Ready must advertise readiness")
+	}
+	if len(objs) != 2 || objs[0].Lo != low.Lo || objs[0].Hi != 200 || objs[1].Lo != 200 || objs[1].Hi != high.Hi {
+		t.Fatalf("ping bitmap segments: %+v", objs)
+	}
+}
+
+// TestCreateTableMidRecoverySeedsReady pins the fix for tables created while
+// the site is still recovering from a dirty start: a table that did not
+// exist at the crash cannot be missing acknowledged commits, so it must come
+// up Ready and serve immediately — the old seeding demoted it with
+// everything else, refusing reads of brand-new empty tables for the whole
+// recovery window.
+func TestCreateTableMidRecoverySeedsReady(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(1, mk(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Workers[0].Crash()
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := w.ObjectState(1); st != worker.ObjNeedsRecovery {
+		t.Fatalf("pre-crash table: state = %v, want NeedsRecovery", st)
+	}
+	if err := w.CreateTable(2, testDesc(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := w.ObjectState(2); st != worker.ObjReady {
+		t.Fatalf("mid-recovery CreateTable seeded state %v, want Ready", st)
+	}
+	c := dialWorker(t, cl, 0)
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Txn: 902, Table: 2,
+		Vis: uint8(exec.Current)}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvTerminal(t, c); m.Type != wire.MsgScanEnd {
+		t.Fatalf("scan of a mid-recovery-created table answered %v (%s), want a served (empty) stream", m.Type, m.Text)
 	}
 }
 

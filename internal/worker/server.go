@@ -77,27 +77,66 @@ func (s *Site) noteTableRead(table int32) {
 	s.reg.Counter(obs.Name("worker.table.reads", "table", strconv.Itoa(int(table)))).Add(1)
 }
 
-// objectReadable decides whether a scan may be served from one object given
-// its recovery state. A Ready object always serves. A recovering object can
+// scanRange extracts the key range a scan request declares it will touch
+// (KeyLo/KeyHi on the message). An unset range — both zero, which as a real
+// range would be empty — means the caller predates range-aware routing or
+// genuinely scans everything: the full range, the conservative reading.
+func scanRange(m *wire.Msg) expr.KeyRange {
+	if m.KeyLo == 0 && m.KeyHi == 0 {
+		return expr.FullKeyRange()
+	}
+	return expr.KeyRange{Lo: m.KeyLo, Hi: m.KeyHi}
+}
+
+// objectReadable decides whether a scan may be served given the recovery
+// states of the segments its key range intersects — segments the scan never
+// touches cannot affect its result and are ignored, which is the whole
+// point of segment-granular states: a recovered hot range serves while the
+// rest of its table still copies.
+//
+// Per intersecting segment: Ready always serves. A recovering segment can
 // serve a historical read asOf A once its copy horizon covers A: after the
 // Phase 1 rewind the object IS the snapshot at its checkpoint, and every
 // tuple Phase 2/3 adds carries an insertion (or deletion) time above the
 // durably-copied horizon — invisible at A — so contents at or below
-// copiedThrough are byte-identical to a healthy replica's. Anything else is
-// refused; the refusal also fires the fault-in hook so the recovery driver
-// promotes the object the query wanted.
-func (s *Site) objectReadable(table int32, vis exec.Visibility, asOf tuple.Timestamp) error {
-	st, copied := s.ObjectState(table)
-	if st == ObjReady {
-		return nil
+// copiedThrough are byte-identical to a healthy replica's. A segment in
+// Catchup whose locked copy has drained (copiedThrough advanced to the
+// drain horizon) additionally serves *current* reads whose coordinator-
+// assigned start timestamp is ≤ that horizon: the buddy table locks freeze
+// commits for the rest of Phase 3, so the drained contents equal a healthy
+// replica's at any such timestamp. Anything else is refused; any
+// not-yet-Ready intersecting segment (served or not) fires the fault-in
+// hook with the scan's range so the recovery driver pulls that segment
+// forward.
+func (s *Site) objectReadable(table int32, vis exec.Visibility, asOf tuple.Timestamp, rng expr.KeyRange) error {
+	var refused *SegmentStatus
+	recovering := false
+	segs := s.ObjectSegments(table)
+	for i := range segs {
+		seg := &segs[i]
+		if seg.Range.Intersect(rng).Empty() {
+			continue
+		}
+		if seg.State == ObjReady {
+			continue
+		}
+		recovering = true
+		covered := asOf > 0 && asOf <= seg.CopiedThrough
+		servable := covered &&
+			((vis == exec.Historical && (seg.State == ObjHistoricalCopy || seg.State == ObjCatchup)) ||
+				(vis == exec.Current && seg.State == ObjCatchup))
+		if !servable && refused == nil {
+			refused = seg
+		}
 	}
-	s.requestFaultIn(table)
-	if vis == exec.Historical && asOf > 0 && asOf <= copied &&
-		(st == ObjHistoricalCopy || st == ObjCatchup) {
-		return nil
+	if recovering {
+		s.requestFaultIn(table, rng)
 	}
-	return fmt.Errorf("worker: site %d object %d is recovering (state %v, copied through %d); cannot serve read asOf %d",
-		s.Cfg.Site, table, st, copied, asOf)
+	if refused != nil {
+		return fmt.Errorf("worker: site %d object %d segment [%d,%d) is recovering (state %v, copied through %d); cannot serve read asOf %d",
+			s.Cfg.Site, table, refused.Range.Lo, refused.Range.Hi, refused.State, refused.CopiedThrough, asOf)
+	}
+	return nil
 }
 
 // phaseHandlers is the worker half of the commit-protocol engine: the
@@ -210,7 +249,7 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 
 	case wire.MsgScan:
 		s.noteTableRead(m.Table)
-		if err := s.objectReadable(m.Table, exec.Visibility(m.Vis), tuple.Timestamp(m.TS)); err != nil {
+		if err := s.objectReadable(m.Table, exec.Visibility(m.Vis), tuple.Timestamp(m.TS), scanRange(m)); err != nil {
 			return errMsg(err)
 		}
 		s.getTxn(m.Txn, true)
@@ -229,9 +268,13 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		// is per object: a Ready object on a still-recovering site is a
 		// legitimate source (its catch-up ran to completion).
 		s.noteTableRead(m.Table)
-		if st, _ := s.ObjectState(m.Table); st != ObjReady {
-			s.requestFaultIn(m.Table)
-			return errMsg(fmt.Errorf("worker: site %d object %d rejoined from a crash and has not completed recovery (state %v); not a valid recovery source", s.Cfg.Site, m.Table, st))
+		for _, seg := range s.ObjectSegments(m.Table) {
+			if seg.Range.Intersect(scanRange(m)).Empty() || seg.State == ObjReady {
+				continue
+			}
+			s.requestFaultIn(m.Table, scanRange(m))
+			return errMsg(fmt.Errorf("worker: site %d object %d segment [%d,%d) rejoined from a crash and has not completed recovery (state %v); not a valid recovery source",
+				s.Cfg.Site, m.Table, seg.Range.Lo, seg.Range.Hi, seg.State))
 		}
 		if err := s.streamRecoveryScan(c, m); err != nil {
 			return s.dataErr(err)

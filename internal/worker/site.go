@@ -17,6 +17,7 @@ import (
 	"harbor/internal/buffer"
 	"harbor/internal/catalog"
 	"harbor/internal/comm"
+	"harbor/internal/expr"
 	"harbor/internal/lockmgr"
 	"harbor/internal/obs"
 	"harbor/internal/storage"
@@ -144,8 +145,12 @@ type Site struct {
 	// On-demand fault-in (see objstate.go): the recovery driver's promote
 	// hook and the per-table dedup set.
 	faultMu     sync.Mutex
-	faultInHook func(table int32)
+	faultInHook func(table int32, rng expr.KeyRange)
 	faultBusy   map[int32]bool
+	// pendingFaults buffers fault-in ranges recorded while no hook is
+	// attached; replayed (and cleared) at the next SetFaultInHook so the
+	// driver sees pre-attach read pressure.
+	pendingFaults map[int32][]expr.KeyRange
 
 	// failNextPrepare makes the next PREPARE vote NO (abort-path tests).
 	failNextPrepare atomic.Bool
@@ -283,10 +288,12 @@ func Open(cfg Config) (*Site, error) {
 func (s *Site) Addr() string { return s.server.Addr() }
 
 // CreateTable creates a local replica of a table. The new object seeds
-// Ready on a cleanly-started site; on an incarnation that rejoined from a
-// crash it seeds NeedsRecovery — such tables are created by the recovery
-// driver for replicas the catalog assigns here, and hold nothing until the
-// driver copies them from a buddy.
+// Ready regardless of which incarnation creates it: a table created NOW
+// cannot predate the crash, so it is trivially complete (empty). The
+// recovery driver demotes the objects it actually needs to repopulate
+// (missing replicas it just created included) explicitly — seeding
+// NeedsRecovery here only wedged tables created mid-recovery by ordinary
+// DDL, which no driver ever promoted.
 func (s *Site) CreateTable(id int32, desc *tuple.Desc, segPages int32) error {
 	if _, err := s.Mgr.Create(id, desc, segPages); err != nil {
 		return err
@@ -297,11 +304,7 @@ func (s *Site) CreateTable(id int32, desc *tuple.Desc, segPages int32) error {
 		if s.objs == nil {
 			s.objs = map[int32]objStatus{}
 		}
-		st := ObjReady
-		if s.startedDirty {
-			st = ObjNeedsRecovery
-		}
-		s.objs[id] = objStatus{state: st}
+		s.objs[id] = objStatus{segs: []segStatus{fullSeg(ObjReady, 0)}}
 		data = s.renderObjStatesLocked()
 	}
 	s.objMu.Unlock()
@@ -353,6 +356,13 @@ func (s *Site) Close() error {
 
 // Crashed reports whether the site has fail-stopped.
 func (s *Site) Crashed() bool { return s.crashed.Load() }
+
+// SetCrashedForTest overrides the crashed flag without tearing anything
+// down. Production code never clears the flag (a crashed Site is replaced
+// by a new incarnation), so tests that need to observe behavior across a
+// crash-then-recover transition on ONE incarnation — e.g. that a background
+// scrubber skips ticks while crashed and resumes after — use this instead.
+func (s *Site) SetCrashedForTest(v bool) { s.crashed.Store(v) }
 
 // FailNextPrepare arms the abort-path test hook: the next PREPARE received
 // votes NO (simulating a consistency-constraint violation, §4.3).
