@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-scan bench-agg bench-recovery chaos soak smoke
+.PHONY: all build test race vet check bench bench-scan bench-agg bench-recovery bench-rebalance chaos soak smoke
 
 all: check
 
@@ -54,6 +54,13 @@ bench-agg:
 # Regenerates BENCH_recovery.json.
 bench-recovery:
 	$(GO) run ./cmd/harbor-bench recovery | tee BENCH_recovery.json
+
+# Online scale-out through the segment-transfer engine: a packed 4-site
+# placement rebalanced to 6 then 8 sites with core.Migrate, measuring
+# scan and commit throughput at each stage. Regenerates
+# BENCH_rebalance.json.
+bench-rebalance:
+	$(GO) run ./cmd/harbor-bench rebalance | tee BENCH_rebalance.json
 
 # Boots a standalone worker with -debug-addr and validates the
 # /debug/harbor observability endpoint's JSON shape.

@@ -14,6 +14,7 @@
 //	harbor-bench scan [-rows 100000] [-iters 3]
 //	harbor-bench agg [-rows 100000] [-iters 5]
 //	harbor-bench recovery [-rows 100000] [-objects 4]
+//	harbor-bench rebalance [-rows 64000] [-seconds 6]
 //	harbor-bench all
 //
 // Absolute numbers depend on the host (fsync latency, loopback RTT, core
@@ -83,6 +84,16 @@ func main() {
 		err = runAgg(*rows, *iters)
 	case "recovery":
 		err = runRecovery(*rows, *objects)
+	case "rebalance":
+		r := *rows
+		if r == 100000 { // flag default is the scan bench's cardinality
+			r = 64000
+		}
+		s := *seconds
+		if s == 12 { // flag default is fig67's timeline length
+			s = 6
+		}
+		err = runRebalance(r, s)
 	case "all":
 		err = runAll(parseInts(*concList), *txns, *segments, int32(*segPages), time.Duration(*seconds)*time.Second)
 	default:
@@ -96,7 +107,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|agg|recovery|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: harbor-bench <table42|table41|protocols|fig62|fig63|fig64|fig65|fig66|fig67|scan|agg|recovery|rebalance|all> [flags]`)
 }
 
 func parseInts(s string) []int {

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harbor/internal/catalog"
+	"harbor/internal/coord"
+	"harbor/internal/core"
+	"harbor/internal/expr"
+	"harbor/internal/sim"
+	"harbor/internal/testutil"
+	"harbor/internal/tuple"
+	"harbor/internal/txn"
+	"harbor/internal/worker"
+)
+
+// The rebalance bench measures what online scale-out buys: one table split
+// into rebalParts key partitions, each 2-way replicated, starts packed onto
+// 4 sites; core.Migrate then spreads the same partitions over 6 and then 8
+// sites while the cluster serves, and at each stage the bench measures
+// aggregate scan throughput (concurrent full-table historical scans) and
+// commit throughput (concurrent single-update streams over random keys).
+// Every byte of data movement goes through the segment-transfer engine —
+// the 6- and 8-site placements exist only because Migrate built them.
+//
+// Per-site pool frames are deliberately sized so a 4-site placement's
+// per-site share (half the table, both replicas counted) overflows the
+// buffer pool while an 8-site share fits: the scaling measured is the
+// warehouse effect of scale-out — the working set drops back into memory —
+// not raw parallelism, which a single bench host could not exhibit anyway.
+const (
+	rebalParts       = 8
+	rebalReplicas    = 2
+	rebalScanClients = 4
+	rebalCommitConc  = 4
+	rebalSegPages    = 64
+)
+
+// rebalStage is one placement's measurement in the scale-out bench output.
+type rebalStage struct {
+	Sites          int     `json:"sites"`
+	MigratedRanges int     `json:"migrated_ranges"`
+	MigratedRows   int     `json:"migrated_rows"`
+	MigrateMS      float64 `json:"migrate_ms"`
+	Scans          int     `json:"scans"`
+	ScanRowsPerSec float64 `json:"scan_rows_per_sec"`
+	Commits        int     `json:"commits"`
+	CommitTPS      float64 `json:"commit_tps"`
+}
+
+// rebalSite maps partition p's replica r to a worker index under an n-site
+// placement: primaries stride the ring, the buddy lands one site over.
+func rebalSite(p, r, n int) int { return (p + r) % n }
+
+// rebalBounds returns the partition bounds: rebalParts+1 ascending keys with
+// the outer bounds unbounded so the partitions cover the full key space.
+func rebalBounds(rows int) []int64 {
+	full := expr.FullKeyRange()
+	bounds := make([]int64, rebalParts+1)
+	bounds[0] = full.Lo
+	for p := 1; p < rebalParts; p++ {
+		bounds[p] = int64(p * (rows / rebalParts))
+	}
+	bounds[rebalParts] = full.Hi
+	return bounds
+}
+
+// runRebalance builds the 4-site packed placement, preloads it, then walks
+// the 4 → 6 → 8 scale-out, measuring at each stage. Emits
+// BENCH_rebalance.json-shaped JSON on stdout.
+func runRebalance(rows, seconds int) error {
+	if rows < rebalParts*1000 {
+		rows = rebalParts * 1000
+	}
+	rows -= rows % rebalParts
+	measure := time.Duration(seconds) * time.Second / 6 // 3 stages × 2 metrics
+	if measure < 500*time.Millisecond {
+		measure = 500 * time.Millisecond
+	}
+	dir := tmp()
+	defer os.RemoveAll(dir)
+	// Pool sizing: a 4-site placement puts rows/2 of the table's rows on
+	// each site (4 partition replicas of rows/8 each, ~rows/106 pages at
+	// 53 rows/page); an 8-site placement halves that. Size the pool so the
+	// 8-site per-site share fits with ~25% headroom (commit windows grow
+	// the heap a little) while the 4-site share overflows it roughly 2x —
+	// scale-out then shows up as the working set dropping into memory.
+	poolFrames := rows / 170
+	if poolFrames < 256 {
+		poolFrames = 256
+	}
+	cl, err := testutil.NewCluster(testutil.ClusterConfig{
+		Workers:     4,
+		Protocol:    txn.OptThreePC,
+		Mode:        worker.HARBOR,
+		BaseDir:     dir,
+		PoolFrames:  poolFrames,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	desc := sim.BenchDesc()
+	bounds := rebalBounds(rows)
+	partRange := func(p int) expr.KeyRange {
+		return expr.KeyRange{Lo: bounds[p], Hi: bounds[p+1]}
+	}
+
+	// The packed placement: every partition replica on the first 4 sites.
+	spec := &catalog.TableSpec{ID: 1, Name: "t1", Desc: desc, SegPages: rebalSegPages}
+	var reps []catalog.Replica
+	for p := 0; p < rebalParts; p++ {
+		for r := 0; r < rebalReplicas; r++ {
+			reps = append(reps, catalog.Replica{
+				Site:     testutil.WorkerSiteID(rebalSite(p, r, 4)),
+				Table:    1,
+				Range:    partRange(p),
+				SegPages: rebalSegPages,
+			})
+		}
+	}
+	if err := cl.Coord.CreateTable(spec, reps...); err != nil {
+		return err
+	}
+
+	// Preload each site with exactly the partitions its replicas cover.
+	const chunk = 8192
+	for wi := 0; wi < 4; wi++ {
+		tb, err := cl.Workers[wi].Mgr.Get(1)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < rebalParts; p++ {
+			held := false
+			for r := 0; r < rebalReplicas; r++ {
+				held = held || rebalSite(p, r, 4) == wi
+			}
+			if !held {
+				continue
+			}
+			lo, hi := p*(rows/rebalParts), (p+1)*(rows/rebalParts)
+			for klo := lo; klo < hi; klo += chunk {
+				n := hi - klo
+				if n > chunk {
+					n = chunk
+				}
+				batch := make([]tuple.Tuple, n)
+				for i := 0; i < n; i++ {
+					tp := sim.BenchTuple(desc, int64(klo+i))
+					tp.SetInsTS(1)
+					batch[i] = tp
+				}
+				if _, err := tb.Heap.BulkLoadSegment(batch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cl.Coord.Authority.Advance(2)
+	for _, w := range cl.Workers {
+		w.SeedAppliedTS(2)
+		if err := w.CheckpointNow(); err != nil {
+			return err
+		}
+		if err := w.Mgr.RebuildIndexes(); err != nil {
+			return err
+		}
+	}
+
+	out := struct {
+		Bench            string       `json:"bench"`
+		Rows             int          `json:"rows"`
+		Partitions       int          `json:"partitions"`
+		Replication      int          `json:"replication"`
+		PoolFrames       int          `json:"pool_frames_per_site"`
+		ScanClients      int          `json:"scan_clients"`
+		CommitStreams    int          `json:"commit_streams"`
+		Stages           []rebalStage `json:"stages"`
+		ScanScaling8v4   float64      `json:"scan_scaling_8v4"`
+		CommitScaling8v4 float64      `json:"commit_scaling_8v4"`
+	}{
+		Bench:         "rebalance",
+		Rows:          rows,
+		Partitions:    rebalParts,
+		Replication:   rebalReplicas,
+		PoolFrames:    poolFrames,
+		ScanClients:   rebalScanClients,
+		CommitStreams: rebalCommitConc,
+	}
+
+	for _, sites := range []int{4, 6, 8} {
+		st := rebalStage{Sites: sites}
+		if sites > len(cl.Workers) {
+			// Cold joiners first, then the placement diff through Migrate:
+			// every replica whose ring slot moves under the wider placement
+			// streams over (and its donor copy is withdrawn and purged).
+			for len(cl.Workers) < sites {
+				if _, err := cl.AddWorker(); err != nil {
+					return err
+				}
+			}
+			from := out.Stages[len(out.Stages)-1].Sites
+			t0 := time.Now()
+			for p := 0; p < rebalParts; p++ {
+				for r := 0; r < rebalReplicas; r++ {
+					oldW, newW := rebalSite(p, r, from), rebalSite(p, r, sites)
+					if oldW == newW {
+						continue
+					}
+					mst, err := core.Migrate(cl.Workers[newW], cl.Catalog, core.MigrateSpec{
+						Table:    1,
+						Range:    partRange(p),
+						DropFrom: testutil.WorkerSiteID(oldW),
+						SegPages: rebalSegPages,
+					}, core.Options{Parallel: true})
+					if err != nil {
+						return fmt.Errorf("migrating partition %d replica %d to worker %d: %w", p, r, newW, err)
+					}
+					st.MigratedRanges++
+					st.MigratedRows += mst.Phase2Inserts + mst.Phase3Inserts
+				}
+			}
+			st.MigrateMS = time.Since(t0).Seconds() * 1000
+		}
+
+		// Sanity: the placement must still serve the whole table exactly.
+		got, err := cl.Coord.Scan(1, coord.QueryOptions{Historical: true})
+		if err != nil {
+			return fmt.Errorf("%d-site placement scan: %w", sites, err)
+		}
+		if len(got) != rows {
+			return fmt.Errorf("%d-site placement scan returned %d rows, want %d", sites, len(got), rows)
+		}
+
+		st.Scans, st.ScanRowsPerSec, err = rebalScanThroughput(cl, measure)
+		if err != nil {
+			return fmt.Errorf("%d-site scan measurement: %w", sites, err)
+		}
+		st.Commits, st.CommitTPS, err = rebalCommitThroughput(cl, desc, rows, measure)
+		if err != nil {
+			return fmt.Errorf("%d-site commit measurement: %w", sites, err)
+		}
+		out.Stages = append(out.Stages, st)
+	}
+
+	first, last := out.Stages[0], out.Stages[len(out.Stages)-1]
+	if first.ScanRowsPerSec > 0 {
+		out.ScanScaling8v4 = last.ScanRowsPerSec / first.ScanRowsPerSec
+	}
+	if first.CommitTPS > 0 {
+		out.CommitScaling8v4 = last.CommitTPS / first.CommitTPS
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// rebalScanThroughput runs concurrent full-table historical scans for the
+// window and returns completed scans plus aggregate rows per second. The
+// counting sink keeps coordinator-side cost at a row-count increment, so the
+// measured rate is dominated by worker-side page reads — the cost the
+// placement actually changes.
+func rebalScanThroughput(cl *testutil.Cluster, window time.Duration) (int, float64, error) {
+	var (
+		scans    atomic.Int64
+		rowsRead atomic.Int64
+		firstErr atomic.Value
+	)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < rebalScanClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				n := 0
+				err := cl.Coord.ScanStream(1, coord.QueryOptions{Historical: true},
+					func(rows []tuple.Tuple) error {
+						n += len(rows)
+						return nil
+					})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				scans.Add(1)
+				rowsRead.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, 0, err
+	}
+	return int(scans.Load()), float64(rowsRead.Load()) / elapsed.Seconds(), nil
+}
+
+// rebalCommitThroughput runs concurrent single-update commit streams for
+// the window and returns committed transactions plus transactions per
+// second. Stream s draws uniformly from keys ≡ s (mod streams): every
+// stream spreads over all partitions (so the offered load lands on
+// whatever placement the stage built) but no two streams ever race on one
+// key — the bench measures throughput, not same-key conflict handling.
+func rebalCommitThroughput(cl *testutil.Cluster, desc *tuple.Desc, rows int, window time.Duration) (int, float64, error) {
+	var (
+		commits  atomic.Int64
+		firstErr atomic.Value
+	)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < rebalCommitConc; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s) + 1))
+			for time.Now().Before(deadline) {
+				key := rng.Int63n(int64(rows/rebalCommitConc))*rebalCommitConc + int64(s)
+				tx := cl.Coord.Begin()
+				if err := tx.UpdateKey(1, key, sim.BenchTuple(desc, key)); err != nil {
+					_ = tx.Abort()
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if _, err := tx.Commit(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, 0, err
+	}
+	return int(commits.Load()), float64(commits.Load()) / elapsed.Seconds(), nil
+}

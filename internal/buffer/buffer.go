@@ -370,6 +370,28 @@ func (bp *Pool) FlushAll() error {
 	return nil
 }
 
+// Discard drops one frame without flushing, if present and unpinned.
+// Callers use it when a page has been released back to the heap's free
+// list: the on-disk image is already durable (and empty), so the resident
+// frame is pure waste. A pinned frame is left alone — its contents match
+// the empty on-disk image, so a straggling reader sees nothing stale.
+func (bp *Pool) Discard(pid page.ID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[pid]
+	if !ok {
+		return true
+	}
+	f.mu.Lock()
+	pinned := f.pins > 0
+	f.mu.Unlock()
+	if pinned {
+		return false
+	}
+	delete(bp.frames, pid)
+	return true
+}
+
 // DiscardAll drops every frame without flushing — the crash hook.
 func (bp *Pool) DiscardAll() {
 	bp.mu.Lock()

@@ -47,14 +47,19 @@ type RecoverySource struct {
 	Pred  expr.KeyRange
 }
 
-// Catalog is the cluster layout. It is immutable after construction except
-// for table registration (CreateTable flows) and is safe for concurrent use.
+// Catalog is the cluster layout. Placement is a versioned, mutable
+// per-segment map: table registration (CreateTable flows) and replica
+// placement changes (node join, segment rebalancing) each bump the
+// placement version, which the coordinator resolves read plans against —
+// a plan built at version v is stale once the version moves. Safe for
+// concurrent use.
 type Catalog struct {
 	mu       sync.RWMutex
 	sites    map[SiteID]string // address
 	tables   map[int32]*TableSpec
 	replicas map[int32][]Replica
 	coord    SiteID
+	version  int64 // placement version; bumped by every placement mutation
 }
 
 // New creates an empty catalog with the given coordinator site.
@@ -118,7 +123,100 @@ func (c *Catalog) AddTable(spec *TableSpec, replicas ...Replica) error {
 	}
 	c.tables[spec.ID] = spec
 	c.replicas[spec.ID] = append([]Replica(nil), replicas...)
+	c.version++
 	return nil
+}
+
+// PlacementVersion returns the current placement version. Read plans record
+// it; a mismatch later means the plan was resolved against stale placement.
+func (c *Catalog) PlacementVersion() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// AddReplicaRange registers a new replica range (a migration target that
+// finished its locked catch-up, or a joined site's assignment) and returns
+// the new placement version. Adding a range the site already holds exactly
+// is idempotent.
+func (c *Catalog) AddReplicaRange(r Replica) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sites[r.Site]; !ok {
+		return c.version, fmt.Errorf("catalog: replica on unknown site %d", r.Site)
+	}
+	if _, ok := c.tables[r.Table]; !ok {
+		return c.version, fmt.Errorf("catalog: replica of unknown table %d", r.Table)
+	}
+	if r.Range.Empty() {
+		return c.version, fmt.Errorf("catalog: empty replica range %v", r.Range)
+	}
+	for _, have := range c.replicas[r.Table] {
+		if have.Site == r.Site && have.Range == r.Range {
+			return c.version, nil
+		}
+	}
+	c.replicas[r.Table] = append(c.replicas[r.Table], r)
+	c.version++
+	return c.version, nil
+}
+
+// RemoveReplicaRange withdraws `rng` from a site's replicas of a table (the
+// donor half of a segment move) and returns the new placement version. The
+// removal is refused with ErrKSafetyExceeded when the remaining replicas
+// cannot cover the withdrawn range — placement changes must never drop the
+// last copy of a key.
+func (c *Catalog) RemoveReplicaRange(site SiteID, table int32, rng expr.KeyRange) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rng.Empty() {
+		return c.version, nil
+	}
+	var kept []Replica
+	var cands []RangeCandidate
+	changed := false
+	for _, r := range c.replicas[table] {
+		if r.Site != site || r.Range.Intersect(rng).Empty() {
+			kept = append(kept, r)
+			cands = append(cands, RangeCandidate{Site: r.Site, Table: r.Table, Range: r.Range})
+			continue
+		}
+		changed = true
+		// Subtract rng, keeping the flanks.
+		for _, piece := range subtractRange(r.Range, rng) {
+			p := r
+			p.Range = piece
+			kept = append(kept, p)
+			cands = append(cands, RangeCandidate{Site: p.Site, Table: p.Table, Range: p.Range})
+		}
+	}
+	if !changed {
+		return c.version, nil
+	}
+	if _, err := CoverTarget(rng, cands); err != nil {
+		return c.version, fmt.Errorf("catalog: removing [%d,%d) of table %d from site %d: %w",
+			rng.Lo, rng.Hi, table, site, err)
+	}
+	c.replicas[table] = kept
+	c.version++
+	return c.version, nil
+}
+
+// subtractRange returns r minus cut: zero, one, or two non-empty flanks.
+func subtractRange(r, cut expr.KeyRange) []expr.KeyRange {
+	var out []expr.KeyRange
+	left := expr.KeyRange{Lo: r.Lo, Hi: cut.Lo}
+	if !left.Empty() && left.Hi > left.Lo {
+		out = append(out, left)
+	}
+	full := expr.FullKeyRange()
+	if cut.Hi != full.Hi {
+		right := expr.KeyRange{Lo: cut.Hi, Hi: r.Hi}
+		if !right.Empty() {
+			out = append(out, right)
+		}
+	}
+	return out
 }
 
 // Table returns a table spec.

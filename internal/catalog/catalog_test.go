@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -246,5 +247,185 @@ func TestQuickRecoveryPlanSound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- CoverTarget edge cases ---
+
+func cand(site SiteID, lo, hi int64) RangeCandidate {
+	return RangeCandidate{Site: site, Table: 1, Range: expr.KeyRange{Lo: lo, Hi: hi}}
+}
+
+// A zero-coverage gap must surface as the typed K-safety error, never as a
+// silent partial plan: a caller that scanned the partial cover would read a
+// hole without knowing it.
+func TestCoverTargetGapIsTypedError(t *testing.T) {
+	plan, err := CoverTarget(expr.KeyRange{Lo: 0, Hi: 100},
+		[]RangeCandidate{cand(1, 0, 40), cand(2, 60, 100)})
+	if !errors.Is(err, ErrKSafetyExceeded) {
+		t.Fatalf("gap at [40,60): err = %v, want ErrKSafetyExceeded", err)
+	}
+	if plan != nil {
+		t.Fatalf("gap returned a partial plan %v alongside the error", plan)
+	}
+	// The gap is reported even when it sits at the very first key.
+	if _, err := CoverTarget(expr.KeyRange{Lo: 0, Hi: 10},
+		[]RangeCandidate{cand(1, 10, 20)}); !errors.Is(err, ErrKSafetyExceeded) {
+		t.Fatalf("uncovered target.Lo: err = %v, want ErrKSafetyExceeded", err)
+	}
+	// A candidate ending exactly at the cursor does not cover it ([lo,hi)
+	// is half-open): [0,40) + [40 exactly) seam is fine, but a candidate
+	// [,0) contributes nothing at cursor 0.
+	if _, err := CoverTarget(expr.KeyRange{Lo: 0, Hi: 10},
+		[]RangeCandidate{cand(1, -10, 0)}); !errors.Is(err, ErrKSafetyExceeded) {
+		t.Fatalf("candidate ending at target.Lo: err = %v, want ErrKSafetyExceeded", err)
+	}
+}
+
+// Adjacent segments meeting at exact bounds compose into a seamless cover:
+// mutually exclusive predicates whose union is exactly the target.
+func TestCoverTargetExactSeams(t *testing.T) {
+	plan, err := CoverTarget(expr.KeyRange{Lo: 0, Hi: 100},
+		[]RangeCandidate{cand(1, 0, 50), cand(2, 50, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d sources, want 2: %v", len(plan), plan)
+	}
+	want := []expr.KeyRange{{Lo: 0, Hi: 50}, {Lo: 50, Hi: 100}}
+	for i, src := range plan {
+		if src.Pred != want[i] {
+			t.Fatalf("source %d pred = %v, want %v", i, src.Pred, want[i])
+		}
+	}
+	// Seams survive a target that starts/ends strictly inside candidates.
+	plan, err = CoverTarget(expr.KeyRange{Lo: 25, Hi: 75},
+		[]RangeCandidate{cand(1, 0, 50), cand(2, 50, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 || plan[0].Pred != (expr.KeyRange{Lo: 25, Hi: 50}) ||
+		plan[1].Pred != (expr.KeyRange{Lo: 50, Hi: 75}) {
+		t.Fatalf("interior target plan = %v, want [25,50)+[50,75)", plan)
+	}
+}
+
+// One site holding the full range covers any target with a single source
+// whose predicate is exactly the target.
+func TestCoverTargetSingleFullCover(t *testing.T) {
+	full := expr.FullKeyRange()
+	plan, err := CoverTarget(full, []RangeCandidate{{Site: 3, Table: 1, Range: full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Buddy != 3 || plan[0].Pred != full {
+		t.Fatalf("full-range cover = %v, want one source with the full predicate", plan)
+	}
+	plan, err = CoverTarget(expr.KeyRange{Lo: 7, Hi: 9},
+		[]RangeCandidate{{Site: 3, Table: 1, Range: full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Pred != (expr.KeyRange{Lo: 7, Hi: 9}) {
+		t.Fatalf("narrow target under full cover = %v, want single [7,9) source", plan)
+	}
+	// Empty target: trivially covered by nothing.
+	if plan, err := CoverTarget(expr.KeyRange{Lo: 5, Hi: 5}, nil); err != nil || plan != nil {
+		t.Fatalf("empty target: plan=%v err=%v, want nil/nil", plan, err)
+	}
+}
+
+// The greedy cover prefers the candidate extending furthest at each cursor,
+// minimizing the number of sources (and thus transfer streams).
+func TestCoverTargetPrefersFurthest(t *testing.T) {
+	plan, err := CoverTarget(expr.KeyRange{Lo: 0, Hi: 100}, []RangeCandidate{
+		cand(1, 0, 30), cand(2, 0, 80), cand(3, 30, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 || plan[0].Buddy != 2 || plan[1].Buddy != 3 {
+		t.Fatalf("plan = %v, want site 2 [0,80) then site 3 [80,100)", plan)
+	}
+	if plan[0].Pred != (expr.KeyRange{Lo: 0, Hi: 80}) ||
+		plan[1].Pred != (expr.KeyRange{Lo: 80, Hi: 100}) {
+		t.Fatalf("plan preds = %v/%v, want [0,80)/[80,100)", plan[0].Pred, plan[1].Pred)
+	}
+}
+
+// --- versioned placement mutations ---
+
+// AddReplicaRange/RemoveReplicaRange bump the placement version exactly
+// when they change placement; routing epochs hang off this number, so a
+// no-op mutating call must NOT invalidate every in-flight plan.
+func TestPlacementVersioning(t *testing.T) {
+	c := fullRangeCluster(t, 3, 0, 1)
+	v0 := c.PlacementVersion()
+	half := expr.KeyRange{Lo: 0, Hi: expr.FullKeyRange().Hi}
+
+	v1, err := c.AddReplicaRange(Replica{Site: 2, Table: 1, Range: half, SegPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v0+1 {
+		t.Fatalf("add bumped version %d -> %d, want +1", v0, v1)
+	}
+	// Idempotent re-add: no change, no bump.
+	if v, err := c.AddReplicaRange(Replica{Site: 2, Table: 1, Range: half, SegPages: 4}); err != nil || v != v1 {
+		t.Fatalf("idempotent re-add: v=%d err=%v, want v=%d nil", v, err, v1)
+	}
+	// Validation failures leave the version alone.
+	if _, err := c.AddReplicaRange(Replica{Site: 9, Table: 1, Range: half}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := c.AddReplicaRange(Replica{Site: 2, Table: 9, Range: half}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := c.AddReplicaRange(Replica{Site: 2, Table: 1, Range: expr.KeyRange{Lo: 5, Hi: 5}}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if v := c.PlacementVersion(); v != v1 {
+		t.Fatalf("failed adds moved the version to %d, want %d", v, v1)
+	}
+
+	// Removing the new site's half is fine (sites 0 and 1 still cover it)…
+	v2, err := c.RemoveReplicaRange(2, 1, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1+1 {
+		t.Fatalf("remove bumped version %d -> %d, want +1", v1, v2)
+	}
+	// …and removing a range the site does not hold is a versionless no-op.
+	if v, err := c.RemoveReplicaRange(2, 1, half); err != nil || v != v2 {
+		t.Fatalf("no-op remove: v=%d err=%v, want v=%d nil", v, err, v2)
+	}
+}
+
+// RemoveReplicaRange must refuse to drop the last copy of any key — the
+// donor-side half of a migration can only run after the target's copy is
+// registered.
+func TestRemoveReplicaRangeKeepsLastCopy(t *testing.T) {
+	c := fullRangeCluster(t, 2, 0)
+	full := expr.FullKeyRange()
+	if _, err := c.RemoveReplicaRange(0, 1, full); !errors.Is(err, ErrKSafetyExceeded) {
+		t.Fatalf("dropping the last full copy: err = %v, want ErrKSafetyExceeded", err)
+	}
+	// A partial drop that leaves a hole is refused too: site 1 covers only
+	// the low half, so withdrawing site 0's full range would orphan the rest.
+	if _, err := c.AddReplicaRange(Replica{Site: 1, Table: 1, Range: expr.KeyRange{Lo: full.Lo, Hi: 0}, SegPages: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RemoveReplicaRange(0, 1, full); !errors.Is(err, ErrKSafetyExceeded) {
+		t.Fatalf("dropping with partial remaining cover: err = %v, want ErrKSafetyExceeded", err)
+	}
+	// Withdrawing exactly the half someone else still holds succeeds and
+	// keeps site 0's flank.
+	if _, err := c.RemoveReplicaRange(0, 1, expr.KeyRange{Lo: full.Lo, Hi: 0}); err != nil {
+		t.Fatal(err)
+	}
+	reps := c.ReplicasOn(0)
+	if len(reps) != 1 || reps[0].Range != (expr.KeyRange{Lo: 0, Hi: full.Hi}) {
+		t.Fatalf("post-remove replicas on site 0 = %v, want the [0,max] flank", reps)
 	}
 }

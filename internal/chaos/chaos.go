@@ -32,6 +32,7 @@ import (
 	"harbor/internal/coord"
 	"harbor/internal/core"
 	"harbor/internal/exec"
+	"harbor/internal/expr"
 	"harbor/internal/faultdisk"
 	"harbor/internal/faultnet"
 	"harbor/internal/page"
@@ -287,6 +288,29 @@ func (h *Harness) txnTimelines(id txn.ID) string {
 		write(fmt.Sprintf("worker %d", i), w.Trace().Dump(int64(id)))
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// heldRanges returns the key ranges the catalog placement assigns worker i
+// for a table. Full replication — every pre-existing scenario — yields one
+// full range per worker; the join/rebalance scenario leaves partial ones.
+func (h *Harness) heldRanges(i int, table int32) []expr.KeyRange {
+	var out []expr.KeyRange
+	for _, rep := range h.Cl.Catalog.ReplicasOn(testutil.WorkerSiteID(i)) {
+		if rep.Table == table {
+			out = append(out, rep.Range)
+		}
+	}
+	return out
+}
+
+// workerHolds reports whether worker i's placement covers one logical row.
+func (h *Harness) workerHolds(i int, k tkey) bool {
+	for _, rng := range h.heldRanges(i, k.table) {
+		if rng.Contains(k.key) {
+			return true
+		}
+	}
+	return false
 }
 
 // workerAddr returns the current listen address of worker i.
@@ -727,7 +751,14 @@ func (h *Harness) checkInvariants(res *Result) {
 			continue
 		}
 		replicas[i] = rep
+		// Invariants 1 and 2 apply to the rows the placement assigns this
+		// worker: a committed row it covers must be visible, a row it does
+		// not cover must not exist here at all (the donor purge after a
+		// segment move must actually have removed it).
 		for k, want := range expected {
+			if !h.workerHolds(i, k) {
+				continue
+			}
 			got, ok := rep[k]
 			if !ok {
 				h.violatef("invariant 1: committed row table=%d key=%d (val=%d ts=%d) missing on worker %d", k.table, k.key, want.val, want.ts, i)
@@ -738,24 +769,38 @@ func (h *Harness) checkInvariants(res *Result) {
 			}
 		}
 		for k, got := range rep {
+			if !h.workerHolds(i, k) {
+				h.violatef("invariant 2: worker %d still holds row table=%d key=%d (val=%d ts=%d) outside every range the placement assigns it", i, k.table, k.key, got.val, got.ts)
+				continue
+			}
 			if _, ok := expected[k]; !ok {
 				h.violatef("invariant 2: worker %d shows row table=%d key=%d (val=%d ts=%d) from a transaction that did not commit (or was deleted)", i, k.table, k.key, got.val, got.ts)
 			}
 		}
 	}
 	// invariant 3: replica convergence, checked pairwise against worker 0
-	// (independent of the expected-state model above).
+	// (independent of the expected-state model above) over the keys both
+	// placements cover — with partial replicas the raw row counts
+	// legitimately differ, but the shared coverage must agree exactly.
 	for i := 1; i < len(replicas); i++ {
 		if replicas[0] == nil || replicas[i] == nil {
 			continue
 		}
-		if len(replicas[0]) != len(replicas[i]) {
-			h.violatef("invariant 3: workers 0 and %d diverge: %d vs %d visible rows", i, len(replicas[0]), len(replicas[i]))
-			continue
-		}
 		for k, r0 := range replicas[0] {
+			if !h.workerHolds(i, k) || !h.workerHolds(0, k) {
+				continue
+			}
 			if ri, ok := replicas[i][k]; !ok || ri != r0 {
 				h.violatef("invariant 3: workers 0 and %d diverge at table=%d key=%d: (%v,%v) vs (%v,%v)", i, k.table, k.key, r0.val, r0.ts, ri.val, ri.ts)
+			}
+		}
+		for k := range replicas[i] {
+			if !h.workerHolds(0, k) || !h.workerHolds(i, k) {
+				continue
+			}
+			if _, ok := replicas[0][k]; !ok {
+				ri := replicas[i][k]
+				h.violatef("invariant 3: worker %d shows table=%d key=%d (%v,%v) that worker 0 (also covering it) misses", i, k.table, k.key, ri.val, ri.ts)
 			}
 		}
 	}
@@ -867,6 +912,12 @@ func (h *Harness) checkAggregates(expected map[tkey]repRow, hwm tuple.Timestamp)
 
 // scanReplica reads one worker's visible contents of both tables directly
 // (historical, unlocked, as of the final HWM) over a dedicated connection.
+// Each scan declares one of the worker's held key ranges: a full-range
+// declaration on a site whose coverage shrank would be refused as
+// placement-stale, exactly like a stale coordinator plan. The worker streams
+// its whole physical table either way (the declaration gates, it does not
+// filter), so rows lingering outside the held ranges still surface — and
+// the invariant checks flag them.
 func (h *Harness) scanReplica(i int, asOf tuple.Timestamp) (map[tkey]repRow, error) {
 	desc := chaosDesc()
 	c, err := comm.Dial(h.Cl.Workers[i].Addr())
@@ -876,10 +927,16 @@ func (h *Harness) scanReplica(i int, asOf tuple.Timestamp) (map[tkey]repRow, err
 	defer c.Close()
 	out := map[tkey]repRow{}
 	for _, table := range []int32{tableStreams, tableConsensus} {
+		held := h.heldRanges(i, table)
+		if len(held) == 0 {
+			continue // the placement assigns this worker nothing of the table
+		}
+		rng := held[0]
 		id := h.scanIDs.Next()
 		if err := c.Send(&wire.Msg{
 			Type: wire.MsgScan, Txn: id, Table: table,
 			Vis: uint8(exec.Historical), TS: asOf,
+			KeyLo: rng.Lo, KeyHi: rng.Hi,
 		}); err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,7 +67,92 @@ func Scenarios() []Scenario {
 	// run covers the claim; the per-protocol matrix above already stresses
 	// recovery under every plan.
 	out = append(out, InstantServe(txn.OptThreePC))
+	// join-rebalance drives the segment-transfer engine's second caller
+	// (Migrate) rather than crash recovery; the placement mechanics are
+	// protocol-independent, so one protocol's run covers it.
+	out = append(out, JoinRebalance(txn.OptThreePC))
 	return out
+}
+
+// JoinRebalance exercises online scale-out under fire: a cold fourth site
+// registers and core.Join streams every table onto it from live buddies
+// while the workload keeps committing — with a donor fail-stopped
+// mid-migration, so the engine's retry path must replan the transfer
+// against the survivors. After heal and recovery, the donor's coverage of
+// the streams table is split at its key median and the upper half is
+// withdrawn from it (moved to the least-loaded site), leaving a genuinely
+// partial placement: the donor must refuse scans planned against the old
+// placement (purge notes → coordinator replan) and the aftershock workload
+// plus all four invariants must hold over the mixed full/partial layout.
+func JoinRebalance(p txn.Protocol) Scenario {
+	return Scenario{
+		Name:     "join-rebalance-" + protoTag(p),
+		Protocol: p,
+		Workers:  3,
+		Drive: func(h *Harness) {
+			h.RunWorkload(4, 40, func() {
+				h.sleepMS(80, 150) // let the streams seed some rows first
+				// Register the cold site's directory on the disk seam
+				// before it opens any file, like Run does for the
+				// original workers.
+				ni := len(h.Cl.Workers)
+				dir := filepath.Join(h.Cl.Cfg.BaseDir,
+					fmt.Sprintf("site%d", testutil.WorkerSiteID(ni)))
+				h.Disk.Register(dir, fmt.Sprintf("w%d", ni))
+				w, err := h.Cl.AddWorker()
+				if err != nil {
+					h.violatef("join-rebalance: opening cold site: %v", err)
+					return
+				}
+				h.Net.Name(w.Addr(), fmt.Sprintf("w%d", ni))
+				// Throttle one donor so the transfer window is long enough
+				// to overlap the donor kill below.
+				bw := h.workerAddr(h.rng.Intn(ni))
+				h.Net.SetBandwidth(bw, 256<<10)
+				done := make(chan error, 1)
+				go func() {
+					done <- core.Join(w, h.Cl.Catalog, core.Options{Parallel: true})
+				}()
+				// Kill a donor mid-migration (never the last two: K-safety
+				// needs a live buddy for the retry to replan against).
+				h.sleepMS(20, 60)
+				h.CrashWorker(h.rng.Intn(ni))
+				err = <-done
+				h.Net.SetBandwidth(bw, 0)
+				if err != nil {
+					// One retry on a quiet cluster: the engine's own
+					// attempts may all have raced the crash window.
+					h.sleepMS(100, 200)
+					err = core.Join(w, h.Cl.Catalog, core.Options{Parallel: true})
+				}
+				if err != nil {
+					h.violatef("join-rebalance: join of site %d failed: %v", testutil.WorkerSiteID(ni), err)
+				}
+			})
+		},
+		After: func(h *Harness) {
+			// Split the donor's (full) coverage of the streams table at its
+			// key median and move the upper half to the least-loaded site.
+			// The healed cluster is 4-way replicated, so withdrawing the
+			// donor's half keeps 3-way coverage of that range.
+			donor := h.rng.Intn(3)
+			spec, ok := core.PlanSplit(h.Cl.Workers[donor], h.Cl.Catalog, tableStreams)
+			if !ok {
+				h.violatef("join-rebalance: no split point on worker %d's coverage of table %d", donor, tableStreams)
+				return
+			}
+			target, ok := core.LeastLoadedSite(h.Cl.Catalog, spec.DropFrom)
+			if !ok {
+				h.violatef("join-rebalance: no target site for the split half")
+				return
+			}
+			tw := h.Cl.Workers[int(target)-1]
+			if _, err := core.Migrate(tw, h.Cl.Catalog, spec, core.Options{Parallel: true}); err != nil {
+				h.violatef("join-rebalance: moving [%d,%d) of table %d from site %d to site %d: %v",
+					spec.Range.Lo, spec.Range.Hi, spec.Table, spec.DropFrom, target, err)
+			}
+		},
+	}
 }
 
 // InstantServe pins the MTTR-split claim under chaos: a continuous query

@@ -45,8 +45,12 @@ const soakCommitP99SLO = 5 * time.Second
 // correctness violations: the invariants say the data healed, the SLO says
 // whether queries could get at it meanwhile.
 type SoakResult struct {
-	Rounds       int
-	Commits      int
+	Rounds int
+	// CompoundRounds counts rounds that ran the compound fault schedule
+	// (the others ran the join/rebalance rotation, which tears no pages —
+	// the corruption-path assertions only apply when this is nonzero).
+	CompoundRounds int
+	Commits        int
 	Aborts       int
 	CorruptPages int
 	PageRepairs  int
@@ -71,6 +75,15 @@ func Soak(opt SoakOptions) (*SoakResult, error) {
 		// replays in isolation from just its seed.
 		p := protos[int(seed%int64(len(protos)))]
 		sc := soakRound(p)
+		// Every third round exercises online scale-out instead of the
+		// compound fault schedule: node join under a donor kill, then a
+		// segment split/rebalance — also keyed to the seed so the round
+		// replays in isolation.
+		if seed%3 == 2 {
+			sc = JoinRebalance(p)
+		} else {
+			res.CompoundRounds++
+		}
 		r, err := Run(sc, seed, opt.BaseDir)
 		if err != nil {
 			return res, fmt.Errorf("soak round %d (%s seed=%d): %w", round, sc.Name, seed, err)

@@ -34,10 +34,12 @@ func TestSoak(t *testing.T) {
 	if res.Commits == 0 {
 		t.Error("soak: no transaction committed; the run verified nothing")
 	}
-	if res.PageRepairs == 0 {
+	// The corruption-path assertions only apply to compound rounds: a
+	// replayed join/rebalance round (seed%3==2) tears no pages by design.
+	if res.CompoundRounds > 0 && res.PageRepairs == 0 {
 		t.Error("soak: no buddy page repair observed; the corruption path was never exercised")
 	}
-	if res.ScrubPages == 0 {
+	if res.CompoundRounds > 0 && res.ScrubPages == 0 {
 		t.Error("soak: background scrubbers verified no pages; the proactive scrub path was never exercised")
 	}
 	for _, v := range res.Violations {

@@ -73,6 +73,7 @@ func (co *Coordinator) Aggregate(table int32, opt QueryOptions, plan exec.AggPla
 	if err != nil {
 		return nil, err
 	}
+	defer q.release()
 	aq := &aggQuery{scanQuery: q, plan: plan, partial: partial}
 	if err := aq.run(slots, final, 0); err != nil {
 		return nil, err

@@ -86,6 +86,18 @@ type ctxn struct {
 	workers map[catalog.SiteID]*comm.Conn
 	queue   []*queuedUpdate
 	done    bool
+	// sealed is set (under mu) the moment Commit or Abort snapshots the
+	// worker set for its outcome rounds. From then on the §5.4.2 join
+	// replay must not add this transaction to a newly-online site: the
+	// site would receive the updates but sit outside the already-taken
+	// round snapshot, so no outcome would ever reach it and the txn would
+	// dangle there forever. Skipping is safe — replay runs while the
+	// recovering site still holds the buddy table read locks, and a
+	// transaction that reached its outcome rounds has either not yet
+	// touched the locked table (nothing to replay) or had its outcome
+	// applied at the buddy before the lock was granted, in which case the
+	// locked catch-up copy already carried its rows.
+	sealed bool
 }
 
 // Coordinator is one coordinator site.
@@ -115,6 +127,15 @@ type Coordinator struct {
 	// data even though no online buddy exists. Cleared as soon as any
 	// replica comes back online.
 	finalSurvivor map[int32]catalog.SiteID
+
+	// Routing epoch (segment rebalancing): every distributed read registers
+	// the placement version its plan resolved against. A placement change
+	// drains reads planned below the new version before answering, so the
+	// donor can purge the moved range without yanking it out from under
+	// in-flight plans. Guarded by scanMu, never co.mu (drain sleeps).
+	scanMu      sync.Mutex
+	activeScans map[int64]int64 // registration id -> plan placement version
+	scanSeq     int64
 
 	// readiness caches per-object recovery state probed from sites that are
 	// out of the update set (MsgPing replies carry the per-object bitmap).
@@ -172,6 +193,7 @@ func New(cfg Config) (*Coordinator, error) {
 		objectOnline:  map[int32]map[catalog.SiteID]bool{},
 		siteDown:      map[catalog.SiteID]bool{},
 		finalSurvivor: map[int32]catalog.SiteID{},
+		activeScans:   map[int64]int64{},
 		readiness:     map[catalog.SiteID]*siteReadiness{},
 		reg:           obs.NewRegistry(),
 		trace:         obs.NewTracer(),
@@ -586,6 +608,53 @@ func (co *Coordinator) readCandidates(table int32, historical bool, asOf tuple.T
 	return cands
 }
 
+// registerScan enters a distributed read into the active-scan registry with
+// the placement version its plan resolves against. Register before reading
+// the catalog: any placement change that lands after registration carries a
+// higher version and therefore drains on this read.
+func (co *Coordinator) registerScan(planVer int64) int64 {
+	co.scanMu.Lock()
+	defer co.scanMu.Unlock()
+	co.scanSeq++
+	id := co.scanSeq
+	co.activeScans[id] = planVer
+	return id
+}
+
+// deregisterScan removes a finished read from the registry.
+func (co *Coordinator) deregisterScan(id int64) {
+	co.scanMu.Lock()
+	delete(co.activeScans, id)
+	co.scanMu.Unlock()
+}
+
+// drainTimeout bounds how long a placement change waits for reads planned
+// against the previous placement. The drain is fail-open: correctness never
+// depends on it — a scan that outlives the drain and reaches a purged range
+// is refused with a placement-stale error and replans against the live
+// catalog — draining just makes that refusal path rare.
+const drainTimeout = 2 * time.Second
+
+// drainBelow blocks until no active read was planned below ver, or timeout.
+func (co *Coordinator) drainBelow(ver int64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		stale := false
+		co.scanMu.Lock()
+		for _, v := range co.activeScans {
+			if v < ver {
+				stale = true
+				break
+			}
+		}
+		co.scanMu.Unlock()
+		if !stale || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Outcome returns the recorded outcome of a transaction. ok=false means the
 // coordinator has no information (the caller applies presumed abort, §4.3).
 func (co *Coordinator) Outcome(id txn.ID) (committed bool, ts tuple.Timestamp, ok bool) {
@@ -641,6 +710,38 @@ func (co *Coordinator) serveConn(c *comm.Conn) {
 			if co.objectFinalSurvivor(m.Table, catalog.SiteID(m.Site)) {
 				resp.Flags |= wire.FlagSurvivor
 			}
+		case wire.MsgJoinSite:
+			// Online node join, step 1: register the cold site's address and
+			// hand back an advisory assignment (currently the full key range
+			// of every table — partial initial assignment is a planner
+			// refinement, see ROADMAP). The joiner streams each assignment in
+			// via core.Migrate, whose horizon flip lands as MsgPlacementChange.
+			co.cfg.Catalog.AddSite(catalog.SiteID(m.Site), m.Text)
+			var objs []wire.ObjReady
+			full := expr.FullKeyRange()
+			for _, tb := range co.cfg.Catalog.Tables() {
+				objs = append(objs, wire.ObjReady{Table: tb, Lo: full.Lo, Hi: full.Hi})
+			}
+			resp = &wire.Msg{Type: wire.MsgOK,
+				TS: tuple.Timestamp(co.cfg.Catalog.PlacementVersion()), Objs: objs}
+		case wire.MsgPlacementChange:
+			rep := catalog.Replica{Site: catalog.SiteID(m.Site), Table: m.Table,
+				Range: expr.KeyRange{Lo: m.KeyLo, Hi: m.KeyHi}, SegPages: m.SegPages}
+			var ver int64
+			var err error
+			if m.Yes() {
+				ver, err = co.cfg.Catalog.AddReplicaRange(rep)
+			} else {
+				ver, err = co.cfg.Catalog.RemoveReplicaRange(rep.Site, rep.Table, rep.Range)
+			}
+			if err != nil {
+				resp = &wire.Msg{Type: wire.MsgErr, Text: err.Error()}
+			} else {
+				// Reads planned against the old placement finish before the
+				// caller proceeds (to purge a donor range, for a remove).
+				co.drainBelow(ver, drainTimeout)
+				resp = &wire.Msg{Type: wire.MsgOK, TS: tuple.Timestamp(ver)}
+			}
 		case wire.MsgObjectOnline:
 			if err := co.handleObjectOnline(catalog.SiteID(m.Site), m.Table); err != nil {
 				resp = &wire.Msg{Type: wire.MsgErr, Text: err.Error()}
@@ -692,16 +793,22 @@ func (co *Coordinator) handleObjectOnline(site catalog.SiteID, table int32) erro
 func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.done {
+	if t.done || t.sealed {
 		return
 	}
-	// Relevant if any queued update touches the recovering table and did
-	// not already reach the recovering site.
+	// Relevant if any queued update touches the recovering table, did not
+	// already reach the recovering site, and falls inside a range the site
+	// actually replicates (a partial replica must not receive keys outside
+	// its segments; with full replication the filter is a no-op).
 	var replay []*queuedUpdate
 	for _, q := range t.queue {
-		if q.msg.Table == table && !q.sentTo[site] {
-			replay = append(replay, q)
+		if q.msg.Table != table || q.sentTo[site] {
+			continue
 		}
+		if key, ok := co.updateKey(q.msg); ok && !co.siteCoversKey(site, table, key) {
+			continue
+		}
+		replay = append(replay, q)
 	}
 	if len(replay) == 0 {
 		return
@@ -727,6 +834,32 @@ func (co *Coordinator) replayQueueTo(t *ctxn, site catalog.SiteID, table int32) 
 		}
 		q.sentTo[site] = true
 	}
+}
+
+// updateKey extracts the routing key of a queued logical update. ok=false
+// means the message type carries no key (replay it unconditionally).
+func (co *Coordinator) updateKey(m *wire.Msg) (int64, bool) {
+	switch m.Type {
+	case wire.MsgInsert:
+		spec, ok := co.cfg.Catalog.Table(m.Table)
+		if !ok {
+			return 0, false
+		}
+		return wire.ToTuple(m.Tuple).Key(spec.Desc), true
+	case wire.MsgDeleteKey, wire.MsgUpdateKey:
+		return m.Key, true
+	}
+	return 0, false
+}
+
+// siteCoversKey reports whether any replica of table on site contains key.
+func (co *Coordinator) siteCoversKey(site catalog.SiteID, table int32, key int64) bool {
+	for _, rep := range co.cfg.Catalog.Replicas(table) {
+		if rep.Site == site && rep.Range.Contains(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // dialWorkerForTxn opens a dedicated connection to a worker for one

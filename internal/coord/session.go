@@ -247,6 +247,7 @@ func (tx *Txn) Commit() (tuple.Timestamp, error) {
 		t.mu.Unlock()
 		return 0, fmt.Errorf("coord: transaction %d already finished", t.id)
 	}
+	t.sealed = true // the join replay must not widen the worker set past this snapshot
 	var workers []fanTarget
 	dropped := map[catalog.SiteID]bool{}
 	for s, c := range t.workers {
@@ -405,6 +406,7 @@ func (tx *Txn) abortAll() {
 	co.trace.Record(int64(t.id), obs.EvAbort, "")
 	co.recordOutcome(t.id, false, 0)
 	t.mu.Lock()
+	t.sealed = true // see Commit: no replay past the outcome-round snapshot
 	targets := make([]fanTarget, 0, len(t.workers))
 	for s, c := range t.workers {
 		targets = append(targets, fanTarget{s, c})
@@ -490,7 +492,12 @@ type scanQuery struct {
 	pred         expr.Pred
 	tupleAtATime bool
 	live         func(catalog.SiteID) bool
+	regID        int64 // active-scan registry entry (routing epoch)
 }
+
+// release removes the read from the active-scan registry. Placement changes
+// drain registered reads before letting a donor purge a moved range.
+func (q *scanQuery) release() { q.co.deregisterScan(q.regID) }
 
 // ScanStream runs a read-only query over one logical table, streaming the
 // merged result to sink in batches. All sites of the read plan stream
@@ -510,14 +517,20 @@ func (co *Coordinator) ScanStream(table int32, opt QueryOptions, sink func([]tup
 	if err != nil {
 		return err
 	}
+	defer q.release()
 	return q.run(slots, sink, 0)
 }
 
 // planRead computes the slot assignment and invariant parameters shared by
 // every distributed read (ScanStream and Aggregate).
 func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *scanQuery, error) {
+	// Register against the routing epoch before reading the catalog: any
+	// placement change landing after this point carries a higher version and
+	// drains on this read before a donor range may be purged.
+	regID := co.registerScan(co.cfg.Catalog.PlacementVersion())
 	spec, ok := co.cfg.Catalog.Table(table)
 	if !ok {
+		co.deregisterScan(regID)
 		return nil, nil, fmt.Errorf("coord: unknown table %d", table)
 	}
 	vis := exec.Current
@@ -549,6 +562,7 @@ func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *sca
 	cands := co.readCandidates(table, opt.Historical, asOf)
 	srcs, err := catalog.CoverTarget(expr.FullKeyRange(), cands)
 	if err != nil {
+		co.deregisterScan(regID)
 		return nil, nil, fmt.Errorf("coord: table %d: %w", table, err)
 	}
 	if opt.PreferSite != 0 {
@@ -568,7 +582,8 @@ func (co *Coordinator) planRead(table int32, opt QueryOptions) ([]scanSlot, *sca
 	}
 	sortScanSlots(slots)
 	q := &scanQuery{co: co, spec: spec, id: co.ids.Next(), table: table, vis: vis,
-		asOf: asOf, locked: locked, pred: opt.Pred, tupleAtATime: opt.TupleAtATime, live: live}
+		asOf: asOf, locked: locked, pred: opt.Pred, tupleAtATime: opt.TupleAtATime,
+		live: live, regID: regID}
 	return slots, q, nil
 }
 
@@ -796,7 +811,14 @@ func (co *Coordinator) CreateTable(spec *catalog.TableSpec, replicas ...catalog.
 	if err := co.cfg.Catalog.AddTable(spec, replicas...); err != nil {
 		return err
 	}
+	// A site may hold several replica ranges of the same table (a
+	// partitioned placement); it needs the physical table exactly once.
+	created := make(map[catalog.SiteID]bool, len(replicas))
 	for _, r := range replicas {
+		if created[r.Site] {
+			continue
+		}
+		created[r.Site] = true
 		p, err := co.pool(r.Site)
 		if err != nil {
 			return err

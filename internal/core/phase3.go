@@ -11,15 +11,17 @@ import (
 	"harbor/internal/tuple"
 	"harbor/internal/vfs"
 	"harbor/internal/wire"
-	"harbor/internal/worker"
 )
 
 // phase3 runs §5.4: acquire table-granularity read locks on every recovery
 // object at once, copy the remaining committed changes with ordinary
 // (non-historical) SEE DELETED queries, announce "rec coming online" to the
 // coordinator so pending transactions are joined (Figure 5-4), then release
-// the remote locks. It returns the object's final consistent time.
-func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Timestamp, st *ObjectStats, survivor bool) (tuple.Timestamp, error) {
+// the remote locks. It returns the object's final consistent time. The
+// opts select the caller-specific behavior: crash recovery (RecoverSite)
+// records the per-object checkpoint and marks the whole object, migration
+// marks only the transferred segment and flips placement under the locks.
+func (r *engine) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Timestamp, st *ObjectStats, survivor bool, opts catchupOpts) (tuple.Timestamp, error) {
 	recTxn := r.ids.Next()
 
 	// Recompute the plan against currently-live buddies. The final
@@ -117,8 +119,10 @@ func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Tim
 	if err := r.flushObject(tb); err != nil {
 		return 0, err
 	}
-	if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), finalT); err != nil {
-		return 0, err
+	if opts.writeObjCkpt {
+		if err := storage.WriteCheckpointFile(storage.ObjectCheckpointPath(r.Site.Cfg.Dir, rep.Table), finalT); err != nil {
+			return 0, err
+		}
 	}
 
 	// The locked copy has drained and is durable: every segment's contents
@@ -128,7 +132,17 @@ func (r *Recoverer) phase3(tb *storage.Table, rep catalog.Replica, hwm tuple.Tim
 	// not just covered historical reads but *current* reads whose
 	// coordinator-assigned start timestamp is ≤ finalT, shaving the
 	// object-online round trip off current-read MTTR.
-	r.Site.SetObjectState(rep.Table, worker.ObjCatchup, finalT)
+	opts.mark(finalT)
+
+	// Migration flips placement here, while the donor table locks still
+	// exclude commits: a transaction that committed before the flip never
+	// needed this replica, one that commits after it sees the new placement
+	// (directly in its update set or via the object-online replay below).
+	if opts.underLock != nil {
+		if err := opts.underLock(finalT); err != nil {
+			return 0, err
+		}
+	}
 
 	// Figure 5-4: announce to the coordinator; it replays the queued
 	// update requests of every relevant pending transaction into this

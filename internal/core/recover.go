@@ -121,37 +121,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Recoverer drives HARBOR recovery for one rebooted worker site.
+// Recoverer drives HARBOR recovery for one rebooted worker site. It is one
+// of the two callers of the segment-transfer engine (see transfer.go); the
+// other is Migrate. All transfer-level machinery — window copies, remote
+// streams, buddy liveness, locked catch-up — lives on the embedded engine
+// and is shared verbatim between the two.
 type Recoverer struct {
-	Site *worker.Site
-	Cat  *catalog.Catalog
-
-	ids *txn.IDSource
-	// noPrune and tupleAtATime mirror the Options for the remote scans.
-	noPrune      bool
-	tupleAtATime bool
-
-	// hotRanges records, per table, the key ranges refused reads faulted in
-	// (fed by the site's fault-in hook). Phase 2 copies the segments those
-	// ranges intersect first, so the read that is actually waiting becomes
-	// servable after copying a fraction of its table.
-	hotMu     sync.Mutex
-	hotRanges map[int32][]expr.KeyRange
+	*engine
 }
 
 // New builds a Recoverer.
 func New(site *worker.Site, cat *catalog.Catalog) *Recoverer {
-	// Recovery transactions need ids that cannot collide with coordinator
-	// ids; offset the site id into a reserved band.
-	return &Recoverer{Site: site, Cat: cat,
-		ids:       txn.NewIDSource(int32(site.Cfg.Site) + 1<<20),
-		hotRanges: map[int32][]expr.KeyRange{}}
+	return &Recoverer{engine: newEngine(site, cat)}
 }
 
 // noteHotRange records a faulted-in key range for segment prioritization.
 // A full-range fault-in carries no locality information and is dropped —
 // promote() already handles whole-object priority.
-func (r *Recoverer) noteHotRange(table int32, rng expr.KeyRange) {
+func (r *engine) noteHotRange(table int32, rng expr.KeyRange) {
 	if rng == expr.FullKeyRange() {
 		return
 	}
@@ -170,7 +157,7 @@ func (r *Recoverer) noteHotRange(table int32, rng expr.KeyRange) {
 // key order. Consulted before every segment copy rather than once per round,
 // so a fault-in that arrives mid-round reorders the remainder of the round
 // immediately.
-func (r *Recoverer) nextSeg(table int32, segs []worker.SegmentStatus, visited []bool) int {
+func (r *engine) nextSeg(table int32, segs []worker.SegmentStatus, visited []bool) int {
 	r.hotMu.Lock()
 	hot := append([]expr.KeyRange(nil), r.hotRanges[table]...)
 	r.hotMu.Unlock()
@@ -239,6 +226,25 @@ func (r *Recoverer) RecoverSite(opt Options) (*SiteStats, error) {
 			bounds = tb.Index.Quantiles(opt.SegmentShards)
 		}
 		r.Site.SetObjectSegments(rep.Table, bounds, worker.ObjNeedsRecovery, 0)
+	}
+
+	// Placement hygiene for a crashed donor: a range that migrated away
+	// while this site was down (or whose post-move purge never ran) leaves
+	// rows the catalog no longer assigns here, and recovery would revive
+	// them into reads. Purge everything outside the union of this site's
+	// replica ranges per table. With full coverage — the common case — the
+	// complement is empty and nothing is touched.
+	heldByTable := map[int32][]expr.KeyRange{}
+	for _, rep := range reps {
+		heldByTable[rep.Table] = append(heldByTable[rep.Table], rep.Range)
+	}
+	for table, held := range heldByTable {
+		for _, gap := range uncoveredRanges(expr.FullKeyRange(), held) {
+			if _, err := r.Site.PurgeRange(table, gap); err != nil {
+				return nil, err
+			}
+			r.Site.MarkRangePurged(table, gap)
+		}
 	}
 
 	stats := &SiteStats{Objects: make([]ObjectStats, len(reps))}
@@ -550,7 +556,12 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 	// ---- Phase 3: locked catch-up + join pending transactions (§5.4) ----
 	r.Site.SetObjectState(rep.Table, worker.ObjCatchup, cur)
 	p3 := time.Now()
-	finalT, err := r.phase3(tb, rep, cur, &st, survivor)
+	finalT, err := r.phase3(tb, rep, cur, &st, survivor, catchupOpts{
+		writeObjCkpt: true,
+		mark: func(ct tuple.Timestamp) {
+			r.Site.SetObjectState(rep.Table, worker.ObjCatchup, ct)
+		},
+	})
 	if err != nil {
 		return st, 0, err
 	}
@@ -571,7 +582,7 @@ func (r *Recoverer) recoverObject(rep catalog.Replica, opt Options) (ObjectStats
 // is the table's final survivor of a total outage) the committed rewind is
 // skipped — every committed stamp postdating the checkpoint is legitimate
 // and irreplaceable — and only uncommitted in-flight debris is discarded.
-func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune, survivor bool) (deleted, undeleted int, err error) {
+func (r *engine) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune, survivor bool) (deleted, undeleted int, err error) {
 	heap := tb.Heap
 	desc := heap.Desc()
 	insOff := desc.Offset(tuple.FieldInsTS)
@@ -694,7 +705,7 @@ func (r *Recoverer) phase1(tb *storage.Table, ckpt tuple.Timestamp, noPrune, sur
 // tuples inserted inside the window. With historical=true the remote scans
 // run as of hi without locks (Phase 2); Phase 3 passes historical=false and
 // hi = 0 semantics via unbounded scans (see phase3).
-func (r *Recoverer) copyWindow(tb *storage.Table, src catalog.RecoverySource,
+func (r *engine) copyWindow(tb *storage.Table, src catalog.RecoverySource,
 	lo, hi tuple.Timestamp, historical bool, lockTxn txn.ID) (durUpd, durIns time.Duration, nDel, nIns int, err error) {
 	addr, ok := r.Cat.SiteAddr(src.Buddy)
 	if !ok {
@@ -763,7 +774,7 @@ func (r *Recoverer) copyWindow(tb *storage.Table, src catalog.RecoverySource,
 // (retryable with a different buddy), callback failures wrap errLocalApply
 // (the local replica is the problem; replanning would not help), and a
 // remote MsgErr passes through unwrapped.
-func (r *Recoverer) streamFrom(addr string, req *wire.Msg, desc *tuple.Desc,
+func (r *engine) streamFrom(addr string, req *wire.Msg, desc *tuple.Desc,
 	onKeys func(keys []int64, dels []tuple.Timestamp) error,
 	onRows func(rows []tuple.Tuple) error) error {
 	keysOnly := req.Flags&wire.FlagYes != 0
@@ -841,7 +852,7 @@ func (r *Recoverer) streamFrom(addr string, req *wire.Msg, desc *tuple.Desc,
 
 // localSetDeletion applies a copied deletion timestamp:
 // UPDATE LOCALLY rec SET deletion_time = del WHERE tuple_id = key AND deletion_time = 0.
-func (r *Recoverer) localSetDeletion(tb *storage.Table, key int64, del tuple.Timestamp) error {
+func (r *engine) localSetDeletion(tb *storage.Table, key int64, del tuple.Timestamp) error {
 	desc := tb.Heap.Desc()
 	delOff := desc.Offset(tuple.FieldDelTS)
 	for _, rid := range tb.Index.Lookup(key) {
@@ -884,7 +895,7 @@ func (r *Recoverer) localSetDeletion(tb *storage.Table, key int64, del tuple.Tim
 // grouped by heap page so each page is pinned and latched once per batch;
 // keys with several versions (SEE DELETED history) take the careful
 // per-key path.
-func (r *Recoverer) localSetDeletionBatch(tb *storage.Table, keys []int64, dels []tuple.Timestamp) error {
+func (r *engine) localSetDeletionBatch(tb *storage.Table, keys []int64, dels []tuple.Timestamp) error {
 	desc := tb.Heap.Desc()
 	delOff := desc.Offset(tuple.FieldDelTS)
 	type pendingDel struct {
@@ -955,7 +966,7 @@ func (r *Recoverer) localSetDeletionBatch(tb *storage.Table, keys []int64, dels 
 // preserving their timestamps. Each target page is pinned and latched once
 // and filled until it rejects a row; index entries and segment timestamp
 // bounds are recorded per page after the latch drops, instead of per tuple.
-func (r *Recoverer) localInsertBatch(tb *storage.Table, rows []tuple.Tuple) error {
+func (r *engine) localInsertBatch(tb *storage.Table, rows []tuple.Tuple) error {
 	heap := tb.Heap
 	desc := heap.Desc()
 	type placedRow struct {
@@ -1045,7 +1056,7 @@ func (r *Recoverer) localInsertBatch(tb *storage.Table, rows []tuple.Tuple) erro
 }
 
 // flushObject makes an object's recovered state durable.
-func (r *Recoverer) flushObject(tb *storage.Table) error {
+func (r *engine) flushObject(tb *storage.Table) error {
 	if err := r.Site.Pool.FlushAll(); err != nil {
 		return err
 	}
@@ -1056,7 +1067,7 @@ func (r *Recoverer) flushObject(tb *storage.Table) error {
 }
 
 // coordinatorHWM asks the timestamp authority for the high water mark.
-func (r *Recoverer) coordinatorHWM() (tuple.Timestamp, error) {
+func (r *engine) coordinatorHWM() (tuple.Timestamp, error) {
 	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
 	if !ok {
 		return 0, fmt.Errorf("core: coordinator address unknown")
@@ -1080,7 +1091,7 @@ func (r *Recoverer) coordinatorHWM() (tuple.Timestamp, error) {
 // legitimate source for the objects whose own catch-up completed, where the
 // old whole-site ready flag would have rejected it. A peer that lists no
 // objects falls back to the site-level ready flag.
-func (r *Recoverer) buddyObjectReady(s catalog.SiteID, table int32) bool {
+func (r *engine) buddyObjectReady(s catalog.SiteID, table int32) bool {
 	if s == r.Site.Cfg.Site {
 		return false
 	}
@@ -1109,7 +1120,7 @@ func (r *Recoverer) buddyObjectReady(s catalog.SiteID, table int32) bool {
 // unreachable the check degrades to ping-only (recovery can still make
 // progress; Phase 2's HWM query will fail loudly anyway if the coordinator
 // stays gone).
-func (r *Recoverer) buddyLiveFor(table int32) func(catalog.SiteID) bool {
+func (r *engine) buddyLiveFor(table int32) func(catalog.SiteID) bool {
 	return func(s catalog.SiteID) bool {
 		if !r.buddyObjectReady(s, table) {
 			return false
@@ -1126,7 +1137,7 @@ func (r *Recoverer) buddyLiveFor(table int32) func(catalog.SiteID) bool {
 // table's final survivor — the last replica out of the update set while no
 // replica is online (§5.5 total outage). Errors degrade to false, leaving
 // the normal buddy planning (and its K-safety refusal) in charge.
-func (r *Recoverer) selfIsFinalSurvivor(table int32) bool {
+func (r *engine) selfIsFinalSurvivor(table int32) bool {
 	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
 	if !ok {
 		return false
@@ -1145,7 +1156,7 @@ func (r *Recoverer) selfIsFinalSurvivor(table int32) bool {
 
 // objectOnlineAt asks the coordinator whether a site's replica of a table
 // participates in updates.
-func (r *Recoverer) objectOnlineAt(site catalog.SiteID, table int32) (bool, error) {
+func (r *engine) objectOnlineAt(site catalog.SiteID, table int32) (bool, error) {
 	addr, ok := r.Cat.SiteAddr(r.Cat.Coordinator())
 	if !ok {
 		return false, fmt.Errorf("core: coordinator address unknown")

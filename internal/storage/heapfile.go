@@ -671,6 +671,58 @@ func (h *HeapFile) BulkLoadSegment(tuples []tuple.Tuple) (int32, error) {
 	return si, err
 }
 
+// ReleasePages returns fully-empty pages to the free list, removing them
+// from their segments' extents so scans stop visiting them. Segments keep
+// their identity even when they end up with no pages at all — segment
+// indices are load-bearing for the pageSeg map, the uncommitted
+// accounting, and the timestamp bounds, so only DropOldestSegment may
+// renumber. The meta flush makes the release durable before return.
+func (h *HeapFile) ReleasePages(pages []int32) error {
+	if len(pages) == 0 {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rel := make(map[int32]bool, len(pages))
+	for _, p := range pages {
+		if _, ok := h.pageSeg[p]; ok {
+			rel[p] = true
+		}
+	}
+	if len(rel) == 0 {
+		return nil
+	}
+	for si := range h.meta.Segments {
+		seg := &h.meta.Segments[si]
+		var kept []Extent
+		for _, e := range seg.Extents {
+			start := e.Start
+			for p := e.Start; p < e.Start+e.Count; p++ {
+				if !rel[p] {
+					continue
+				}
+				if p > start {
+					kept = append(kept, Extent{Start: start, Count: p - start})
+				}
+				start = p + 1
+			}
+			if end := e.Start + e.Count; end > start {
+				kept = append(kept, Extent{Start: start, Count: end - start})
+			}
+		}
+		seg.Extents = kept
+	}
+	for p := range rel {
+		delete(h.pageSeg, p)
+		h.meta.Free = append(h.meta.Free, Extent{Start: p, Count: 1})
+	}
+	if h.insertHint >= 0 && rel[h.insertHint] {
+		h.insertHint = -1
+	}
+	h.metaDirty = true
+	return h.flushMetaLocked()
+}
+
 // DropOldestSegment removes segment 0 (the §4.2 bulk-drop feature used by
 // clickthrough warehouses), returning its pages to the free list, and
 // durably flushes the meta so the drop is atomic.

@@ -164,6 +164,34 @@ func (cl *Cluster) CreateRangePartitionedTable(id int32, desc *tuple.Desc, segPa
 	return cl.Coord.CreateTable(spec, reps...)
 }
 
+// AddWorker opens the cold N+1th worker site and appends it to the cluster
+// without giving it any data: the caller drives core.Join (or Migrate) to
+// stream replicas onto it while the cluster serves. The site directory is
+// BaseDir/site<id>, matching NewCluster's layout.
+func (cl *Cluster) AddWorker() (*worker.Site, error) {
+	i := len(cl.Workers)
+	site := WorkerSiteID(i)
+	w, err := worker.Open(worker.Config{
+		Site:            site,
+		Dir:             filepath.Join(cl.Cfg.BaseDir, fmt.Sprintf("site%d", site)),
+		Protocol:        cl.Cfg.Protocol,
+		Mode:            cl.Cfg.Mode,
+		PoolFrames:      cl.Cfg.PoolFrames,
+		LockTimeout:     cl.Cfg.LockTimeout,
+		CheckpointEvery: cl.Cfg.CheckpointEvery,
+		GroupCommit:     cl.Cfg.GroupCommit,
+		SyncDelay:       cl.Cfg.SyncDelay,
+		Catalog:         cl.Catalog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	installRepairHook(w, cl.Catalog)
+	cl.Workers = append(cl.Workers, w)
+	cl.Catalog.AddSite(site, w.Addr())
+	return w, nil
+}
+
 // RestartWorker replaces a crashed worker with a fresh Site over the same
 // directory (simulating a reboot) and repoints the catalog at its new
 // address. ARIES recovery is NOT run automatically.

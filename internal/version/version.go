@@ -147,6 +147,10 @@ func (s *Store) clearFreeSlot(table, pageNo int32) {
 	}
 }
 
+// ClearFreeSlot withdraws a page from the free-slot candidates; the purge
+// path calls it when it releases an emptied page back to the heap.
+func (s *Store) ClearFreeSlot(table, pageNo int32) { s.clearFreeSlot(table, pageNo) }
+
 // InsertTuple writes t (user fields only matter; timestamps are overridden
 // to Uncommitted/NotDeleted) into the table's last segment and lists it in
 // tid's insertion list. The page is X-locked for the transaction.
@@ -415,6 +419,29 @@ func (s *Store) Commit(tid TxnID, ts tuple.Timestamp, logCommit, forceCommit boo
 		for pid := range pids {
 			if err := s.Pool.FlushPage(pid); err != nil {
 				return err
+			}
+		}
+	}
+	// Pages this transaction inserted into become placement candidates
+	// again the moment its locks release. The insert hint is one global
+	// slot that concurrent streams clobber, and an X-locked candidate is
+	// skipped AND dropped from the free-page map — so without re-marking
+	// here, a page probed once mid-transaction was forgotten forever and
+	// every subsequent collision allocated a fresh page: one near-empty,
+	// never-reused page per single-insert transaction.
+	marked := map[page.ID]bool{}
+	for _, op := range txn.inserts {
+		if marked[op.rid.Page] {
+			continue
+		}
+		marked[op.rid.Page] = true
+		if f, err := s.Pool.GetPageNoLock(op.rid.Page); err == nil {
+			f.Latch.RLock()
+			free := f.Page.FirstFree() >= 0
+			f.Latch.RUnlock()
+			s.Pool.Unpin(f, false, 0)
+			if free {
+				s.MarkFreeSlot(op.rid.Page.Table, op.rid.Page.PageNo)
 			}
 		}
 	}

@@ -98,6 +98,31 @@ const (
 	// per partial column of the request's agg spec. The stream still ends
 	// with MsgScanEnd; Count there is the total number of groups.
 	MsgAggBatch
+
+	// --- elastic cluster management (node join, segment rebalancing) ---
+
+	// MsgJoinSite registers a cold site with the coordinator (Site,
+	// Text = address). The reply is MsgOK with TS = the current placement
+	// version and Objs = the replica assignment the joining site should
+	// migrate onto itself: one (Table, Lo, Hi) entry per assigned range.
+	// The assignment is advisory — placement only flips when each range's
+	// migration completes its locked catch-up (MsgPlacementChange).
+	MsgJoinSite
+
+	// MsgPlacementChange mutates catalog placement through the coordinator
+	// so routing and placement move together: Site, Table, KeyLo/KeyHi,
+	// SegPages; FlagYes = add the range, clear = remove it (K-safety
+	// guarded). The coordinator drains read plans resolved against older
+	// placement versions before answering MsgOK with TS = the new version.
+	MsgPlacementChange
+
+	// MsgPurgeRange physically deletes a worker's rows in [KeyLo, KeyHi) of
+	// Table — the donor-side cleanup after its coverage of the range was
+	// removed from the catalog. Replies MsgOK with Count = rows purged.
+	// Subsequent scans declaring an intersecting range are refused with a
+	// placement-stale error so plans from before the move replan instead of
+	// silently reading the hole.
+	MsgPurgeRange
 )
 
 var typeNames = map[Type]string{
@@ -115,6 +140,8 @@ var typeNames = map[Type]string{
 	MsgPing: "PING", MsgCrash: "CRASH", MsgVacuum: "VACUUM",
 	MsgObjectStatus: "OBJECT-STATUS", MsgCommitFast: "COMMIT-FAST",
 	MsgTupleBatch: "TUPLE-BATCH", MsgAggBatch: "AGG-BATCH",
+	MsgJoinSite: "JOIN-SITE", MsgPlacementChange: "PLACEMENT-CHANGE",
+	MsgPurgeRange: "PURGE-RANGE",
 }
 
 // String renders the message type.
@@ -223,13 +250,23 @@ func (m *Msg) Yes() bool { return m.Flags&FlagYes != 0 }
 // so the right client move is back off and retry, not give up.
 var ErrRemoteCorrupt = errors.New("remote page corrupt")
 
+// ErrPlacementStale marks a scan refused because the serving site no longer
+// holds the declared key range: the plan was resolved against a placement
+// version from before a segment move. The coordinator replans the remaining
+// range against the current catalog instead of treating the site as failed.
+var ErrPlacementStale = errors.New("placement stale")
+
 // Err converts a MsgErr into an error (nil otherwise). A MsgErr with
 // FlagYes set reports a corrupt page on the server and wraps
-// ErrRemoteCorrupt for errors.Is.
+// ErrRemoteCorrupt for errors.Is; FlagKnown (meaningless on an error reply
+// otherwise) wraps ErrPlacementStale.
 func (m *Msg) Err() error {
 	if m.Type == MsgErr {
 		if m.Yes() {
 			return fmt.Errorf("%w: %s", ErrRemoteCorrupt, m.Text)
+		}
+		if m.Flags&FlagKnown != 0 {
+			return fmt.Errorf("%w: %s", ErrPlacementStale, m.Text)
 		}
 		return fmt.Errorf("remote: %s", m.Text)
 	}

@@ -376,6 +376,57 @@ func (s *Site) SetSegmentState(table int32, rng expr.KeyRange, st ObjState, copi
 	s.writeObjStates(data)
 }
 
+// CarveSegmentState splits an object's segment boundaries at rng's bounds
+// so the range is tiled by whole segments, then transitions exactly those
+// segments, leaving every segment outside rng untouched. Migration uses it:
+// the incoming range demotes to NeedsRecovery and later promotes to Ready
+// without perturbing ranges the site already serves. An object the table
+// doesn't know starts from the site's default segment.
+func (s *Site) CarveSegmentState(table int32, rng expr.KeyRange, st ObjState, copiedThrough tuple.Timestamp) {
+	if rng.Empty() {
+		return
+	}
+	full := expr.FullKeyRange()
+	s.objMu.Lock()
+	if s.objs == nil {
+		s.objs = map[int32]objStatus{}
+	}
+	o := s.objs[table]
+	if len(o.segs) == 0 {
+		o.segs = []segStatus{s.defaultSegLocked()}
+	}
+	o.segs = splitSegAt(o.segs, rng.Lo)
+	if rng.Hi != full.Hi {
+		o.segs = splitSegAt(o.segs, rng.Hi)
+	}
+	// After the splits every segment is wholly inside or wholly outside rng.
+	for i := range o.segs {
+		if !o.segs[i].rng.Intersect(rng).Empty() {
+			o.segs[i].state = st
+			o.segs[i].copiedThrough = copiedThrough
+		}
+	}
+	s.objs[table] = o
+	data := s.renderObjStatesLocked()
+	s.objMu.Unlock()
+	s.writeObjStates(data)
+}
+
+// splitSegAt splits the segment containing bound into two at bound (no-op
+// when bound already sits on a boundary, or falls outside every segment).
+func splitSegAt(segs []segStatus, bound int64) []segStatus {
+	for i, seg := range segs {
+		if seg.rng.Lo < bound && seg.rng.Contains(bound) {
+			left, right := seg, seg
+			left.rng.Hi = bound
+			right.rng.Lo = bound
+			out := append(segs[:i:i], left, right)
+			return append(out, segs[i+1:]...)
+		}
+	}
+	return segs
+}
+
 // ObjectStates snapshots the state table in wire form, one entry per
 // segment, for the ping reply's readiness list (sorted by table then range
 // for determinism).

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"harbor/internal/catalog"
 	"harbor/internal/comm"
 	"harbor/internal/exec"
 	"harbor/internal/expr"
@@ -335,5 +336,152 @@ func TestCleanShutdownSeedsReady(t *testing.T) {
 	}
 	if st, _ := w.ObjectState(1); st != worker.ObjReady {
 		t.Fatalf("clean reopen: state = %v, want Ready", st)
+	}
+}
+
+// TestWriteGateFaultIn is the write-side row of the gate matrix: a write
+// landing on a NeedsRecovery segment is refused AND promotes the written
+// key's range in the recovery hotness queue, exactly like a refused read;
+// Catchup and Ready segments accept the write (the join replay and
+// post-flip update routing both target Catchup segments).
+func TestWriteGateFaultIn(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	var preTS tuple.Timestamp
+	for i := int64(1); i <= 5; i++ {
+		tx := cl.Coord.Begin()
+		if err := tx.Insert(1, mk(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preTS = ts
+	}
+	for _, w := range cl.Workers {
+		if err := w.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Workers[0].Crash()
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := w.ObjectState(1); st != worker.ObjNeedsRecovery {
+		t.Fatalf("dirty open: state = %v, want NeedsRecovery", st)
+	}
+	type faultIn struct {
+		table int32
+		rng   expr.KeyRange
+	}
+	faulted := make(chan faultIn, 8)
+	w.SetFaultInHook(func(table int32, rng expr.KeyRange) { faulted <- faultIn{table, rng} })
+
+	c := dialWorker(t, cl, 0)
+	// Call surfaces a MsgErr reply as a Go error; refusal == non-nil error.
+	refused := func(m *wire.Msg) bool {
+		_, err := c.Call(m)
+		return err != nil
+	}
+	// NeedsRecovery refuses both write kinds, faulting in the written key.
+	if !refused(&wire.Msg{Type: wire.MsgInsert, Txn: 901, Table: 1,
+		Tuple: wire.TupleValues(mk(7, 0))}) {
+		t.Fatal("insert into NeedsRecovery segment answered, want refusal")
+	}
+	select {
+	case f := <-faulted:
+		if f.table != 1 || f.rng != (expr.KeyRange{Lo: 7, Hi: 8}) {
+			t.Fatalf("refused insert faulted in table %d range %+v, want table 1 [7,8)", f.table, f.rng)
+		}
+	default:
+		t.Fatal("refused insert did not fire the fault-in hook")
+	}
+	if !refused(&wire.Msg{Type: wire.MsgDeleteKey, Txn: 901, Table: 1, Key: 3}) {
+		t.Fatal("delete against NeedsRecovery segment answered, want refusal")
+	}
+	select {
+	case f := <-faulted:
+		if f.table != 1 || f.rng != (expr.KeyRange{Lo: 3, Hi: 4}) {
+			t.Fatalf("refused delete faulted in table %d range %+v, want table 1 [3,4)", f.table, f.rng)
+		}
+	default:
+		t.Fatal("refused delete did not fire the fault-in hook")
+	}
+
+	// Catchup accepts writes — no refusal, no fault-in.
+	w.SetObjectState(1, worker.ObjCatchup, preTS)
+	if m, err := c.Call(&wire.Msg{Type: wire.MsgInsert, Txn: 901, Table: 1,
+		Tuple: wire.TupleValues(mk(8, 0))}); err != nil || m.Type != wire.MsgOK {
+		t.Fatalf("insert into Catchup segment answered %v (%v), want OK", m, err)
+	}
+	// Ready accepts too.
+	w.SetObjectState(1, worker.ObjReady, preTS)
+	if m, err := c.Call(&wire.Msg{Type: wire.MsgInsert, Txn: 901, Table: 1,
+		Tuple: wire.TupleValues(mk(9, 0))}); err != nil || m.Type != wire.MsgOK {
+		t.Fatalf("insert into Ready segment answered %v (%v), want OK", m, err)
+	}
+	select {
+	case f := <-faulted:
+		t.Fatalf("accepted write fired the fault-in hook: %+v", f)
+	default:
+	}
+	if _, err := c.Call(&wire.Msg{Type: wire.MsgAbort, Txn: 901}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaAssignedWhileDownSeedsNeedsRecovery is the regression test for
+// recovery of catalog-untracked objects: a replica the catalog assigned to
+// this site while it was down (a join or rebalance targeting a dead site)
+// has no local table and no state entry — without seeding it at Open, a
+// cleanly-restarted site would default the object to Ready and serve an
+// empty table. It must come up NeedsRecovery and refuse reads, while the
+// tables the clean-shutdown marker actually vouches for stay Ready.
+func TestReplicaAssignedWhileDownSeedsNeedsRecovery(t *testing.T) {
+	cl := newCluster(t, txn.OptThreePC, worker.HARBOR, 2)
+	// Table 2 lives only on worker 1.
+	if err := cl.CreateReplicatedTable(2, testDesc(), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx := cl.Coord.Begin()
+	if err := tx.Insert(2, mk(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 leaves cleanly; while it is down, a rebalance assigns it a
+	// replica of table 2.
+	if err := cl.Workers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Catalog.AddReplicaRange(catalog.Replica{
+		Site: testutil.WorkerSiteID(0), Table: 2,
+		Range: expr.FullKeyRange(), SegPages: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cl.RestartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := w.ObjectState(1); st != worker.ObjReady {
+		t.Fatalf("clean reopen: table 1 state = %v, want Ready", st)
+	}
+	if st, _ := w.ObjectState(2); st != worker.ObjNeedsRecovery {
+		t.Fatalf("replica assigned while down: table 2 state = %v, want NeedsRecovery", st)
+	}
+	if !w.NeedsRecovery() {
+		t.Fatal("site with a catalog-assigned but absent replica must report NeedsRecovery")
+	}
+	// The phantom object refuses reads rather than serving an empty table.
+	c := dialWorker(t, cl, 0)
+	if err := c.Send(&wire.Msg{Type: wire.MsgScan, Txn: 902, Table: 2,
+		Vis: uint8(exec.Current)}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvTerminal(t, c); m.Type != wire.MsgErr {
+		t.Fatalf("scan of the unrecovered phantom replica answered %v, want refusal", m.Type)
 	}
 }

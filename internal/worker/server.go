@@ -70,6 +70,15 @@ func (s *Site) dataErr(err error) *wire.Msg {
 	return m
 }
 
+// staleMsg is the typed refusal for a scan whose declared range was purged
+// here after a segment move: MsgErr with FlagKnown, which the peer decodes
+// as wire.ErrPlacementStale and replans against the current catalog.
+func (s *Site) staleMsg(table int32, rng expr.KeyRange) *wire.Msg {
+	return &wire.Msg{Type: wire.MsgErr, Flags: wire.FlagKnown,
+		Text: fmt.Sprintf("site %d no longer holds [%d,%d) of table %d (segment moved)",
+			s.Cfg.Site, rng.Lo, rng.Hi, table)}
+}
+
 // noteTableRead bumps the per-table read-hotness counter. The recovery
 // driver reads these to order its per-object queue: objects queries
 // actually touch recover first.
@@ -202,6 +211,11 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		owned[m.Txn] = true
 		w.didWrite = true
 		tp := wire.ToTuple(m.Tuple)
+		if tb, err := s.Mgr.Get(m.Table); err == nil {
+			if err := s.objectWritable(m.Table, tp.Key(tb.Heap.Desc())); err != nil {
+				return errMsg(err)
+			}
+		}
 		if _, err := s.Store.InsertTuple(lockmgr.TxnID(m.Txn), m.Table, tp); err != nil {
 			return s.dataErr(err)
 		}
@@ -211,6 +225,9 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		w := s.getTxn(m.Txn, true)
 		owned[m.Txn] = true
 		w.didWrite = true
+		if err := s.objectWritable(m.Table, m.Key); err != nil {
+			return errMsg(err)
+		}
 		found, err := exec.DeleteByKey(s.Store, lockmgr.TxnID(m.Txn), m.Table, m.Key)
 		if err != nil {
 			return s.dataErr(err)
@@ -225,6 +242,9 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		w := s.getTxn(m.Txn, true)
 		owned[m.Txn] = true
 		w.didWrite = true
+		if err := s.objectWritable(m.Table, m.Key); err != nil {
+			return errMsg(err)
+		}
 		repl := wire.ToTuple(m.Tuple)
 		found, err := exec.UpdateByKey(s.Store, lockmgr.TxnID(m.Txn), m.Table, m.Key,
 			func(old tuple.Tuple) tuple.Tuple {
@@ -249,6 +269,9 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 
 	case wire.MsgScan:
 		s.noteTableRead(m.Table)
+		if rng := scanRange(m); s.rangePurged(m.Table, rng) {
+			return s.staleMsg(m.Table, rng)
+		}
 		if err := s.objectReadable(m.Table, exec.Visibility(m.Vis), tuple.Timestamp(m.TS), scanRange(m)); err != nil {
 			return errMsg(err)
 		}
@@ -268,6 +291,9 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 		// is per object: a Ready object on a still-recovering site is a
 		// legitimate source (its catch-up ran to completion).
 		s.noteTableRead(m.Table)
+		if rng := scanRange(m); s.rangePurged(m.Table, rng) {
+			return s.staleMsg(m.Table, rng)
+		}
 		for _, seg := range s.ObjectSegments(m.Table) {
 			if seg.Range.Intersect(scanRange(m)).Empty() || seg.State == ObjReady {
 				continue
@@ -301,6 +327,21 @@ func (s *Site) dispatch(c *comm.Conn, m *wire.Msg, owned map[txn.ID]bool) *wire.
 	case wire.MsgUnlockTable:
 		s.Locks.Release(lockmgr.TxnID(m.Txn), lockmgr.TableTarget(m.Table))
 		return okMsg()
+
+	case wire.MsgPurgeRange:
+		// Donor-side cleanup after a segment moved away: physically delete
+		// the range, then leave a purge note so scans planned against the
+		// old placement are refused as placement-stale rather than served
+		// from the hole.
+		rng := scanRange(m)
+		n, err := s.PurgeRange(m.Table, rng)
+		if err != nil {
+			return s.dataErr(err)
+		}
+		s.MarkRangePurged(m.Table, rng)
+		out := okMsg()
+		out.Count = int64(n)
+		return out
 
 	case wire.MsgVacuum:
 		// §3.3's configurable-history background process, triggered

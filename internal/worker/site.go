@@ -161,6 +161,13 @@ type Site struct {
 	repairHook func(table int32) error
 	repairBusy map[int32]bool
 
+	// Purged key ranges (see purge.go): ranges this incarnation physically
+	// deleted after a segment moved away. Scans declaring an intersecting
+	// range were planned against placement from before the move and are
+	// refused with a placement-stale error so the coordinator replans.
+	purgeMu sync.Mutex
+	purged  map[int32][]expr.KeyRange
+
 	// msgDelay (ns) stalls every received request before dispatch —
 	// simulated network/processing latency in the spirit of §6.3.2's
 	// simulated work, used to prove coordinator rounds run at
@@ -267,6 +274,24 @@ func Open(cfg Config) (*Site, error) {
 	s.ts.init()
 	ids := mgr.IDs()
 	s.seedObjectStates(!cleanPrior && len(ids) > 0, ids)
+	// Replicas the catalog assigned to this site while it was down (node
+	// join or rebalance targeting a dead site) have no local table at all:
+	// the clean-shutdown marker says nothing about them, and without an
+	// entry in the state table reads on a cleanly-restarted site would
+	// default to Ready and serve an empty table. Seed them NeedsRecovery so
+	// they refuse reads, fault in, and are visible to RecoverSite.
+	if cfg.Catalog != nil {
+		known := make(map[int32]bool, len(ids))
+		for _, id := range ids {
+			known[id] = true
+		}
+		for _, rep := range cfg.Catalog.ReplicasOn(cfg.Site) {
+			if !known[rep.Table] {
+				s.SetObjectState(rep.Table, ObjNeedsRecovery, 0)
+				known[rep.Table] = true
+			}
+		}
+	}
 	srv, err := comm.Listen(cfg.Addr, comm.HandlerFunc(s.serveConn))
 	if err != nil {
 		mgr.Close()
